@@ -1,0 +1,209 @@
+package sbon_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	sbon "github.com/hourglass/sbon"
+	"github.com/hourglass/sbon/internal/exp"
+)
+
+// Benchmarks regenerating every paper artifact (see DESIGN.md §5). Each
+// benchmark runs the corresponding experiment end to end at reduced
+// scale so `go test -bench=.` stays tractable; `cmd/sbon-exp` runs the
+// full-scale versions. Reported custom metrics surface the experiment's
+// headline number so regressions in *results*, not just runtime, are
+// visible.
+
+// ratioOfLastColumnMean averages a numeric column over the table rows.
+func colMean(b *testing.B, t *exp.Table, col int) float64 {
+	b.Helper()
+	var sum float64
+	var n int
+	for _, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func BenchmarkFig1_TwoStepVsIntegrated(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig1(exp.Fig1Params{Scale: exp.Small, Seeds: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(colMean(b, last, 5), "usage-ratio")
+}
+
+func BenchmarkFig2_CostSpaceConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig2(exp.Fig2Params{Scale: exp.Small, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_PlacementMapping(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig3(exp.Fig3Params{Scale: exp.Small, Seed: 3, Trials: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	// Row 0 is the hilbert-dht mapper; column 2 its mean mapping error.
+	b.ReportMetric(colMean(b, last, 2)/3, "mean-map-err")
+}
+
+func BenchmarkFig4_MultiQueryRadius(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig4(exp.Fig4Params{Scale: exp.Small, Seed: 4, Background: 8, Probes: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX1_PlacementStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.X1(exp.X1Params{Scale: exp.Small, Seed: 11, QueryCounts: []int{5}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX2_VivaldiConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.X2(exp.X2Params{Scale: exp.Small, Seed: 12, Rounds: []int{5, 20}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX3_MappingError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.X3(exp.X3Params{Scale: exp.Small, Seed: 13, Dims: []int{2, 3}, Targets: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX4_Reoptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := exp.DefaultX4Params()
+		p.Scale = exp.Small
+		p.Queries = 4
+		p.Steps = 4
+		if _, err := exp.X4(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX5_DHTLookupHops(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.X5(exp.X5Params{Seed: 15, Sizes: []int{64, 256}, Lookups: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX6_OptimizerScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.X6(exp.X6Params{Seed: 16, StubSizes: []int{1, 3}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX7_SpringVsWeiszfeld(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.X7(exp.X7Params{Scale: exp.Small, Seed: 17, Runs: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(colMean(b, last, 3), "weisz/spring")
+}
+
+func BenchmarkX9_PlanRewriting(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.X9(exp.X9Params{Scale: exp.Small, Seeds: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(colMean(b, last, 5), "recovered-%")
+}
+
+func BenchmarkX10_PlanBank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.X10(exp.X10Params{Scale: exp.Small, Seeds: 2, States: []int{1, 2, 4, 8}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX8_EngineValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.X8(exp.X8Params{Seed: 18, RunFor: 400 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Facade-level benchmarks: optimization cost on the paper-scale overlay.
+
+func paperScaleSystem(b *testing.B) *sbon.System {
+	b.Helper()
+	sys, err := sbon.New(sbon.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	stubs := sys.StubNodes()
+	for i := 0; i < 4; i++ {
+		if err := sys.AddStream(sbon.StreamID(i), stubs[i*140], 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func BenchmarkIntegratedOptimize592Nodes4Way(b *testing.B) {
+	sys := paperScaleSystem(b)
+	q := sbon.Query{ID: 1, Consumer: sys.StubNodes()[300], Streams: []sbon.StreamID{0, 1, 2, 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Optimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoStepOptimize592Nodes4Way(b *testing.B) {
+	sys := paperScaleSystem(b)
+	q := sbon.Query{ID: 1, Consumer: sys.StubNodes()[300], Streams: []sbon.StreamID{0, 1, 2, 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.OptimizeTwoStep(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

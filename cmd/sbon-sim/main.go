@@ -1,0 +1,131 @@
+// Command sbon-sim runs ad-hoc SBON simulations: it generates a
+// workload, optimizes and deploys every query with the chosen optimizer,
+// optionally applies load churn with re-optimization sweeps, and prints
+// deployment statistics.
+//
+// Usage:
+//
+//	sbon-sim -queries 20 -optimizer integrated
+//	sbon-sim -optimizer multiquery -radius 50
+//	sbon-sim -optimizer twostep -churn-steps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/workload"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		stubNodes  = flag.Int("stub-nodes", 12, "nodes per stub domain (12 => 592 total)")
+		streams    = flag.Int("streams", 12, "published streams")
+		queries    = flag.Int("queries", 20, "queries to optimize and deploy")
+		optName    = flag.String("optimizer", "integrated", "integrated | twostep | multiquery")
+		radius     = flag.Float64("radius", 50, "multi-query pruning radius (multiquery only; -1 = unpruned)")
+		churnSteps = flag.Int("churn-steps", 0, "load-churn steps with re-optimization after deployment")
+		useDHT     = flag.Bool("dht", true, "use the Hilbert-DHT catalog for physical mapping")
+	)
+	flag.Parse()
+
+	topoCfg := topology.DefaultConfig()
+	topoCfg.StubNodes = *stubNodes
+	topo, err := topology.Generate(topoCfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fail(err)
+	}
+	rng := rand.New(rand.NewSource(*seed * 3))
+	sCfg := workload.DefaultStreamConfig()
+	sCfg.NumStreams = *streams
+	stats, err := workload.GenerateStats(topo, sCfg, rng)
+	if err != nil {
+		fail(err)
+	}
+	qCfg := workload.DefaultQueryConfig()
+	qCfg.NumQueries = *queries
+	qs, err := workload.GenerateQueries(topo, stats, qCfg, rng, 1)
+	if err != nil {
+		fail(err)
+	}
+
+	envCfg := optimizer.DefaultEnvConfig(*seed)
+	envCfg.UseDHT = *useDHT
+	env, err := optimizer.NewEnv(topo, stats, envCfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("topology: %s\n", topo.ComputeStats())
+	fmt.Printf("coordinates: %s\n", env.EmbeddingQuality)
+
+	reg := optimizer.NewRegistry()
+	dep := optimizer.NewDeployment(env, reg)
+	truth := optimizer.TrueLatency{Topo: topo}
+
+	r := *radius
+	if r < 0 {
+		r = math.Inf(1)
+	}
+	optimize := func(q query.Query) (*optimizer.Result, error) {
+		switch strings.ToLower(*optName) {
+		case "integrated":
+			return optimizer.NewIntegrated(env).Optimize(q)
+		case "twostep":
+			return optimizer.NewTwoStep(env).Optimize(q)
+		case "multiquery":
+			return optimizer.NewMultiQuery(env, reg, r).Optimize(q)
+		default:
+			return nil, fmt.Errorf("unknown optimizer %q", *optName)
+		}
+	}
+
+	var totalPlans, totalReuse, totalExamined int
+	for _, q := range qs {
+		res, err := optimize(q)
+		if err != nil {
+			fail(err)
+		}
+		if err := dep.Deploy(res.Circuit); err != nil {
+			fail(err)
+		}
+		totalPlans += res.PlansConsidered
+		totalReuse += res.ReusedServices
+		totalExamined += res.InstancesExamined
+		fmt.Printf("q%-3d %-40s usage=%9.1f latency=%6.1fms plans=%2d reused=%d\n",
+			q.ID, res.Circuit.Plan, res.Circuit.NetworkUsage(truth),
+			res.Circuit.ConsumerLatency(truth), res.PlansConsidered, res.ReusedServices)
+	}
+	fmt.Printf("\ndeployed %d circuits: total usage %.1f KB·ms/s, load penalty %.2f\n",
+		dep.NumDeployed(), dep.TotalUsage(truth), dep.TotalLoadPenalty())
+	fmt.Printf("plans considered %d, services reused %d, registry instances examined %d, registered services %d\n",
+		totalPlans, totalReuse, totalExamined, reg.Len())
+
+	if *churnSteps > 0 {
+		fmt.Printf("\nchurn + re-optimization (%d steps):\n", *churnSteps)
+		ro := optimizer.NewReoptimizer(dep)
+		churnRng := rand.New(rand.NewSource(*seed * 5))
+		churn := workload.Churn{LoadFraction: 0.25, LoadMax: 0.95}
+		for step := 1; step <= *churnSteps; step++ {
+			workload.ApplyChurn(topo, env, churn, churnRng)
+			st, err := ro.Step()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("step %2d: migrations=%2d usage=%9.1f load-penalty=%8.2f\n",
+				step, st.Migrations, dep.TotalUsage(truth), dep.TotalLoadPenalty())
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sbon-sim: %v\n", err)
+	os.Exit(1)
+}

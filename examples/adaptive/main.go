@@ -1,0 +1,84 @@
+// Adaptive execution: a circuit is optimized, deployed onto the
+// goroutine-per-node overlay, and run with real tuples. The measured
+// delivery rate, latency, and network usage are compared against the
+// optimizer's analytic model — then the environment shifts and the
+// system re-optimizes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sbon "github.com/hourglass/sbon"
+)
+
+func main() {
+	sys, err := sbon.New(sbon.Options{
+		Seed:      5,
+		TimeScale: 20 * time.Microsecond, // run 50x faster than real time
+		Topology: sbon.TopologyConfig{
+			TransitDomains:      2,
+			TransitNodes:        2,
+			StubsPerTransit:     2,
+			StubNodes:           4,
+			IntraStubLatency:    [2]float64{1, 5},
+			StubUplinkLatency:   [2]float64{2, 10},
+			IntraTransitLatency: [2]float64{8, 20},
+			InterTransitLatency: [2]float64{30, 80},
+			ExtraStubEdgeProb:   0.2,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	stubs := sys.StubNodes()
+	if err := sys.AddStream(0, stubs[0], 60); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.AddStream(1, stubs[7], 90); err != nil {
+		log.Fatal(err)
+	}
+
+	q := sbon.Query{ID: 1, Consumer: stubs[len(stubs)-1], Streams: []sbon.StreamID{0, 1}}
+	res, err := sys.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Deploy(res.Circuit); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit: %s\n", res.Circuit)
+	fmt.Printf("analytic: usage %.1f KB·ms/s, rate %.1f KB/s, latency %.1f ms\n",
+		sys.Usage(res.Circuit), res.Circuit.Plan.OutRate, sys.Latency(res.Circuit))
+
+	if err := sys.StartEngine(); err != nil {
+		log.Fatal(err)
+	}
+	run, err := sys.Run(res.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstreaming for 2s of wall time...")
+	time.Sleep(2 * time.Second)
+	m := run.Measure()
+	fmt.Printf("measured: usage %.1f KB·ms/s, rate %.1f KB/s, mean latency %.1f ms (p95 %.1f) over %d tuples\n",
+		m.NetworkUsage, m.OutRateKBs, m.MeanLatencyMs, m.P95LatencyMs, m.TuplesOut)
+	if err := sys.StopRun(q.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	// The world changes: the join's host gets busy; re-optimize and show
+	// the migration.
+	victim := res.Circuit.UnpinnedServices()[0].Node
+	fmt.Printf("\nnode %d becomes overloaded; re-optimizing...\n", victim)
+	sys.SetBackgroundLoad(victim, 0.95)
+	stats, err := sys.Reoptimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d service(s) evaluated, %d migrated\n", stats.ServicesEvaluated, stats.Migrations)
+	fmt.Printf("circuit now: %s (usage %.1f KB·ms/s)\n", res.Circuit, sys.Usage(res.Circuit))
+}

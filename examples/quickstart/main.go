@@ -1,0 +1,72 @@
+// Quickstart: build an SBON, publish two streams, and let the integrated
+// cost-space optimizer choose and place a circuit for a join query —
+// comparing it against the classical two-step optimizer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sbon "github.com/hourglass/sbon"
+)
+
+func main() {
+	// A modest overlay (~160 nodes) so the example runs in a second.
+	sys, err := sbon.New(sbon.Options{
+		Seed: 42,
+		Topology: sbon.TopologyConfig{
+			TransitDomains:      4,
+			TransitNodes:        4,
+			StubsPerTransit:     3,
+			StubNodes:           3,
+			IntraStubLatency:    [2]float64{1, 6},
+			StubUplinkLatency:   [2]float64{2, 12},
+			IntraTransitLatency: [2]float64{8, 25},
+			InterTransitLatency: [2]float64{35, 90},
+			ExtraStubEdgeProb:   0.15,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	stubs := sys.StubNodes()
+	fmt.Printf("overlay up: %d nodes (%d edge)\n", sys.Topo.NumNodes(), len(stubs))
+
+	// Two producers at opposite edges of the network.
+	if err := sys.AddStream(0, stubs[0], 100); err != nil { // 100 KB/s
+		log.Fatal(err)
+	}
+	if err := sys.AddStream(1, stubs[len(stubs)-1], 150); err != nil {
+		log.Fatal(err)
+	}
+
+	q := sbon.Query{
+		ID:       1,
+		Consumer: stubs[len(stubs)/2],
+		Streams:  []sbon.StreamID{0, 1},
+	}
+
+	res, err := sys.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nintegrated optimizer considered %d plan(s)\n", res.PlansConsidered)
+	fmt.Printf("chosen plan:    %s\n", res.Circuit.Plan)
+	fmt.Printf("placed circuit: %s\n", res.Circuit)
+	fmt.Printf("network usage:  %.1f KB·ms/s\n", sys.Usage(res.Circuit))
+	fmt.Printf("consumer latency: %.1f ms\n", sys.Latency(res.Circuit))
+
+	two, err := sys.OptimizeTwoStep(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntwo-step baseline usage: %.1f KB·ms/s (%.2fx integrated)\n",
+		sys.Usage(two.Circuit), sys.Usage(two.Circuit)/sys.Usage(res.Circuit))
+
+	if err := sys.Deploy(res.Circuit); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeployed; total network usage now %.1f KB·ms/s\n", sys.TotalUsage())
+}

@@ -1,0 +1,296 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hourglass/sbon/internal/costspace"
+	"github.com/hourglass/sbon/internal/hilbert"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// Entry is one published cost-space coordinate: overlay node `Node`
+// currently sits at `Point`, stored under scaled Hilbert key `Key`.
+type Entry struct {
+	Key   ID
+	Node  topology.NodeID
+	Point costspace.Point
+}
+
+// Catalog maps cost-space coordinates to overlay nodes through the ring.
+// Nodes publish their coordinate; queries find the nodes nearest to a
+// target coordinate, or all nodes within a cost-space radius, by walking
+// the ring arcs around the target's Hilbert key.
+type Catalog struct {
+	ring   *Ring
+	space  *costspace.Space
+	curve  hilbert.Curve
+	bounds costspace.Bounds
+
+	published map[topology.NodeID]Entry
+}
+
+// NewCatalog builds a catalog over the ring for the given cost space.
+// curve must span space.Dims() dimensions; bounds defines the coordinate
+// region quantized onto the Hilbert grid.
+func NewCatalog(ring *Ring, space *costspace.Space, curve hilbert.Curve, bounds costspace.Bounds) (*Catalog, error) {
+	if int(curve.Dims()) != space.Dims() {
+		return nil, fmt.Errorf("dht: curve spans %d dims, space has %d", curve.Dims(), space.Dims())
+	}
+	if len(bounds.Min) != space.Dims() || len(bounds.Max) != space.Dims() {
+		return nil, fmt.Errorf("dht: bounds dimensionality %d/%d does not match space %d",
+			len(bounds.Min), len(bounds.Max), space.Dims())
+	}
+	return &Catalog{
+		ring:      ring,
+		space:     space,
+		curve:     curve,
+		bounds:    bounds,
+		published: make(map[topology.NodeID]Entry),
+	}, nil
+}
+
+// Ring returns the underlying ring.
+func (c *Catalog) Ring() *Ring { return c.ring }
+
+// Space returns the cost space the catalog indexes.
+func (c *Catalog) Space() *costspace.Space { return c.space }
+
+// KeyOf returns the scaled Hilbert key for a cost-space point. Hilbert
+// keys occupy the top curve.KeyBits() bits of the 64-bit identifier
+// circle so that Hilbert ordering is preserved under ring ordering.
+func (c *Catalog) KeyOf(p costspace.Point) ID {
+	cells := c.bounds.Quantize(p, c.curve.Bits())
+	k := c.curve.MustEncode(cells)
+	return ID(k << (64 - c.curve.KeyBits()))
+}
+
+// CellCenter returns the cost-space point at the center of the Hilbert
+// cell for the given scaled key.
+func (c *Catalog) CellCenter(k ID) (costspace.Point, error) {
+	raw := uint64(k) >> (64 - c.curve.KeyBits())
+	cells, err := c.curve.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	return c.bounds.Dequantize(cells, c.curve.Bits()), nil
+}
+
+// Publish records the coordinate of node in the DHT, replacing any prior
+// entry for the same node. It returns the entry's key.
+func (c *Catalog) Publish(node topology.NodeID, p costspace.Point) (ID, error) {
+	if len(p) != c.space.Dims() {
+		return 0, fmt.Errorf("dht: publish %d-dim point in %d-dim space", len(p), c.space.Dims())
+	}
+	if c.ring.NumPeers() == 0 {
+		return 0, fmt.Errorf("dht: publish on empty ring")
+	}
+	if old, ok := c.published[node]; ok {
+		c.removeStored(old)
+	}
+	e := Entry{Key: c.KeyOf(p), Node: node, Point: p.Clone()}
+	owner := c.ring.Owner(e.Key)
+	owner.store[e.Key] = append(owner.store[e.Key], e)
+	c.published[node] = e
+	return e.Key, nil
+}
+
+// Unpublish removes the node's catalog entry if present.
+func (c *Catalog) Unpublish(node topology.NodeID) {
+	if old, ok := c.published[node]; ok {
+		c.removeStored(old)
+		delete(c.published, node)
+	}
+}
+
+// removeStored deletes the stored copy of e from whichever peer holds it.
+// Entries may have moved between peers due to churn, so all peers' stores
+// for the key are checked (the key pins the search to at most a couple of
+// peers in practice).
+func (c *Catalog) removeStored(e Entry) {
+	for _, p := range c.ring.peers {
+		entries, ok := p.store[e.Key]
+		if !ok {
+			continue
+		}
+		for i, se := range entries {
+			if se.Node == e.Node {
+				p.store[e.Key] = append(entries[:i], entries[i+1:]...)
+				if len(p.store[e.Key]) == 0 {
+					delete(p.store, e.Key)
+				}
+				return
+			}
+		}
+	}
+}
+
+// NumPublished returns the number of nodes with a published coordinate.
+func (c *Catalog) NumPublished() int { return len(c.published) }
+
+// PublishedEntry returns the current entry for a node.
+func (c *Catalog) PublishedEntry(node topology.NodeID) (Entry, bool) {
+	e, ok := c.published[node]
+	return e, ok
+}
+
+// QueryResult carries the outcome of a catalog query along with its DHT
+// routing cost.
+type QueryResult struct {
+	Entries     []Entry
+	LookupHops  int // hops for the initial key lookup
+	PeersWalked int // ring peers visited while collecting entries
+}
+
+// NearestNodes returns up to n published entries nearest to target in
+// full cost-space distance. The search starts with a DHT lookup of the
+// target's Hilbert key from startNode and then walks ring arcs outward in
+// both directions, visiting at most maxScan peers, oversampling before
+// ranking by true distance. This mirrors the paper's "look up the closest
+// n nodes" primitive.
+func (c *Catalog) NearestNodes(startNode topology.NodeID, target costspace.Point, n, maxScan int) (QueryResult, error) {
+	if n < 1 {
+		return QueryResult{}, fmt.Errorf("dht: NearestNodes n = %d, need >= 1", n)
+	}
+	want := n * 4
+	if want < 16 {
+		want = 16
+	}
+	res, err := c.collect(startNode, target, maxScan, func(collected []Entry) bool {
+		return len(collected) >= want
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	sort.Slice(res.Entries, func(i, j int) bool {
+		di := c.space.Distance(target, res.Entries[i].Point)
+		dj := c.space.Distance(target, res.Entries[j].Point)
+		if di != dj {
+			return di < dj
+		}
+		return res.Entries[i].Node < res.Entries[j].Node
+	})
+	if len(res.Entries) > n {
+		res.Entries = res.Entries[:n]
+	}
+	return res, nil
+}
+
+// WithinRadius returns all published entries within cost-space distance r
+// of target that the ring walk encounters, visiting at most maxScan
+// peers. With maxScan >= ring size the result is exact; smaller values
+// trade recall for lookup cost, which is precisely the pruning knob of
+// the paper's §3.4.
+func (c *Catalog) WithinRadius(startNode topology.NodeID, target costspace.Point, r float64, maxScan int) (QueryResult, error) {
+	if r < 0 {
+		return QueryResult{}, fmt.Errorf("dht: WithinRadius r = %v, need >= 0", r)
+	}
+	res, err := c.collect(startNode, target, maxScan, func([]Entry) bool { return false })
+	if err != nil {
+		return QueryResult{}, err
+	}
+	var within []Entry
+	for _, e := range res.Entries {
+		if c.space.Distance(target, e.Point) <= r {
+			within = append(within, e)
+		}
+	}
+	sort.Slice(within, func(i, j int) bool {
+		di := c.space.Distance(target, within[i].Point)
+		dj := c.space.Distance(target, within[j].Point)
+		if di != dj {
+			return di < dj
+		}
+		return within[i].Node < within[j].Node
+	})
+	res.Entries = within
+	return res, nil
+}
+
+// collect performs the key lookup and bidirectional ring walk, gathering
+// entries until `enough` reports true or maxScan peers were visited.
+func (c *Catalog) collect(startNode topology.NodeID, target costspace.Point, maxScan int, enough func([]Entry) bool) (QueryResult, error) {
+	if len(target) != c.space.Dims() {
+		return QueryResult{}, fmt.Errorf("dht: query %d-dim point in %d-dim space", len(target), c.space.Dims())
+	}
+	if c.ring.NumPeers() == 0 {
+		return QueryResult{}, fmt.Errorf("dht: query on empty ring")
+	}
+	if maxScan < 1 {
+		maxScan = 1
+	}
+	key := c.KeyOf(target)
+	owner, hops, err := c.ring.Lookup(startNode, key)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	var out []Entry
+	appendStore := func(p *Peer) {
+		for _, entries := range p.store {
+			out = append(out, entries...)
+		}
+	}
+	appendStore(owner)
+	walked := 1
+	fwd, back := owner, owner
+	for walked < maxScan && walked < c.ring.NumPeers() && !enough(out) {
+		fwd = c.ring.successorAfter(fwd)
+		if fwd == back {
+			break
+		}
+		appendStore(fwd)
+		walked++
+		if walked >= maxScan || walked >= c.ring.NumPeers() || enough(out) {
+			break
+		}
+		back = c.ring.predecessorOf(back)
+		if back == fwd {
+			break
+		}
+		appendStore(back)
+		walked++
+	}
+	return QueryResult{Entries: out, LookupHops: hops, PeersWalked: walked}, nil
+}
+
+// ExactNearest scans every published entry and returns the n nearest to
+// target — the oracle against which the DHT walk's mapping error is
+// measured (Figure 3 / experiment X3).
+func (c *Catalog) ExactNearest(target costspace.Point, n int) []Entry {
+	all := make([]Entry, 0, len(c.published))
+	for _, e := range c.published {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		di := c.space.Distance(target, all[i].Point)
+		dj := c.space.Distance(target, all[j].Point)
+		if di != dj {
+			return di < dj
+		}
+		return all[i].Node < all[j].Node
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// ExactWithinRadius scans every published entry and returns all within r
+// of target, nearest first.
+func (c *Catalog) ExactWithinRadius(target costspace.Point, r float64) []Entry {
+	var out []Entry
+	for _, e := range c.published {
+		if c.space.Distance(target, e.Point) <= r {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := c.space.Distance(target, out[i].Point)
+		dj := c.space.Distance(target, out[j].Point)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

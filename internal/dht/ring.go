@@ -1,0 +1,260 @@
+// Package dht implements a Chord-style distributed hash table used as the
+// decentralized catalog of the paper's physical-mapping step (§3.2): every
+// SBON node publishes its cost-space coordinate under a Hilbert-curve key,
+// and a lookup of any coordinate returns nodes whose published coordinates
+// are closest to it.
+//
+// The ring is simulated in-process but preserves the structural properties
+// the paper relies on: 64-bit identifier circle, successor ownership of
+// keys, finger tables giving O(log N) lookup hops, and key locality — the
+// Hilbert keys of nearby cost-space points land on nearby ring arcs, so a
+// short ring walk around a lookup target enumerates a compact cost-space
+// region (used for both nearest-node mapping and radius-pruned multi-query
+// optimization).
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// ID is a position on the 64-bit identifier circle.
+type ID uint64
+
+// Peer is one DHT participant. Peers correspond 1:1 to overlay nodes.
+type Peer struct {
+	id   ID
+	node topology.NodeID
+	// fingers[i] points at the peer owning id + 2^i (fully stabilized
+	// Chord finger table).
+	fingers []*Peer
+	// store holds the catalog entries this peer owns, keyed by scaled
+	// Hilbert key.
+	store map[ID][]Entry
+}
+
+// ID returns the peer's ring identifier.
+func (p *Peer) ID() ID { return p.id }
+
+// Node returns the overlay node this peer runs on.
+func (p *Peer) Node() topology.NodeID { return p.node }
+
+// PeerID derives the ring identifier for an overlay node, by hashing its
+// ID (FNV-64a over a fixed-width encoding).
+func PeerID(n topology.NodeID) ID {
+	h := fnv.New64a()
+	var buf [8]byte
+	v := uint64(n)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte("sbon-peer"))
+	return ID(h.Sum64())
+}
+
+// Ring is the set of DHT peers plus routing state. It is not safe for
+// concurrent mutation; the simulator drives it from one goroutine.
+type Ring struct {
+	peers  []*Peer // sorted by id
+	byNode map[topology.NodeID]*Peer
+}
+
+// NewRing returns an empty ring.
+func NewRing() *Ring {
+	return &Ring{byNode: make(map[topology.NodeID]*Peer)}
+}
+
+// AddPeer joins the overlay node to the ring and rebuilds routing state.
+// It returns an error if the node is already present or its hashed ID
+// collides with an existing peer.
+func (r *Ring) AddPeer(n topology.NodeID) (*Peer, error) {
+	if _, ok := r.byNode[n]; ok {
+		return nil, fmt.Errorf("dht: node %d already joined", n)
+	}
+	id := PeerID(n)
+	if i := r.search(id); i < len(r.peers) && r.peers[i].id == id {
+		return nil, fmt.Errorf("dht: identifier collision for node %d", n)
+	}
+	p := &Peer{id: id, node: n, store: make(map[ID][]Entry)}
+	i := r.search(id)
+	r.peers = append(r.peers, nil)
+	copy(r.peers[i+1:], r.peers[i:])
+	r.peers[i] = p
+	r.byNode[n] = p
+	r.migrateOnJoin(p)
+	r.rebuildFingers()
+	return p, nil
+}
+
+// RemovePeer removes the overlay node from the ring, transferring its
+// stored entries to the new owner, and rebuilds routing state.
+func (r *Ring) RemovePeer(n topology.NodeID) error {
+	p, ok := r.byNode[n]
+	if !ok {
+		return fmt.Errorf("dht: node %d not in ring", n)
+	}
+	i := r.search(p.id)
+	r.peers = append(r.peers[:i], r.peers[i+1:]...)
+	delete(r.byNode, n)
+	if len(r.peers) > 0 {
+		// The departing peer's keys now belong to its successor.
+		succ := r.successor(p.id)
+		for k, entries := range p.store {
+			succ.store[k] = append(succ.store[k], entries...)
+		}
+	}
+	r.rebuildFingers()
+	return nil
+}
+
+// migrateOnJoin moves entries the new peer now owns from its successor.
+func (r *Ring) migrateOnJoin(p *Peer) {
+	if len(r.peers) <= 1 {
+		return
+	}
+	next := r.successorAfter(p)
+	for k, entries := range next.store {
+		if r.successor(k) == p {
+			p.store[k] = append(p.store[k], entries...)
+			delete(next.store, k)
+		}
+	}
+}
+
+// NumPeers returns the ring size.
+func (r *Ring) NumPeers() int { return len(r.peers) }
+
+// Peers returns all peers in identifier order. The caller must not
+// modify the slice.
+func (r *Ring) Peers() []*Peer { return r.peers }
+
+// PeerFor returns the peer running on the given overlay node.
+func (r *Ring) PeerFor(n topology.NodeID) (*Peer, bool) {
+	p, ok := r.byNode[n]
+	return p, ok
+}
+
+// search returns the index of the first peer with id >= target.
+func (r *Ring) search(target ID) int {
+	return sort.Search(len(r.peers), func(i int) bool { return r.peers[i].id >= target })
+}
+
+// successor returns the peer that owns key k: the first peer at or after
+// k on the circle (wrapping). Panics on an empty ring.
+func (r *Ring) successor(k ID) *Peer {
+	if len(r.peers) == 0 {
+		panic("dht: successor on empty ring")
+	}
+	i := r.search(k)
+	if i == len(r.peers) {
+		i = 0
+	}
+	return r.peers[i]
+}
+
+// successorAfter returns the peer immediately following p on the circle.
+func (r *Ring) successorAfter(p *Peer) *Peer {
+	i := r.search(p.id)
+	i++
+	if i >= len(r.peers) {
+		i = 0
+	}
+	return r.peers[i]
+}
+
+// predecessorOf returns the peer immediately preceding p on the circle.
+func (r *Ring) predecessorOf(p *Peer) *Peer {
+	i := r.search(p.id)
+	i--
+	if i < 0 {
+		i = len(r.peers) - 1
+	}
+	return r.peers[i]
+}
+
+// rebuildFingers recomputes every peer's finger table against the current
+// membership (the fully stabilized state Chord converges to).
+func (r *Ring) rebuildFingers() {
+	for _, p := range r.peers {
+		if p.fingers == nil {
+			p.fingers = make([]*Peer, 64)
+		}
+		for i := 0; i < 64; i++ {
+			p.fingers[i] = r.successor(p.id + 1<<uint(i))
+		}
+	}
+}
+
+// inOpenInterval reports whether x lies in the open circle interval
+// (a, b), handling wrap-around; the interval excludes both endpoints.
+// If a == b the interval is the whole circle minus the endpoint.
+func inOpenInterval(a, b, x ID) bool {
+	if a == b {
+		return x != a
+	}
+	if a < b {
+		return x > a && x < b
+	}
+	return x > a || x < b
+}
+
+// inHalfOpenInterval reports whether x lies in (a, b] on the circle.
+func inHalfOpenInterval(a, b, x ID) bool {
+	if a == b {
+		return true // single-peer circle owns everything
+	}
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b
+}
+
+// Lookup routes from the given start node to the owner of key k, counting
+// forwarding hops (Chord's iterative find_successor). It returns the
+// owning peer and the hop count.
+func (r *Ring) Lookup(start topology.NodeID, k ID) (*Peer, int, error) {
+	cur, ok := r.byNode[start]
+	if !ok {
+		return nil, 0, fmt.Errorf("dht: lookup start node %d not in ring", start)
+	}
+	if len(r.peers) == 1 {
+		return cur, 0, nil
+	}
+	hops := 0
+	for limit := 2 * len(r.peers); limit > 0; limit-- {
+		succ := r.successorAfter(cur)
+		if inHalfOpenInterval(cur.id, succ.id, k) {
+			return succ, hops + 1, nil
+		}
+		next := cur.closestPrecedingFinger(k)
+		if next == cur {
+			// Fingers give no progress; fall over to the successor.
+			next = succ
+		}
+		cur = next
+		hops++
+	}
+	return nil, hops, fmt.Errorf("dht: lookup for %#x did not converge", uint64(k))
+}
+
+// closestPrecedingFinger returns the highest finger strictly between p
+// and k on the circle, or p itself if none.
+func (p *Peer) closestPrecedingFinger(k ID) *Peer {
+	for i := len(p.fingers) - 1; i >= 0; i-- {
+		f := p.fingers[i]
+		if f != nil && f != p && inOpenInterval(p.id, k, f.id) {
+			return f
+		}
+	}
+	return p
+}
+
+// Owner returns the peer owning key k without routing (oracle access for
+// tests and local operations).
+func (r *Ring) Owner(k ID) *Peer {
+	return r.successor(k)
+}

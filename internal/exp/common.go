@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"math/rand"
+
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// Scale selects experiment size: Full reproduces the paper's ~600-node
+// setting; Small shrinks everything for fast test/CI runs without
+// changing the experiment structure.
+type Scale int
+
+// Scales.
+const (
+	Full Scale = iota
+	Small
+)
+
+// topoConfig returns the transit-stub configuration for a scale.
+func topoConfig(s Scale) topology.Config {
+	cfg := topology.DefaultConfig() // 592 nodes, the Figure 2 scale
+	if s == Small {
+		cfg.TransitDomains = 2
+		cfg.TransitNodes = 2
+		cfg.StubsPerTransit = 2
+		cfg.StubNodes = 5 // 4 + 40 = 44 nodes
+	}
+	return cfg
+}
+
+// genTopo builds the scaled topology deterministically from the seed.
+func genTopo(s Scale, seed int64) *topology.Topology {
+	return topology.MustGenerate(topoConfig(s), rand.New(rand.NewSource(seed)))
+}
+
+// meanOf returns the arithmetic mean of xs (0 for empty).
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

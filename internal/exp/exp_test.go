@@ -1,0 +1,359 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hourglass/sbon/internal/workload"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 3.14159265)
+	tb.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "b", "3.142", "# note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow(1, "two")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || lines[0] != "a,b" || lines[1] != "1,two" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+// parse a float cell.
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		// Allow "inf" spellings etc.
+		t.Fatalf("cell (%d,%d) = %q not a float: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig1SmallShape(t *testing.T) {
+	tb, err := Fig1(Fig1Params{Scale: Small, Seeds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tb.Rows))
+	}
+	// usage ratio (col 5) should average >= ~1: integrated not worse.
+	var sum float64
+	for i := range tb.Rows {
+		sum += cell(t, tb, i, 5)
+	}
+	if mean := sum / 5; mean < 0.95 {
+		t.Fatalf("mean two-step/integrated usage ratio %v < 0.95", mean)
+	}
+}
+
+func TestFig2SmallShape(t *testing.T) {
+	var pts bytes.Buffer
+	tb, err := Fig2(Fig2Params{Scale: Small, Seed: 2, PointsCSV: &pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 8 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Node count row must match the small topology (44 nodes).
+	if tb.Rows[0][1] != "44" {
+		t.Fatalf("node count = %q, want 44", tb.Rows[0][1])
+	}
+	lines := strings.Split(strings.TrimSpace(pts.String()), "\n")
+	if len(lines) != 45 { // header + 44 nodes
+		t.Fatalf("points csv lines = %d, want 45", len(lines))
+	}
+	// Embedding error must be sane.
+	med, err := strconv.ParseFloat(tb.Rows[4][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med <= 0 || med > 0.5 {
+		t.Fatalf("median embedding error %v out of expected range", med)
+	}
+}
+
+func TestFig3SmallShape(t *testing.T) {
+	tb, err := Fig3(Fig3Params{Scale: Small, Seed: 3, Trials: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 mappers", len(tb.Rows))
+	}
+	byName := map[string]int{}
+	for i, r := range tb.Rows {
+		byName[r[0]] = i
+	}
+	fullPct := cell(t, tb, byName["hilbert-dht"], 1)
+	oraclePct := cell(t, tb, byName["oracle"], 1)
+	vecPct := cell(t, tb, byName["vector-only"], 1)
+	if vecPct < 90 {
+		t.Fatalf("vector-only picked overloaded node only %v%%, want ~100", vecPct)
+	}
+	if fullPct > 20 || oraclePct > 20 {
+		t.Fatalf("full-space mappers picked overloaded node too often: dht %v%%, oracle %v%%", fullPct, oraclePct)
+	}
+}
+
+func TestFig4SmallShape(t *testing.T) {
+	tb, err := Fig4(Fig4Params{Scale: Small, Seed: 4, Background: 10, Probes: 6,
+		Radii: []float64{0, 20, math.Inf(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Examined (col 1) monotone nondecreasing in radius.
+	if cell(t, tb, 0, 1) > cell(t, tb, 1, 1) || cell(t, tb, 1, 1) > cell(t, tb, 2, 1) {
+		t.Fatalf("examined not monotone: %v %v %v", cell(t, tb, 0, 1), cell(t, tb, 1, 1), cell(t, tb, 2, 1))
+	}
+	// r=0 reuses nothing; full MQO should reuse something with
+	// template-skewed background.
+	if cell(t, tb, 0, 2) != 0 {
+		t.Fatalf("r=0 reuse rate = %v, want 0", cell(t, tb, 0, 2))
+	}
+	if cell(t, tb, 2, 2) == 0 {
+		t.Fatal("full MQO found no reuse despite template sharing")
+	}
+	// Usage at full MQO must not exceed the no-reuse baseline.
+	if cell(t, tb, 2, 5) > 100+1e-9 {
+		t.Fatalf("full MQO usage %v%% of baseline, want <= 100", cell(t, tb, 2, 5))
+	}
+}
+
+func TestX1SmallShape(t *testing.T) {
+	tb, err := X1(X1Params{Scale: Small, Seed: 11, QueryCounts: []int{4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		randomRatio := cell(t, tb, i, 5)
+		if randomRatio < 1 {
+			t.Fatalf("random placement beat relaxation (ratio %v)", randomRatio)
+		}
+	}
+}
+
+func TestX2SmallShape(t *testing.T) {
+	tb, err := X2(X2Params{Scale: Small, Seed: 12, Rounds: []int{1, 10, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, tb, 0, 1)
+	last := cell(t, tb, 2, 1)
+	if last >= first {
+		t.Fatalf("error did not fall with rounds: %v -> %v", first, last)
+	}
+}
+
+func TestX3SmallShape(t *testing.T) {
+	tb, err := X3(X3Params{Scale: Small, Seed: 13, Dims: []int{2, 4}, Targets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		ratio := cell(t, tb, i, 2)
+		if ratio < 1-1e-9 || ratio > 10 {
+			t.Fatalf("dims row %d: err ratio %v implausible", i, ratio)
+		}
+	}
+}
+
+func TestX4SmallShape(t *testing.T) {
+	tb, err := X4(X4Params{Scale: Small, Seed: 14, Queries: 5, Steps: 5,
+		Churn: workload.Churn{LoadFraction: 0.3, LoadMax: 0.95}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var static, reopt float64
+	for i := range tb.Rows {
+		static += cell(t, tb, i, 1)
+		reopt += cell(t, tb, i, 2)
+	}
+	if reopt > static*1.05 {
+		t.Fatalf("re-optimization increased load penalty: static %v vs reopt %v", static, reopt)
+	}
+}
+
+func TestX5Shape(t *testing.T) {
+	tb, err := X5(X5Params{Seed: 15, Sizes: []int{32, 256}, Lookups: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := cell(t, tb, 0, 1)
+	large := cell(t, tb, 1, 1)
+	if large > small*4 {
+		t.Fatalf("hops not logarithmic: %v vs %v", small, large)
+	}
+}
+
+func TestX6SmallShape(t *testing.T) {
+	tb, err := X6(X6Params{Seed: 16, StubSizes: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Exhaustive must be at least as good on usage (it is the oracle),
+	// within numeric tolerance.
+	for i := range tb.Rows {
+		gap := cell(t, tb, i, 6)
+		if gap < -1 {
+			t.Fatalf("integrated beat exhaustive by %v%% — exhaustive is broken", -gap)
+		}
+	}
+}
+
+func TestX7SmallShape(t *testing.T) {
+	tb, err := X7(X7Params{Scale: Small, Seed: 17, Runs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		ratio := cell(t, tb, i, 3)
+		if ratio < 0.3 || ratio > 3 {
+			t.Fatalf("run %d: weiszfeld/spring ratio %v implausible", i, ratio)
+		}
+	}
+}
+
+func TestX8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	tb, err := X8(X8Params{Seed: 18, RunFor: 600 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Relay and filter usage ratios should be near 1.
+	for i := 0; i < 2; i++ {
+		ratio := cell(t, tb, i, 3)
+		if ratio < 0.4 || ratio > 2.0 {
+			t.Fatalf("row %d usage ratio %v far from 1", i, ratio)
+		}
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, []string{"x5"}, RunOptions{Scale: Small}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "X5") {
+		t.Fatalf("output missing X5 table:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, []string{"nope"}, RunOptions{Scale: Small}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := Run(&buf, []string{"x5"}, RunOptions{Scale: Small, OutDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFile(dir + "/x5.csv"); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig1"); !ok {
+		t.Fatal("fig1 missing")
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Fatal("bogus found")
+	}
+	if len(All()) != 14 {
+		t.Fatalf("All() = %d experiments, want 14", len(All()))
+	}
+}
+
+func TestX10SmallShape(t *testing.T) {
+	tb, err := X10(X10Params{Scale: Small, Seeds: 3, States: []int{1, 2, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		bank8 := cell(t, tb, i, 5)
+		integ := cell(t, tb, i, 6)
+		// Integrated considers a superset of the bank's plans under the
+		// same model.
+		if integ > bank8+1e-6 {
+			t.Fatalf("row %d: integrated %v worse than bank %v", i, integ, bank8)
+		}
+	}
+}
+
+func TestX9SmallShape(t *testing.T) {
+	tb, err := X9(X9Params{Scale: Small, Seeds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		before := cell(t, tb, i, 1)
+		after := cell(t, tb, i, 2)
+		if after > before+1e-6 {
+			t.Fatalf("seed row %d: rewriting increased usage %v -> %v", i, before, after)
+		}
+	}
+}
+
+func readFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,187 @@
+// Package hilbert implements a d-dimensional Hilbert space-filling curve.
+//
+// The paper's physical-mapping step stores each node's cost-space
+// coordinate in a DHT "after transforming its multi-dimensional coordinate
+// to a one-dimensional hash key with a Hilbert curve" (§3.2). The Hilbert
+// curve is chosen over simpler interleavings because consecutive keys are
+// always adjacent cells, so a DHT range around a key corresponds to a
+// compact region of the cost space.
+//
+// The implementation follows John Skilling, "Programming the Hilbert
+// curve", AIP Conf. Proc. 707 (2004): coordinates are converted to and
+// from the "transpose" form of the Hilbert index, which is then packed by
+// bit interleaving into a single uint64 key.
+package hilbert
+
+import "fmt"
+
+// Curve describes a Hilbert curve over a Dims-dimensional grid with
+// 2^Bits cells per dimension. Dims*Bits must be at most 64 so that keys
+// fit in a uint64.
+type Curve struct {
+	dims uint
+	bits uint
+}
+
+// New returns a curve over dims dimensions with bits bits of resolution
+// per dimension.
+func New(dims, bits uint) (Curve, error) {
+	switch {
+	case dims < 1:
+		return Curve{}, fmt.Errorf("hilbert: dims = %d, need >= 1", dims)
+	case bits < 1:
+		return Curve{}, fmt.Errorf("hilbert: bits = %d, need >= 1", bits)
+	case dims*bits > 64:
+		return Curve{}, fmt.Errorf("hilbert: dims*bits = %d exceeds 64-bit keys", dims*bits)
+	}
+	return Curve{dims: dims, bits: bits}, nil
+}
+
+// MustNew is New but panics on invalid parameters.
+func MustNew(dims, bits uint) Curve {
+	c, err := New(dims, bits)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dims returns the dimensionality of the curve.
+func (c Curve) Dims() uint { return c.dims }
+
+// Bits returns the per-dimension resolution in bits.
+func (c Curve) Bits() uint { return c.bits }
+
+// KeyBits returns the total number of significant bits in a key.
+func (c Curve) KeyBits() uint { return c.dims * c.bits }
+
+// MaxCoord returns the largest valid coordinate value per dimension.
+func (c Curve) MaxCoord() uint32 { return uint32(1)<<c.bits - 1 }
+
+// Encode maps grid coordinates to the Hilbert index. It returns an error
+// if the coordinate count or range is invalid.
+func (c Curve) Encode(coords []uint32) (uint64, error) {
+	if uint(len(coords)) != c.dims {
+		return 0, fmt.Errorf("hilbert: got %d coords for %d-dim curve", len(coords), c.dims)
+	}
+	max := c.MaxCoord()
+	x := make([]uint32, c.dims)
+	for i, v := range coords {
+		if v > max {
+			return 0, fmt.Errorf("hilbert: coord %d = %d exceeds max %d", i, v, max)
+		}
+		x[i] = v
+	}
+	c.axesToTranspose(x)
+	return c.packTranspose(x), nil
+}
+
+// MustEncode is Encode but panics on invalid input; intended for callers
+// that have already validated coordinates (e.g. quantizers).
+func (c Curve) MustEncode(coords []uint32) uint64 {
+	k, err := c.Encode(coords)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Decode maps a Hilbert index back to grid coordinates. Keys with bits
+// set above KeyBits are rejected.
+func (c Curve) Decode(key uint64) ([]uint32, error) {
+	if kb := c.KeyBits(); kb < 64 && key>>kb != 0 {
+		return nil, fmt.Errorf("hilbert: key %#x exceeds %d significant bits", key, kb)
+	}
+	x := c.unpackTranspose(key)
+	c.transposeToAxes(x)
+	return x, nil
+}
+
+// axesToTranspose converts coordinates in place to the transposed Hilbert
+// index form (Skilling's AxestoTranspose).
+func (c Curve) axesToTranspose(x []uint32) {
+	n := int(c.dims)
+	m := uint32(1) << (c.bits - 1)
+
+	// Inverse undo excess work.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert low bits of x[0]
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes converts the transposed index form back to coordinates
+// in place (Skilling's TransposetoAxes).
+func (c Curve) transposeToAxes(x []uint32) {
+	n := int(c.dims)
+	m := uint32(2) << (c.bits - 1)
+
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+
+	// Undo excess work.
+	for q := uint32(2); q != m; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// packTranspose interleaves the transpose form into a single key. Bit b
+// (counting from the most significant bit, b = bits-1 .. 0) of x[i]
+// becomes bit (b*dims + (dims-1-i)) of the key.
+func (c Curve) packTranspose(x []uint32) uint64 {
+	var key uint64
+	for b := int(c.bits) - 1; b >= 0; b-- {
+		for i := 0; i < int(c.dims); i++ {
+			bit := uint64(x[i]>>uint(b)) & 1
+			key = key<<1 | bit
+		}
+	}
+	return key
+}
+
+// unpackTranspose splits a key back into transpose form.
+func (c Curve) unpackTranspose(key uint64) []uint32 {
+	x := make([]uint32, c.dims)
+	for b := 0; b < int(c.bits); b++ {
+		for i := int(c.dims) - 1; i >= 0; i-- {
+			x[i] |= uint32(key&1) << uint(b)
+			key >>= 1
+		}
+	}
+	return x
+}

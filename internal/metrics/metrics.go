@@ -1,0 +1,384 @@
+// Package metrics provides lightweight, concurrency-safe measurement
+// primitives used by the SBON simulator and stream engine: counters,
+// gauges, sample histograms with quantile estimation, time series, and a
+// named registry.
+//
+// The package is deliberately dependency-free (stdlib only) and designed
+// for deterministic tests: histograms store raw samples, so quantiles are
+// exact, and time series are plain (time, value) slices.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 counter safe for
+// concurrent use.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by v. Negative v is ignored so that the
+// counter remains monotone.
+func (c *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		cur := math.Float64frombits(old)
+		nxt := math.Float64bits(cur + v)
+		if c.bits.CompareAndSwap(old, nxt) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current counter value.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a settable float64 value safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		nxt := math.Float64bits(cur + delta)
+		if g.bits.CompareAndSwap(old, nxt) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram collects raw float64 samples and computes exact order
+// statistics over them. It is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s / float64(len(h.samples))
+}
+
+// ensureSortedLocked sorts the sample buffer if needed. Callers must hold mu.
+func (h *Histogram) ensureSortedLocked() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using nearest-rank
+// interpolation. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.ensureSortedLocked()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
+}
+
+// Min returns the smallest sample, or 0 if empty.
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest sample, or 0 if empty.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Stddev returns the population standard deviation of the samples.
+func (h *Histogram) Stddev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Snapshot returns a copy of all samples in insertion-independent
+// (sorted) order.
+func (h *Histogram) Snapshot() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ensureSortedLocked()
+	out := make([]float64, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = true
+	h.mu.Unlock()
+}
+
+// Point is one (time, value) observation in a TimeSeries. Time is in
+// simulated seconds (or any monotone unit the caller chooses).
+type Point struct {
+	T float64
+	V float64
+}
+
+// TimeSeries is an append-only sequence of timestamped values, safe for
+// concurrent use.
+type TimeSeries struct {
+	mu  sync.Mutex
+	pts []Point
+}
+
+// Record appends one observation.
+func (ts *TimeSeries) Record(t, v float64) {
+	ts.mu.Lock()
+	ts.pts = append(ts.pts, Point{T: t, V: v})
+	ts.mu.Unlock()
+}
+
+// Points returns a copy of all observations in insertion order.
+func (ts *TimeSeries) Points() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Point, len(ts.pts))
+	copy(out, ts.pts)
+	return out
+}
+
+// Len returns the number of observations.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.pts)
+}
+
+// Last returns the most recent observation and whether one exists.
+func (ts *TimeSeries) Last() (Point, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.pts) == 0 {
+		return Point{}, false
+	}
+	return ts.pts[len(ts.pts)-1], true
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; construct with NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	series     map[string]*TimeSeries
+}
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		series:     make(map[string]*TimeSeries),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Series returns the time series with the given name, creating it if
+// needed.
+func (r *Registry) Series(name string) *TimeSeries {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &TimeSeries{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Names returns the sorted names of all registered metrics, prefixed by
+// kind ("counter/", "gauge/", "histogram/", "series/").
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for n := range r.counters {
+		out = append(out, "counter/"+n)
+	}
+	for n := range r.gauges {
+		out = append(out, "gauge/"+n)
+	}
+	for n := range r.histograms {
+		out = append(out, "histogram/"+n)
+	}
+	for n := range r.series {
+		out = append(out, "series/"+n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary renders a human-readable one-line-per-metric summary, sorted by
+// name, suitable for experiment logs.
+func (r *Registry) Summary() string {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var names []string
+	for n := range counters {
+		names = append(names, "c:"+n)
+	}
+	for n := range gauges {
+		names = append(names, "g:"+n)
+	}
+	for n := range hists {
+		names = append(names, "h:"+n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, tagged := range names {
+		kind, name := tagged[:1], tagged[2:]
+		switch kind {
+		case "c":
+			out += fmt.Sprintf("%s = %.6g\n", name, counters[name].Value())
+		case "g":
+			out += fmt.Sprintf("%s = %.6g\n", name, gauges[name].Value())
+		case "h":
+			h := hists[name]
+			out += fmt.Sprintf("%s: n=%d mean=%.6g p50=%.6g p95=%.6g max=%.6g\n",
+				name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+		}
+	}
+	return out
+}

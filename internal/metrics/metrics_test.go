@@ -1,0 +1,301 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterAdd(t *testing.T) {
+	var c Counter
+	c.Add(1.5)
+	c.Add(2.5)
+	if got := c.Value(); got != 4.0 {
+		t.Fatalf("Value() = %v, want 4.0", got)
+	}
+}
+
+func TestCounterIgnoresNegativeAndNaN(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(-1)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3 {
+		t.Fatalf("Value() = %v, want 3 (negative/NaN must be ignored)", got)
+	}
+}
+
+func TestCounterInc(t *testing.T) {
+	var c Counter
+	for i := 0; i < 10; i++ {
+		c.Inc()
+	}
+	if got := c.Value(); got != 10 {
+		t.Fatalf("Value() = %v, want 10", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value() = %v, want %v", got, workers*per)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value() = %v, want 7", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("Value() = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count() = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 15 {
+		t.Fatalf("Sum() = %v, want 15", got)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("Mean() = %v, want 3", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min() = %v, want 1", got)
+	}
+	if got := h.Max(); got != 5 {
+		t.Fatalf("Max() = %v, want 5", got)
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("Quantile(0.5) = %v, want 3", got)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(10)
+	if got := h.Quantile(0.25); got != 2.5 {
+		t.Fatalf("Quantile(0.25) = %v, want 2.5", got)
+	}
+	if got := h.Quantile(0.75); got != 7.5 {
+		t.Fatalf("Quantile(0.75) = %v, want 7.5", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramIgnoresNaN(t *testing.T) {
+	var h Histogram
+	h.Observe(math.NaN())
+	h.Observe(1)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("Count() = %d, want 1 (NaN ignored)", got)
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	if got := h.Stddev(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("Stddev() = %v, want 2.0", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Reset()
+	if got := h.Count(); got != 0 {
+		t.Fatalf("Count() after Reset = %d, want 0", got)
+	}
+}
+
+func TestHistogramSnapshotSorted(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{3, 1, 2} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("Snapshot()[%d] = %v, want %v", i, snap[i], want[i])
+		}
+	}
+}
+
+// Quantiles must be monotone in q and bounded by [min, max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		var h Histogram
+		ok := false
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				h.Observe(v)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		lo, hi := math.Min(qa, qb), math.Max(qa, qb)
+		vlo, vhi := h.Quantile(lo), h.Quantile(hi)
+		return vlo <= vhi && vlo >= h.Min() && vhi <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 250; j++ {
+				h.Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 2000 {
+		t.Fatalf("Count() = %d, want 2000", got)
+	}
+}
+
+func TestTimeSeriesRecordAndLast(t *testing.T) {
+	var ts TimeSeries
+	if _, ok := ts.Last(); ok {
+		t.Fatal("Last() on empty series should report !ok")
+	}
+	ts.Record(1, 10)
+	ts.Record(2, 20)
+	pts := ts.Points()
+	if len(pts) != 2 || pts[0] != (Point{1, 10}) || pts[1] != (Point{2, 20}) {
+		t.Fatalf("Points() = %v", pts)
+	}
+	last, ok := ts.Last()
+	if !ok || last != (Point{2, 20}) {
+		t.Fatalf("Last() = %v, %v", last, ok)
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", ts.Len())
+	}
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Add(5)
+	c2 := r.Counter("x")
+	if c2.Value() != 5 {
+		t.Fatal("Registry.Counter must return the same instance per name")
+	}
+	g1 := r.Gauge("y")
+	g1.Set(3)
+	if r.Gauge("y").Value() != 3 {
+		t.Fatal("Registry.Gauge must return the same instance per name")
+	}
+	h1 := r.Histogram("z")
+	h1.Observe(1)
+	if r.Histogram("z").Count() != 1 {
+		t.Fatal("Registry.Histogram must return the same instance per name")
+	}
+	s1 := r.Series("w")
+	s1.Record(0, 0)
+	if r.Series("w").Len() != 1 {
+		t.Fatal("Registry.Series must return the same instance per name")
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a")
+	r.Gauge("b")
+	r.Histogram("c")
+	r.Series("d")
+	names := r.Names()
+	want := []string{"counter/a", "gauge/b", "histogram/c", "series/d"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestRegistrySummaryContainsMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("msgs").Add(7)
+	r.Gauge("load").Set(0.5)
+	r.Histogram("lat").Observe(12)
+	s := r.Summary()
+	if s == "" {
+		t.Fatal("Summary() should not be empty")
+	}
+	for _, substr := range []string{"msgs", "load", "lat"} {
+		if !containsStr(s, substr) {
+			t.Fatalf("Summary() missing %q:\n%s", substr, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// Builder turns logical plans into circuits: it constructs the service
+// skeleton, runs virtual placement over the cost space's vector subspace,
+// and maps unpinned services to physical nodes.
+//
+// Placement conventions (documented in DESIGN.md):
+//   - Source leaves are pinned at their producers ("one cannot move
+//     mountains").
+//   - A filter directly above a source is pushed down and pinned on the
+//     producer node (standard pushdown; the paper's unpinned services are
+//     the joins/aggregates).
+//   - Everything else is unpinned and placed in the cost space.
+type Builder struct {
+	Env *Env
+}
+
+// reuseFn lets the multi-query optimizer substitute an existing service
+// instance for a plan subtree. A nil function never reuses.
+type reuseFn func(n *query.PlanNode) *ServiceInstance
+
+// Skeleton builds the circuit's services and links from a rated plan.
+// Reused subtrees become single pinned services with shared upstream
+// cost. The returned circuit has no virtual coordinates or physical
+// nodes for unpinned services yet.
+func (b *Builder) Skeleton(q query.Query, root *query.PlanNode, reuse reuseFn) (*Circuit, error) {
+	if root == nil {
+		return nil, fmt.Errorf("optimizer: nil plan")
+	}
+	c := &Circuit{Query: q, Plan: root}
+
+	var build func(n *query.PlanNode, atProducer bool) (int, error)
+	build = func(n *query.PlanNode, atProducer bool) (int, error) {
+		// Multi-query reuse: an existing instance serves this whole
+		// subtree.
+		if reuse != nil && n.Kind != query.KindSource {
+			if inst := reuse(n); inst != nil {
+				idx := len(c.Services)
+				c.Services = append(c.Services, &PlacedService{
+					Plan:       n,
+					Node:       inst.Node,
+					Pinned:     true,
+					Reused:     true,
+					ReusedFrom: inst,
+					Signature:  n.Signature(),
+					OutRate:    n.OutRate,
+				})
+				return idx, nil
+			}
+		}
+		switch n.Kind {
+		case query.KindSource:
+			prod, ok := b.Env.Stats.Producer(n.Stream)
+			if !ok {
+				return 0, fmt.Errorf("optimizer: stream %d has no producer", n.Stream)
+			}
+			idx := len(c.Services)
+			c.Services = append(c.Services, &PlacedService{
+				Plan:      n,
+				Node:      prod,
+				Pinned:    true,
+				Signature: n.Signature(),
+				OutRate:   n.OutRate,
+			})
+			return idx, nil
+		case query.KindFilter:
+			childIdx, err := build(n.Left, false)
+			if err != nil {
+				return 0, err
+			}
+			child := c.Services[childIdx]
+			pinned := child.Plan != nil && child.Plan.Kind == query.KindSource && !child.Reused
+			idx := len(c.Services)
+			svc := &PlacedService{
+				Plan:      n,
+				Pinned:    pinned,
+				Signature: n.Signature(),
+				OutRate:   n.OutRate,
+				InRate:    n.Left.OutRate,
+			}
+			if pinned {
+				svc.Node = child.Node // pushdown to producer
+			}
+			c.Services = append(c.Services, svc)
+			c.Links = append(c.Links, Link{From: childIdx, To: idx, Rate: n.Left.OutRate})
+			return idx, nil
+		case query.KindAggregate:
+			childIdx, err := build(n.Left, false)
+			if err != nil {
+				return 0, err
+			}
+			idx := len(c.Services)
+			c.Services = append(c.Services, &PlacedService{
+				Plan:      n,
+				Signature: n.Signature(),
+				OutRate:   n.OutRate,
+				InRate:    n.Left.OutRate,
+			})
+			c.Links = append(c.Links, Link{From: childIdx, To: idx, Rate: n.Left.OutRate})
+			return idx, nil
+		case query.KindJoin, query.KindUnion:
+			li, err := build(n.Left, false)
+			if err != nil {
+				return 0, err
+			}
+			ri, err := build(n.Right, false)
+			if err != nil {
+				return 0, err
+			}
+			idx := len(c.Services)
+			c.Services = append(c.Services, &PlacedService{
+				Plan:      n,
+				Signature: n.Signature(),
+				OutRate:   n.OutRate,
+				InRate:    n.Left.OutRate + n.Right.OutRate,
+			})
+			c.Links = append(c.Links,
+				Link{From: li, To: idx, Rate: n.Left.OutRate},
+				Link{From: ri, To: idx, Rate: n.Right.OutRate},
+			)
+			return idx, nil
+		default:
+			return 0, fmt.Errorf("optimizer: unsupported plan node kind %v", n.Kind)
+		}
+	}
+
+	rootIdx, err := build(root, false)
+	if err != nil {
+		return nil, err
+	}
+	c.rootIdx = rootIdx
+	c.consumerIdx = len(c.Services)
+	c.Services = append(c.Services, &PlacedService{
+		Plan:   nil,
+		Node:   q.Consumer,
+		Pinned: true,
+	})
+	c.Links = append(c.Links, Link{From: rootIdx, To: c.consumerIdx, Rate: root.OutRate})
+	return c, nil
+}
+
+// problemFor converts the circuit into a placement problem over the
+// vector subspace. The returned index slice maps problem vertices back to
+// circuit services.
+func (b *Builder) problemFor(c *Circuit) (*placement.Problem, []int) {
+	p := &placement.Problem{}
+	svcToVertex := make([]int, len(c.Services))
+	vertexToSvc := make([]int, 0, len(c.Services))
+	for i, s := range c.Services {
+		v := placement.Vertex{Pinned: s.Pinned}
+		if s.Pinned {
+			v.Coord = b.Env.VecCoord(s.Node).Clone()
+		}
+		svcToVertex[i] = len(p.Vertices)
+		vertexToSvc = append(vertexToSvc, i)
+		p.Vertices = append(p.Vertices, v)
+	}
+	for _, l := range c.Links {
+		if l.Shared {
+			continue
+		}
+		p.Links = append(p.Links, placement.Link{
+			A:    svcToVertex[l.From],
+			B:    svcToVertex[l.To],
+			Rate: l.Rate,
+		})
+	}
+	return p, vertexToSvc
+}
+
+// PlaceVirtual runs the virtual placer over the circuit and records the
+// resulting coordinates on its unpinned services.
+func (b *Builder) PlaceVirtual(c *Circuit, placer placement.VirtualPlacer) error {
+	prob, vertexToSvc := b.problemFor(c)
+	if err := placer.PlaceVirtual(prob); err != nil {
+		return err
+	}
+	for vi, si := range vertexToSvc {
+		if !c.Services[si].Pinned {
+			c.Services[si].Virtual = prob.Vertices[vi].Coord.Clone()
+		}
+	}
+	return nil
+}
+
+// MapPhysical binds every unpinned service to a node using the mapper,
+// starting DHT lookups from the query's consumer (the node performing
+// the optimization). It returns aggregate mapping statistics.
+func (b *Builder) MapPhysical(c *Circuit, mapper placement.Mapper) (placement.MapStats, error) {
+	var agg placement.MapStats
+	for _, s := range c.Services {
+		if s.Pinned || s.Plan == nil {
+			continue
+		}
+		if len(s.Virtual) == 0 {
+			return agg, fmt.Errorf("optimizer: service %s has no virtual coordinate", s.Signature)
+		}
+		node, st, err := mapper.MapCoord(c.Query.Consumer, s.Virtual, nil)
+		if err != nil {
+			return agg, err
+		}
+		s.Node = node
+		agg.LookupHops += st.LookupHops
+		agg.PeersWalked += st.PeersWalked
+		agg.Candidates += st.Candidates
+		agg.Error += st.Error
+	}
+	return agg, nil
+}
+
+// AssignFixed binds every unpinned service to the node returned by
+// choose, bypassing virtual placement (used by baseline strategies).
+func (b *Builder) AssignFixed(c *Circuit, choose func(s *PlacedService) topology.NodeID) {
+	for _, s := range c.Services {
+		if s.Pinned || s.Plan == nil {
+			continue
+		}
+		s.Node = choose(s)
+	}
+}

@@ -1,0 +1,168 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"github.com/hourglass/sbon/internal/query"
+)
+
+// Deployment tracks the circuits currently running in the SBON: it
+// applies service load to hosting nodes, registers shareable instances,
+// and accounts system-wide network usage (each physical link charged
+// once, to the circuit that created it).
+type Deployment struct {
+	Env      *Env
+	Registry *Registry
+
+	circuits  map[query.QueryID]*Circuit
+	instances map[query.QueryID][]*ServiceInstance // instances owned per query
+}
+
+// NewDeployment returns an empty deployment over the environment.
+func NewDeployment(env *Env, reg *Registry) *Deployment {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Deployment{
+		Env:       env,
+		Registry:  reg,
+		circuits:  make(map[query.QueryID]*Circuit),
+		instances: make(map[query.QueryID][]*ServiceInstance),
+	}
+}
+
+// Deploy installs the circuit: charges load for its new services,
+// registers them as shareable instances, and bumps refcounts on reused
+// instances.
+func (d *Deployment) Deploy(c *Circuit) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if _, ok := d.circuits[c.Query.ID]; ok {
+		return fmt.Errorf("optimizer: query %d already deployed", c.Query.ID)
+	}
+	truth := TrueLatency{Topo: d.Env.Topo}
+	for _, s := range c.Services {
+		if s.Plan == nil || s.Plan.Kind == query.KindSource {
+			continue
+		}
+		if s.Reused {
+			s.ReusedFrom.RefCount++
+			continue
+		}
+		d.Env.AddServiceLoad(s.Node, s.InRate)
+		inst := &ServiceInstance{
+			Signature:       s.Signature,
+			Node:            s.Node,
+			Coord:           d.Env.Point(s.Node).Clone(),
+			OutRate:         s.OutRate,
+			InRate:          s.InRate,
+			UpstreamLatency: upstreamLatency(c, s, truth),
+			Owner:           c.Query.ID,
+			RefCount:        1,
+		}
+		d.Registry.Register(inst)
+		d.instances[c.Query.ID] = append(d.instances[c.Query.ID], inst)
+	}
+	d.circuits[c.Query.ID] = c
+	return nil
+}
+
+// upstreamLatency computes the max producer→service path latency for a
+// service inside its circuit.
+func upstreamLatency(c *Circuit, target *PlacedService, m LatencyModel) float64 {
+	idx := -1
+	for i, s := range c.Services {
+		if s == target {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	children := make([][]int, len(c.Services))
+	for _, l := range c.Links {
+		children[l.To] = append(children[l.To], l.From)
+	}
+	var depth func(i int) float64
+	depth = func(i int) float64 {
+		s := c.Services[i]
+		if s.Reused && s.ReusedFrom != nil {
+			return s.ReusedFrom.UpstreamLatency
+		}
+		var max float64
+		for _, ch := range children[i] {
+			d := depth(ch) + m.Latency(c.Services[ch].Node, c.Services[i].Node)
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	return depth(idx)
+}
+
+// Cancel removes a deployed circuit, releasing its references. An
+// instance is unregistered (and its load released) only when its last
+// consuming circuit cancels — shared services keep running for their
+// remaining consumers, matching the paper's shared-circuit semantics.
+func (d *Deployment) Cancel(id query.QueryID) error {
+	c, ok := d.circuits[id]
+	if !ok {
+		return fmt.Errorf("optimizer: query %d not deployed", id)
+	}
+	for _, s := range c.Services {
+		if s.Reused && s.ReusedFrom != nil {
+			d.release(s.ReusedFrom)
+		}
+	}
+	for _, inst := range d.instances[id] {
+		d.release(inst)
+	}
+	delete(d.circuits, id)
+	delete(d.instances, id)
+	return nil
+}
+
+// release drops one reference to the instance, tearing it down when the
+// last reference goes.
+func (d *Deployment) release(inst *ServiceInstance) {
+	inst.RefCount--
+	if inst.RefCount <= 0 {
+		d.Registry.Unregister(inst)
+		d.Env.RemoveServiceLoad(inst.Node, inst.InRate)
+	}
+}
+
+// Circuits returns the deployed circuits keyed by query.
+func (d *Deployment) Circuits() map[query.QueryID]*Circuit { return d.circuits }
+
+// Circuit returns the deployed circuit for a query.
+func (d *Deployment) Circuit(id query.QueryID) (*Circuit, bool) {
+	c, ok := d.circuits[id]
+	return c, ok
+}
+
+// NumDeployed returns the number of running circuits.
+func (d *Deployment) NumDeployed() int { return len(d.circuits) }
+
+// TotalUsage sums network usage across all deployed circuits under the
+// model. Shared links are charged only to their owning circuit, so each
+// physical stream is counted exactly once.
+func (d *Deployment) TotalUsage(m LatencyModel) float64 {
+	var sum float64
+	for _, c := range d.circuits {
+		sum += c.NetworkUsage(m)
+	}
+	return sum
+}
+
+// TotalLoadPenalty sums the load penalty of all deployed circuits.
+func (d *Deployment) TotalLoadPenalty() float64 {
+	var sum float64
+	for _, c := range d.circuits {
+		sum += c.LoadPenalty(d.Env)
+	}
+	return sum
+}

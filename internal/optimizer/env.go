@@ -1,0 +1,303 @@
+// Package optimizer implements the paper's contribution: integrated query
+// plan generation and service placement over a cost space (§3.3), the
+// classic two-step optimizer it is compared against (§2.3), multi-query
+// optimization with cost-space radius pruning (§3.4), and dynamic
+// re-optimization of running circuits.
+//
+// The Env type is the optimizer's view of the SBON: the topology (ground
+// truth for measured costs), every node's Vivaldi coordinate and load
+// (combined into its cost-space point), and optionally the Hilbert-keyed
+// DHT catalog for decentralized physical mapping.
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hourglass/sbon/internal/costspace"
+	"github.com/hourglass/sbon/internal/dht"
+	"github.com/hourglass/sbon/internal/hilbert"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/vivaldi"
+)
+
+// EnvConfig parameterizes environment construction.
+type EnvConfig struct {
+	// Seed drives Vivaldi embedding and load assignment.
+	Seed int64
+	// VivaldiRounds and VivaldiSamples control the coordinate embedding
+	// (defaults 40 and 4).
+	VivaldiRounds  int
+	VivaldiSamples int
+	// LoadScale is the squared-load weighting scale β (default 100: a
+	// fully loaded node appears 100 ms away; see DESIGN.md §4).
+	LoadScale float64
+	// LoadPerRate is the node load added per KB/s of input processed by a
+	// hosted service (default 1/2000: a 200 KB/s service adds 0.1 load).
+	LoadPerRate float64
+	// MaxBackgroundLoad bounds the uniform background load assigned to
+	// each node (default 0.4).
+	MaxBackgroundLoad float64
+	// UseDHT builds the Chord ring + Hilbert catalog over all nodes.
+	UseDHT bool
+	// HilbertBits is the per-dimension grid resolution (default 16,
+	// capped so dims*bits <= 64).
+	HilbertBits uint
+}
+
+// DefaultEnvConfig returns the configuration used by the experiments.
+func DefaultEnvConfig(seed int64) EnvConfig {
+	return EnvConfig{
+		Seed:              seed,
+		VivaldiRounds:     40,
+		VivaldiSamples:    4,
+		LoadScale:         100,
+		LoadPerRate:       1.0 / 2000,
+		MaxBackgroundLoad: 0.4,
+		UseDHT:            true,
+		HilbertBits:       16,
+	}
+}
+
+// Env is the optimizer's view of one SBON deployment.
+type Env struct {
+	Topo  *topology.Topology
+	Stats *query.Catalog
+
+	space *costspace.Space
+	vec   []vivaldi.Coord // per-node vector coordinate
+	load  []float64       // per-node current raw load (background + services)
+	base  []float64       // background load component
+	pts   []costspace.Point
+
+	catalog *dht.Catalog // nil unless UseDHT
+
+	cfg EnvConfig
+	rng *rand.Rand
+
+	// EmbeddingQuality records the Vivaldi embedding error measured at
+	// construction time.
+	EmbeddingQuality vivaldi.Quality
+}
+
+// NewEnv builds an environment over the topology: embeds Vivaldi
+// coordinates, assigns background loads, constructs the cost space
+// (2 latency dims + squared CPU load), and optionally the DHT catalog
+// with every node's coordinate published.
+func NewEnv(topo *topology.Topology, stats *query.Catalog, cfg EnvConfig) (*Env, error) {
+	if topo == nil || topo.NumNodes() < 2 {
+		return nil, fmt.Errorf("optimizer: need a topology with >= 2 nodes")
+	}
+	if cfg.VivaldiRounds <= 0 {
+		cfg.VivaldiRounds = 40
+	}
+	if cfg.VivaldiSamples <= 0 {
+		cfg.VivaldiSamples = 4
+	}
+	if cfg.LoadScale <= 0 {
+		cfg.LoadScale = 100
+	}
+	if cfg.LoadPerRate <= 0 {
+		cfg.LoadPerRate = 1.0 / 2000
+	}
+	if cfg.MaxBackgroundLoad < 0 || cfg.MaxBackgroundLoad >= 1 {
+		cfg.MaxBackgroundLoad = 0.4
+	}
+	if cfg.HilbertBits == 0 {
+		cfg.HilbertBits = 16
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	space := costspace.NewLatencyLoadSpace(cfg.LoadScale)
+
+	m := topo.LatencyMatrix()
+	emb, err := vivaldi.EmbedMatrix(m, vivaldi.DefaultConfig(), cfg.VivaldiRounds, cfg.VivaldiSamples, rng)
+	if err != nil {
+		return nil, fmt.Errorf("optimizer: vivaldi embedding: %w", err)
+	}
+
+	n := topo.NumNodes()
+	e := &Env{
+		Topo:  topo,
+		Stats: stats,
+		space: space,
+		vec:   emb.Coords,
+		load:  make([]float64, n),
+		base:  make([]float64, n),
+		pts:   make([]costspace.Point, n),
+		cfg:   cfg,
+		rng:   rng,
+	}
+	e.EmbeddingQuality = emb.Evaluate(func(i, j int) float64 { return m[i][j] }, 2000, rng)
+	for i := 0; i < n; i++ {
+		e.base[i] = rng.Float64() * cfg.MaxBackgroundLoad
+		e.load[i] = e.base[i]
+		e.pts[i] = space.NewPoint(e.vec[i], []float64{e.load[i]})
+	}
+
+	if cfg.UseDHT {
+		if err := e.buildDHT(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func (e *Env) buildDHT() error {
+	bits := e.cfg.HilbertBits
+	for uint(e.space.Dims())*bits > 64 {
+		bits--
+	}
+	curve, err := hilbert.New(uint(e.space.Dims()), bits)
+	if err != nil {
+		return fmt.Errorf("optimizer: hilbert curve: %w", err)
+	}
+	// Bounds must cover the worst-case scalar component (full load), not
+	// just current points, so republished coordinates stay in range.
+	all := make([]costspace.Point, 0, len(e.pts)+1)
+	all = append(all, e.pts...)
+	ceiling := e.space.NewPoint(e.vec[0], []float64{1.5})
+	all = append(all, ceiling)
+	bounds, err := costspace.ComputeBounds(all, 0.05)
+	if err != nil {
+		return err
+	}
+	ring := dht.NewRing()
+	for i := range e.pts {
+		if _, err := ring.AddPeer(topology.NodeID(i)); err != nil {
+			return err
+		}
+	}
+	cat, err := dht.NewCatalog(ring, e.space, curve, bounds)
+	if err != nil {
+		return err
+	}
+	for i, p := range e.pts {
+		if _, err := cat.Publish(topology.NodeID(i), p); err != nil {
+			return err
+		}
+	}
+	e.catalog = cat
+	return nil
+}
+
+// Space implements placement.NodeSource.
+func (e *Env) Space() *costspace.Space { return e.space }
+
+// NodeIDs implements placement.NodeSource.
+func (e *Env) NodeIDs() []topology.NodeID {
+	out := make([]topology.NodeID, len(e.pts))
+	for i := range out {
+		out[i] = topology.NodeID(i)
+	}
+	return out
+}
+
+// Point implements placement.NodeSource.
+func (e *Env) Point(n topology.NodeID) costspace.Point { return e.pts[n] }
+
+// VecCoord returns the node's vector (latency) coordinate.
+func (e *Env) VecCoord(n topology.NodeID) vivaldi.Coord { return e.vec[n] }
+
+// Load returns the node's current raw load.
+func (e *Env) Load(n topology.NodeID) float64 { return e.load[n] }
+
+// Catalog returns the DHT catalog (nil if the env was built without one).
+func (e *Env) Catalog() *dht.Catalog { return e.catalog }
+
+// Config returns the construction configuration.
+func (e *Env) Config() EnvConfig { return e.cfg }
+
+// Rand returns the environment's RNG (deterministic per seed).
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// SetBackgroundLoad replaces the node's background load component and
+// refreshes its cost-space point (and DHT entry).
+func (e *Env) SetBackgroundLoad(n topology.NodeID, l float64) {
+	if l < 0 {
+		l = 0
+	}
+	delta := l - e.base[n]
+	e.base[n] = l
+	e.load[n] += delta
+	e.refreshPoint(n)
+}
+
+// AddServiceLoad charges a hosted service processing `inputRate` KB/s to
+// the node's load.
+func (e *Env) AddServiceLoad(n topology.NodeID, inputRate float64) {
+	e.load[n] += inputRate * e.cfg.LoadPerRate
+	e.refreshPoint(n)
+}
+
+// RemoveServiceLoad reverses AddServiceLoad.
+func (e *Env) RemoveServiceLoad(n topology.NodeID, inputRate float64) {
+	e.load[n] -= inputRate * e.cfg.LoadPerRate
+	if e.load[n] < e.base[n] {
+		e.load[n] = e.base[n]
+	}
+	e.refreshPoint(n)
+}
+
+func (e *Env) refreshPoint(n topology.NodeID) {
+	e.pts[n] = e.space.NewPoint(e.vec[n], []float64{e.load[n]})
+	if e.catalog != nil {
+		// Republish; the catalog replaces the old entry.
+		if _, err := e.catalog.Publish(n, e.pts[n]); err != nil {
+			// The ring always contains every node in this simulator; a
+			// publish failure indicates a programming error.
+			panic(fmt.Sprintf("optimizer: republish node %d: %v", n, err))
+		}
+	}
+}
+
+// ReembedCoordinates reruns Vivaldi against the topology's current
+// latencies (after PerturbLatencies) and refreshes all points.
+func (e *Env) ReembedCoordinates() error {
+	m := e.Topo.LatencyMatrix()
+	emb, err := vivaldi.EmbedMatrix(m, vivaldi.DefaultConfig(), e.cfg.VivaldiRounds, e.cfg.VivaldiSamples, e.rng)
+	if err != nil {
+		return err
+	}
+	e.vec = emb.Coords
+	e.EmbeddingQuality = emb.Evaluate(func(i, j int) float64 { return m[i][j] }, 2000, e.rng)
+	for i := range e.pts {
+		e.refreshPoint(topology.NodeID(i))
+	}
+	return nil
+}
+
+// LatencyModel estimates pairwise latency between overlay nodes. The
+// optimizer selects circuits with a model; experiments measure final
+// circuits with the true topology model.
+type LatencyModel interface {
+	Latency(a, b topology.NodeID) float64
+	Name() string
+}
+
+// TrueLatency reads shortest-path latencies from the topology — the
+// simulator's ground truth.
+type TrueLatency struct {
+	Topo *topology.Topology
+}
+
+// Latency implements LatencyModel.
+func (t TrueLatency) Latency(a, b topology.NodeID) float64 { return t.Topo.Latency(a, b) }
+
+// Name implements LatencyModel.
+func (TrueLatency) Name() string { return "true" }
+
+// CoordLatency estimates latency as the distance between Vivaldi
+// coordinates — the only information a decentralized optimizer has.
+type CoordLatency struct {
+	Env *Env
+}
+
+// Latency implements LatencyModel.
+func (c CoordLatency) Latency(a, b topology.NodeID) float64 {
+	return c.Env.vec[a].Distance(c.Env.vec[b])
+}
+
+// Name implements LatencyModel.
+func (CoordLatency) Name() string { return "coords" }

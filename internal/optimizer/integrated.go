@@ -1,0 +1,163 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/plan"
+	"github.com/hourglass/sbon/internal/query"
+)
+
+// Result is the outcome of optimizing one query.
+type Result struct {
+	Circuit *Circuit
+	// PlansConsidered is the number of candidate logical plans examined.
+	PlansConsidered int
+	// CircuitsConsidered is the number of fully placed candidate circuits
+	// costed (integrated: one per plan; two-step: one).
+	CircuitsConsidered int
+	// EstimatedUsage is the selection-time network usage under the
+	// optimizer's latency model.
+	EstimatedUsage float64
+	// MapStats aggregates physical-mapping effort for the chosen circuit.
+	MapStats placement.MapStats
+	// ReusedServices counts services satisfied by existing instances
+	// (multi-query optimization only).
+	ReusedServices int
+	// InstancesExamined counts registry/DHT entries inspected during
+	// reuse search (the §3.4 pruning work metric).
+	InstancesExamined int
+}
+
+// Integrated is the paper's optimizer (§3.3): every candidate plan is
+// virtually placed and physically mapped, yielding one candidate circuit
+// per plan; the cheapest circuit under the latency model wins.
+type Integrated struct {
+	Env *Env
+	// Enum generates candidate plans. Defaults to a fresh enumerator over
+	// Env.Stats when nil.
+	Enum *plan.Enumerator
+	// Placer performs virtual placement (default Relaxation).
+	Placer placement.VirtualPlacer
+	// Mapper performs physical mapping (default: DHT mapper when the env
+	// has a catalog, else the oracle).
+	Mapper placement.Mapper
+	// Model is the latency model used to select among candidates
+	// (default CoordLatency — what a decentralized node can know).
+	Model LatencyModel
+}
+
+// NewIntegrated returns an integrated optimizer with default components.
+func NewIntegrated(env *Env) *Integrated {
+	return &Integrated{Env: env}
+}
+
+func (o *Integrated) components() (*plan.Enumerator, placement.VirtualPlacer, placement.Mapper, LatencyModel) {
+	enum := o.Enum
+	if enum == nil {
+		enum = plan.NewEnumerator(o.Env.Stats)
+	}
+	placer := o.Placer
+	if placer == nil {
+		placer = placement.Relaxation{}
+	}
+	mapper := o.Mapper
+	if mapper == nil {
+		if cat := o.Env.Catalog(); cat != nil {
+			mapper = placement.DHTMapper{Catalog: cat}
+		} else {
+			mapper = placement.OracleMapper{Source: o.Env}
+		}
+	}
+	model := o.Model
+	if model == nil {
+		model = CoordLatency{Env: o.Env}
+	}
+	return enum, placer, mapper, model
+}
+
+// Optimize performs full circuit optimization for the query and returns
+// the best circuit without deploying it.
+func (o *Integrated) Optimize(q query.Query) (*Result, error) {
+	enum, placer, mapper, model := o.components()
+	plans, err := enum.Enumerate(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("optimizer: no plans for query %d", q.ID)
+	}
+	res := &Result{PlansConsidered: len(plans)}
+	b := &Builder{Env: o.Env}
+	for _, p := range plans {
+		circuit, stats, err := buildPlaceMap(b, q, p, placer, mapper)
+		if err != nil {
+			return nil, err
+		}
+		usage := circuit.NetworkUsage(model)
+		res.CircuitsConsidered++
+		if res.Circuit == nil || usage < res.EstimatedUsage {
+			res.Circuit = circuit
+			res.EstimatedUsage = usage
+			res.MapStats = stats
+		}
+	}
+	return res, nil
+}
+
+// buildPlaceMap runs the skeleton → virtual placement → physical mapping
+// pipeline for one plan.
+func buildPlaceMap(b *Builder, q query.Query, p *query.PlanNode, placer placement.VirtualPlacer, mapper placement.Mapper) (*Circuit, placement.MapStats, error) {
+	circuit, err := b.Skeleton(q, p, nil)
+	if err != nil {
+		return nil, placement.MapStats{}, err
+	}
+	if err := b.PlaceVirtual(circuit, placer); err != nil {
+		return nil, placement.MapStats{}, err
+	}
+	stats, err := b.MapPhysical(circuit, mapper)
+	if err != nil {
+		return nil, placement.MapStats{}, err
+	}
+	return circuit, stats, nil
+}
+
+// TwoStep is the classical baseline (§2.3): plan generation ignores the
+// network entirely (cheapest plan by intermediate data rate), and only
+// then is that single plan placed — using exactly the same placement
+// machinery as the integrated optimizer, so the comparison isolates the
+// integration itself.
+type TwoStep struct {
+	Env    *Env
+	Enum   *plan.Enumerator
+	Placer placement.VirtualPlacer
+	Mapper placement.Mapper
+	Model  LatencyModel
+}
+
+// NewTwoStep returns a two-step optimizer with default components.
+func NewTwoStep(env *Env) *TwoStep {
+	return &TwoStep{Env: env}
+}
+
+// Optimize picks the statistics-optimal plan, then places it.
+func (o *TwoStep) Optimize(q query.Query) (*Result, error) {
+	inner := &Integrated{Env: o.Env, Enum: o.Enum, Placer: o.Placer, Mapper: o.Mapper, Model: o.Model}
+	enum, placer, mapper, model := inner.components()
+	best, err := enum.Best(q)
+	if err != nil {
+		return nil, err
+	}
+	b := &Builder{Env: o.Env}
+	circuit, stats, err := buildPlaceMap(b, q, best, placer, mapper)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Circuit:            circuit,
+		PlansConsidered:    1,
+		CircuitsConsidered: 1,
+		EstimatedUsage:     circuit.NetworkUsage(model),
+		MapStats:           stats,
+	}, nil
+}

@@ -1,0 +1,192 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/query"
+)
+
+func TestCircuitStringMentionsAllServices(t *testing.T) {
+	env, q := testSetup(t, 80, false)
+	res, err := NewIntegrated(env).Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Circuit.String()
+	for _, want := range []string{"S0@", "S1@", "join@", "consumer@"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCircuitTotalLinkRateAndLoadPenalty(t *testing.T) {
+	env, q := testSetup(t, 81, false)
+	res, err := NewIntegrated(env).Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Circuit.TotalLinkRate(); got <= 0 {
+		t.Fatalf("TotalLinkRate = %v", got)
+	}
+	if got := res.Circuit.LoadPenalty(env); got < 0 {
+		t.Fatalf("LoadPenalty = %v", got)
+	}
+}
+
+func TestCircuitNewServicesExcludesSourcesAndConsumer(t *testing.T) {
+	env, q := testSetup(t, 82, false)
+	res, err := NewIntegrated(env).Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Circuit.NewServices() {
+		if s.Plan == nil || s.Plan.Kind == query.KindSource {
+			t.Fatal("NewServices leaked a source or the consumer")
+		}
+	}
+}
+
+func TestFullReoptimizeSwapPath(t *testing.T) {
+	env, q := testSetup(t, 83, false)
+	truth := TrueLatency{Topo: env.Topo}
+	mapper := placement.OracleMapper{Source: env}
+	opt := &Integrated{Env: env, Model: truth, Mapper: mapper}
+
+	// Deploy a deliberately bad circuit: every unpinned service at the
+	// consumer of the farthest producer.
+	enum := opt.components
+	_ = enum
+	res, err := (&TwoStep{Env: env, Model: truth, Mapper: mapper}).Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := res.Circuit
+	// Sabotage the placement so FullReoptimize has something to win.
+	far := env.Topo.StubNodeIDs()[0]
+	for _, s := range bad.UnpinnedServices() {
+		s.Node = far
+	}
+	dep := NewDeployment(env, nil)
+	if err := dep.Deploy(bad); err != nil {
+		t.Fatal(err)
+	}
+	ro := NewReoptimizer(dep)
+	ro.Model = truth
+	ro.Mapper = mapper
+	swapped, err := ro.FullReoptimize(q.ID, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped {
+		t.Fatal("sabotaged circuit not swapped")
+	}
+	c, ok := dep.Circuit(q.ID)
+	if !ok {
+		t.Fatal("query lost after swap")
+	}
+	if c == bad {
+		t.Fatal("old circuit still deployed")
+	}
+	if c.NetworkUsage(truth) > bad.NetworkUsage(truth) {
+		t.Fatal("swap did not improve usage")
+	}
+}
+
+func TestMultiQueryNilRegistry(t *testing.T) {
+	env, q := testSetup(t, 84, false)
+	mq := &MultiQuery{Env: env}
+	if _, err := mq.Optimize(q); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+}
+
+func TestMultiQueryInvalidQuery(t *testing.T) {
+	env, _ := testSetup(t, 85, false)
+	mq := NewMultiQuery(env, NewRegistry(), 10)
+	if _, err := mq.Optimize(query.Query{ID: 1}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestTwoStepInvalidQuery(t *testing.T) {
+	env, _ := testSetup(t, 86, false)
+	if _, err := NewTwoStep(env).Optimize(query.Query{ID: 1}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestIntegratedInvalidQuery(t *testing.T) {
+	env, _ := testSetup(t, 87, false)
+	if _, err := NewIntegrated(env).Optimize(query.Query{ID: 1}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+	if _, err := NewIntegrated(env).Optimize(query.Query{ID: 1, Streams: []query.StreamID{99}}); err == nil {
+		t.Fatal("unknown stream accepted")
+	}
+}
+
+func TestConsumerLatencyReusedPath(t *testing.T) {
+	env, q := testSetup(t, 88, false)
+	reg := NewRegistry()
+	dep := NewDeployment(env, reg)
+	mq := NewMultiQuery(env, reg, 1e18)
+	r1, err := mq.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Deploy(r1.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	q2 := q
+	q2.ID = 2
+	q2.Consumer = env.Topo.StubNodeIDs()[1]
+	r2, err := mq.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ReusedServices == 0 {
+		t.Skip("no reuse; path not exercisable on this seed")
+	}
+	truth := TrueLatency{Topo: env.Topo}
+	lat := r2.Circuit.ConsumerLatency(truth)
+	if lat <= 0 {
+		t.Fatalf("latency through reused instance = %v", lat)
+	}
+	// Latency must include the reused instance's upstream component.
+	for _, s := range r2.Circuit.Services {
+		if s.Reused && s.ReusedFrom.UpstreamLatency > lat {
+			t.Fatalf("consumer latency %v below reused upstream %v", lat, s.ReusedFrom.UpstreamLatency)
+		}
+	}
+}
+
+func TestEnvReembedCoordinates(t *testing.T) {
+	env, _ := testSetup(t, 89, false)
+	before := env.VecCoord(3).Clone()
+	env.Topo.PerturbLatencies(env.Rand(), 0.5)
+	if err := env.ReembedCoordinates(); err != nil {
+		t.Fatal(err)
+	}
+	after := env.VecCoord(3)
+	if before.Distance(after) == 0 {
+		t.Log("warning: coordinate unchanged after re-embedding (possible)")
+	}
+	if env.EmbeddingQuality.Pairs == 0 {
+		t.Fatal("embedding quality not refreshed")
+	}
+}
+
+func TestUpstreamLatencyOfMissingService(t *testing.T) {
+	env, q := testSetup(t, 90, false)
+	res, err := NewIntegrated(env).Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost := &PlacedService{}
+	if got := upstreamLatency(res.Circuit, ghost, TrueLatency{Topo: env.Topo}); got != 0 {
+		t.Fatalf("upstreamLatency of foreign service = %v, want 0", got)
+	}
+}

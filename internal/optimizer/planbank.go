@@ -1,0 +1,150 @@
+package optimizer
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// PlanBank implements the dynamic-plans alternative the paper contrasts
+// integration with (§2.3, citing Graefe & Ward [13]): "pre-calculate and
+// store plans and sub-plans in the database. At compile time, each plan
+// is generated with a different set of network assumptions. Then, when an
+// expected query is issued, the optimizer examines current network state
+// and tries to find the pre-computed plan that best matches current
+// conditions."
+//
+// Compile optimizes the query under K hypothetical network states
+// (deterministically jittered latency models) and stores the distinct
+// winning plans. Lookup places only those banked plans against current
+// conditions — cheaper than full integration, but "limited in that the
+// optimizer must guess which future node and network states are relevant
+// and worth pre-calculation": if no banked plan matches reality, the
+// result is suboptimal. The integrated optimizer never does worse under
+// the same selection model, which is the paper's argument.
+type PlanBank struct {
+	Env *Env
+	// Placer/Mapper/Model default like Integrated's.
+	Placer placement.VirtualPlacer
+	Mapper placement.Mapper
+	Model  LatencyModel
+
+	banks map[query.QueryID][]*query.PlanNode
+}
+
+// NewPlanBank returns an empty bank over the environment.
+func NewPlanBank(env *Env) *PlanBank {
+	return &PlanBank{Env: env, banks: make(map[query.QueryID][]*query.PlanNode)}
+}
+
+// JitteredLatency perturbs a base latency model with deterministic
+// per-pair factors in [1-Amount, 1+Amount] — one hypothetical future
+// network state per seed.
+type JitteredLatency struct {
+	Base   LatencyModel
+	Seed   uint64
+	Amount float64
+}
+
+// Latency implements LatencyModel.
+func (j JitteredLatency) Latency(a, b topology.NodeID) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	var buf [24]byte
+	put := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put(0, uint64(a))
+	put(8, uint64(b))
+	put(16, j.Seed)
+	h.Write(buf[:])
+	// Uniform in [1-Amount, 1+Amount).
+	u := float64(h.Sum64()>>11) / float64(1<<53)
+	factor := 1 + (2*u-1)*j.Amount
+	return j.Base.Latency(a, b) * factor
+}
+
+// Name implements LatencyModel.
+func (j JitteredLatency) Name() string {
+	return fmt.Sprintf("jitter(%s,seed=%d,±%.0f%%)", j.Base.Name(), j.Seed, j.Amount*100)
+}
+
+func (pb *PlanBank) components() (placement.VirtualPlacer, placement.Mapper, LatencyModel) {
+	inner := &Integrated{Env: pb.Env, Placer: pb.Placer, Mapper: pb.Mapper, Model: pb.Model}
+	_, placer, mapper, model := inner.components()
+	return placer, mapper, model
+}
+
+// Compile precomputes plans for the query under `states` hypothetical
+// network conditions (jitter amount `amount`, e.g. 0.5), storing the
+// distinct winners. It returns the number of distinct plans banked.
+func (pb *PlanBank) Compile(q query.Query, states int, amount float64) (int, error) {
+	if states < 1 {
+		return 0, fmt.Errorf("optimizer: PlanBank.Compile states = %d", states)
+	}
+	if amount < 0 {
+		amount = -amount
+	}
+	placer, mapper, model := pb.components()
+	seen := make(map[string]bool)
+	var banked []*query.PlanNode
+	for k := 0; k < states; k++ {
+		scenario := JitteredLatency{Base: model, Seed: uint64(k) + 1, Amount: amount}
+		res, err := (&Integrated{
+			Env: pb.Env, Placer: placer, Mapper: mapper, Model: scenario,
+		}).Optimize(q)
+		if err != nil {
+			return 0, err
+		}
+		sig := res.Circuit.Plan.Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			banked = append(banked, res.Circuit.Plan.Clone())
+		}
+	}
+	pb.banks[q.ID] = banked
+	return len(banked), nil
+}
+
+// BankedPlans returns the number of distinct plans stored for a query.
+func (pb *PlanBank) BankedPlans(id query.QueryID) int { return len(pb.banks[id]) }
+
+// Optimize answers the query using only its banked plans: each is placed
+// under current conditions and the cheapest circuit wins. Returns an
+// error if the query was never compiled.
+func (pb *PlanBank) Optimize(q query.Query) (*Result, error) {
+	banked := pb.banks[q.ID]
+	if len(banked) == 0 {
+		return nil, fmt.Errorf("optimizer: query %d has no banked plans; call Compile first", q.ID)
+	}
+	placer, mapper, model := pb.components()
+	b := &Builder{Env: pb.Env}
+	res := &Result{PlansConsidered: len(banked)}
+	res.EstimatedUsage = math.Inf(1)
+	for _, p := range banked {
+		// Re-derive rates: statistics may have drifted since compile.
+		cp := p.Clone()
+		if err := cp.ComputeRates(pb.Env.Stats); err != nil {
+			return nil, err
+		}
+		circuit, stats, err := buildPlaceMap(b, q, cp, placer, mapper)
+		if err != nil {
+			return nil, err
+		}
+		res.CircuitsConsidered++
+		if usage := circuit.NetworkUsage(model); usage < res.EstimatedUsage {
+			res.Circuit = circuit
+			res.EstimatedUsage = usage
+			res.MapStats = stats
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,185 @@
+package optimizer
+
+import (
+	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// Reoptimizer implements the paper's local re-optimization (§3.3): "each
+// node that hosts part of a circuit is capable of re-optimization ... a
+// node can re-run placement and mapping for any service that it hosts.
+// The result may be to migrate the service to a cooperating node."
+//
+// Each Step re-runs, per deployed unpinned service, a local virtual
+// placement against the current coordinates of its circuit neighbors and
+// remaps; the service migrates only when the estimated incident usage
+// improves by more than ImprovementThreshold (hysteresis against
+// oscillation under noisy coordinates).
+type Reoptimizer struct {
+	Dep *Deployment
+	// Placer recomputes local virtual coordinates (default Relaxation).
+	Placer placement.VirtualPlacer
+	// Mapper remaps coordinates to nodes (default: env's DHT, else
+	// oracle).
+	Mapper placement.Mapper
+	// Model estimates link latencies (default CoordLatency).
+	Model LatencyModel
+	// ImprovementThreshold is the minimum relative usage gain to migrate
+	// (default 0.05).
+	ImprovementThreshold float64
+}
+
+// NewReoptimizer returns a re-optimizer over the deployment with default
+// components.
+func NewReoptimizer(dep *Deployment) *Reoptimizer {
+	return &Reoptimizer{Dep: dep}
+}
+
+func (r *Reoptimizer) components() (placement.VirtualPlacer, placement.Mapper, LatencyModel, float64) {
+	placer := r.Placer
+	if placer == nil {
+		placer = placement.Relaxation{}
+	}
+	mapper := r.Mapper
+	if mapper == nil {
+		if cat := r.Dep.Env.Catalog(); cat != nil {
+			mapper = placement.DHTMapper{Catalog: cat}
+		} else {
+			mapper = placement.OracleMapper{Source: r.Dep.Env}
+		}
+	}
+	model := r.Model
+	if model == nil {
+		model = CoordLatency{Env: r.Dep.Env}
+	}
+	thresh := r.ImprovementThreshold
+	if thresh <= 0 {
+		thresh = 0.05
+	}
+	return placer, mapper, model, thresh
+}
+
+// StepStats reports one re-optimization sweep.
+type StepStats struct {
+	ServicesEvaluated int
+	Migrations        int
+}
+
+// Step performs one re-optimization sweep over every deployed circuit
+// and returns migration statistics.
+func (r *Reoptimizer) Step() (StepStats, error) {
+	placer, mapper, model, thresh := r.components()
+	var stats StepStats
+	env := r.Dep.Env
+	b := &Builder{Env: env}
+	for _, c := range r.Dep.circuits {
+		// Recompute virtual coordinates for the whole circuit against
+		// current pinned/neighbor positions (a node with all affected
+		// services can do full local re-placement).
+		if err := b.PlaceVirtual(c, placer); err != nil {
+			return stats, err
+		}
+		for i, s := range c.Services {
+			if s.Pinned || s.Plan == nil {
+				continue
+			}
+			stats.ServicesEvaluated++
+			oldNode := s.Node
+			oldCost := serviceCost(env, c, i, model)
+			newNode, _, err := mapper.MapCoord(c.Query.Consumer, s.Virtual, nil)
+			if err != nil {
+				return stats, err
+			}
+			if newNode == oldNode {
+				continue
+			}
+			s.Node = newNode
+			newCost := serviceCost(env, c, i, model)
+			if newCost < oldCost*(1-thresh) {
+				// Commit the migration: move the load.
+				env.RemoveServiceLoad(oldNode, s.InRate)
+				env.AddServiceLoad(newNode, s.InRate)
+				r.updateInstance(c, s, oldNode)
+				stats.Migrations++
+			} else {
+				s.Node = oldNode
+			}
+		}
+	}
+	return stats, nil
+}
+
+// updateInstance moves the registry entry of a migrated service.
+func (r *Reoptimizer) updateInstance(c *Circuit, s *PlacedService, oldNode topology.NodeID) {
+	for _, inst := range r.Dep.instances[c.Query.ID] {
+		if inst.Signature == s.Signature && inst.Node == oldNode {
+			inst.Node = s.Node
+			inst.Coord = r.Dep.Env.Point(s.Node).Clone()
+			return
+		}
+	}
+}
+
+// incidentUsage is the usage of the links touching service index i.
+func incidentUsage(c *Circuit, i int, m LatencyModel) float64 {
+	var sum float64
+	for _, l := range c.Links {
+		if l.Shared {
+			continue
+		}
+		if l.From == i || l.To == i {
+			sum += l.Rate * m.Latency(c.Services[l.From].Node, c.Services[l.To].Node)
+		}
+	}
+	return sum
+}
+
+// serviceCost is the migration criterion: incident link usage plus a
+// load term — the host's weighted scalar components (ms-equivalent, per
+// the cost space's weighting functions) scaled by the service's input
+// rate, making the two terms dimensionally commensurate (KB·ms/s). This
+// is how an overloaded host repels its services even when it is ideal in
+// latency terms.
+func serviceCost(e *Env, c *Circuit, i int, m LatencyModel) float64 {
+	cost := incidentUsage(c, i, m)
+	s := c.Services[i]
+	var scalar float64
+	for _, comp := range e.Space().ScalarComponents(e.Point(s.Node)) {
+		scalar += comp
+	}
+	return cost + s.InRate*scalar
+}
+
+// FullReoptimize implements the paper's stronger re-optimization: re-run
+// the complete circuit optimization for a deployed query "while the
+// original circuit is still running", and if the fresh circuit is at
+// least ImprovementThreshold cheaper under the model, atomically swap it
+// in (deploy parallel circuit, cancel the original). Returns whether a
+// swap happened.
+func (r *Reoptimizer) FullReoptimize(id query.QueryID, opt *Integrated) (bool, error) {
+	c, ok := r.Dep.Circuit(id)
+	if !ok {
+		return false, nil
+	}
+	_, _, _, thresh := r.components()
+	model := r.Model
+	if model == nil {
+		model = CoordLatency{Env: r.Dep.Env}
+	}
+	res, err := opt.Optimize(c.Query)
+	if err != nil {
+		return false, err
+	}
+	oldUsage := c.NetworkUsage(model)
+	if res.Circuit.NetworkUsage(model) >= oldUsage*(1-thresh) {
+		return false, nil
+	}
+	if err := r.Dep.Cancel(id); err != nil {
+		return false, err
+	}
+	if err := r.Dep.Deploy(res.Circuit); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,224 @@
+// Package overlay is the SBON runtime: every overlay node is a goroutine
+// with an inbox channel, and message delivery between nodes is delayed by
+// the topology's shortest-path latency scaled to wall-clock time. The
+// stream engine (package stream) deploys circuits onto it; examples and
+// integration tests run real dataflows through it.
+//
+// Concurrency model: each node processes its inbox serially on its own
+// goroutine, so handlers on one node never race with each other (share
+// memory by communicating). Senders never block: delivery is scheduled on
+// timer goroutines that either enqueue into the destination inbox or drop
+// when the network is shut down.
+package overlay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hourglass/sbon/internal/metrics"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// Message is one unit of overlay traffic.
+type Message struct {
+	From, To topology.NodeID
+	// Port selects the handler on the destination node.
+	Port string
+	// SizeKB is the payload size used for network accounting.
+	SizeKB float64
+	// Payload is the application data (e.g. a stream tuple).
+	Payload any
+	// SentAt is the wall-clock send time.
+	SentAt time.Time
+}
+
+// Handler processes messages delivered to a port. Handlers run on the
+// owning node's goroutine.
+type Handler func(Message)
+
+// Config tunes the runtime.
+type Config struct {
+	// TimeScale is the wall duration representing one simulated
+	// millisecond of network latency (default 50µs: simulation runs 20×
+	// faster than real time).
+	TimeScale time.Duration
+	// InboxSize is the per-node inbox buffer (default 4096).
+	InboxSize int
+}
+
+// DefaultConfig returns the runtime defaults.
+func DefaultConfig() Config {
+	return Config{TimeScale: 50 * time.Microsecond, InboxSize: 4096}
+}
+
+// Network hosts one goroutine per overlay node and routes messages
+// between them with latency.
+type Network struct {
+	topo *topology.Topology
+	cfg  Config
+
+	nodes []*Node
+	quit  chan struct{}
+	wg    sync.WaitGroup // node loops + in-flight deliveries
+
+	stopOnce sync.Once
+
+	// Metrics is the runtime's registry: counters msgs.sent, msgs.dropped,
+	// kb.sent, and usage.kbms (Σ sizeKB × latencyMs, the integral of
+	// data-in-transit).
+	Metrics *metrics.Registry
+}
+
+// NewNetwork builds (but does not start) a runtime over the topology.
+func NewNetwork(topo *topology.Topology, cfg Config) *Network {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 50 * time.Microsecond
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 4096
+	}
+	// Force the all-pairs latency cache now: Topology computes it lazily
+	// and concurrent Sends must only read it.
+	topo.LatencyMatrix()
+	n := &Network{
+		topo:    topo,
+		cfg:     cfg,
+		quit:    make(chan struct{}),
+		Metrics: metrics.NewRegistry(),
+	}
+	n.nodes = make([]*Node, topo.NumNodes())
+	for i := range n.nodes {
+		n.nodes[i] = &Node{
+			id:       topology.NodeID(i),
+			net:      n,
+			inbox:    make(chan Message, cfg.InboxSize),
+			handlers: make(map[string]Handler),
+		}
+	}
+	return n
+}
+
+// Start launches every node goroutine. It must be called once before any
+// Send.
+func (n *Network) Start() {
+	for _, nd := range n.nodes {
+		n.wg.Add(1)
+		go nd.loop()
+	}
+}
+
+// Stop shuts the runtime down: future sends are dropped, node loops
+// exit, and Stop blocks until all goroutines (including in-flight
+// deliveries) finish. Safe to call more than once.
+func (n *Network) Stop() {
+	n.stopOnce.Do(func() { close(n.quit) })
+	n.wg.Wait()
+}
+
+// Node returns the runtime node for the overlay node id.
+func (n *Network) Node(id topology.NodeID) *Node { return n.nodes[id] }
+
+// Config returns the runtime configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// SimMillis converts an elapsed wall duration into simulated
+// milliseconds under the runtime's time scale.
+func (n *Network) SimMillis(wall time.Duration) float64 {
+	return float64(wall) / float64(n.cfg.TimeScale)
+}
+
+// Node is one overlay participant: an inbox, a handler table, and
+// counters.
+type Node struct {
+	id    topology.NodeID
+	net   *Network
+	inbox chan Message
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// ID returns the overlay node id.
+func (nd *Node) ID() topology.NodeID { return nd.id }
+
+// Register installs the handler for a port, replacing any previous one.
+func (nd *Node) Register(port string, h Handler) {
+	nd.mu.Lock()
+	nd.handlers[port] = h
+	nd.mu.Unlock()
+}
+
+// Unregister removes the handler for a port.
+func (nd *Node) Unregister(port string) {
+	nd.mu.Lock()
+	delete(nd.handlers, port)
+	nd.mu.Unlock()
+}
+
+// Send schedules delivery of a message to the port on the destination
+// node, after the topology latency (scaled). It never blocks; messages
+// sent after Stop are dropped.
+func (nd *Node) Send(to topology.NodeID, port string, sizeKB float64, payload any) error {
+	if int(to) < 0 || int(to) >= len(nd.net.nodes) {
+		return fmt.Errorf("overlay: destination %d out of range", to)
+	}
+	msg := Message{
+		From:    nd.id,
+		To:      to,
+		Port:    port,
+		SizeKB:  sizeKB,
+		Payload: payload,
+		SentAt:  time.Now(),
+	}
+	latMs := nd.net.topo.Latency(nd.id, to)
+	delay := time.Duration(latMs * float64(nd.net.cfg.TimeScale))
+
+	n := nd.net
+	n.Metrics.Counter("msgs.sent").Inc()
+	n.Metrics.Counter("kb.sent").Add(sizeKB)
+	n.Metrics.Counter("usage.kbms").Add(sizeKB * latMs)
+
+	n.wg.Add(1)
+	if delay <= 0 {
+		go n.deliver(msg)
+		return nil
+	}
+	time.AfterFunc(delay, func() { n.deliver(msg) })
+	return nil
+}
+
+// deliver enqueues the message unless the runtime is stopping.
+func (n *Network) deliver(msg Message) {
+	defer n.wg.Done()
+	dst := n.nodes[msg.To]
+	select {
+	case <-n.quit:
+		n.Metrics.Counter("msgs.dropped").Inc()
+	case dst.inbox <- msg:
+	}
+}
+
+// loop is the node goroutine: dispatch until shutdown.
+func (nd *Node) loop() {
+	defer nd.net.wg.Done()
+	for {
+		select {
+		case <-nd.net.quit:
+			return
+		case msg := <-nd.inbox:
+			nd.dispatch(msg)
+		}
+	}
+}
+
+func (nd *Node) dispatch(msg Message) {
+	nd.mu.RLock()
+	h := nd.handlers[msg.Port]
+	nd.mu.RUnlock()
+	if h == nil {
+		nd.net.Metrics.Counter("msgs.unrouted").Inc()
+		return
+	}
+	h(msg)
+}

@@ -1,0 +1,246 @@
+package overlay
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+func lineTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	cfg := topology.Config{
+		TransitDomains:      1,
+		TransitNodes:        2,
+		StubsPerTransit:     1,
+		StubNodes:           3,
+		IntraStubLatency:    [2]float64{1, 2},
+		StubUplinkLatency:   [2]float64{2, 4},
+		IntraTransitLatency: [2]float64{5, 10},
+	}
+	return topology.MustGenerate(cfg, rand.New(rand.NewSource(1)))
+}
+
+func TestSendDeliversToHandler(t *testing.T) {
+	net := NewNetwork(lineTopo(t), DefaultConfig())
+	net.Start()
+	defer net.Stop()
+
+	got := make(chan Message, 1)
+	net.Node(1).Register("test", func(m Message) { got <- m })
+	if err := net.Node(0).Send(1, "test", 2.5, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.From != 0 || m.To != 1 || m.Payload.(string) != "hello" || m.SizeKB != 2.5 {
+			t.Fatalf("message = %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	net := NewNetwork(lineTopo(t), DefaultConfig())
+	net.Start()
+	defer net.Stop()
+
+	got := make(chan struct{}, 1)
+	net.Node(3).Register("self", func(Message) { got <- struct{}{} })
+	if err := net.Node(3).Send(3, "self", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("self message not delivered")
+	}
+}
+
+func TestSendInvalidDestination(t *testing.T) {
+	net := NewNetwork(lineTopo(t), DefaultConfig())
+	net.Start()
+	defer net.Stop()
+	if err := net.Node(0).Send(99, "x", 1, nil); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}
+
+func TestUnroutedMessageCounted(t *testing.T) {
+	net := NewNetwork(lineTopo(t), DefaultConfig())
+	net.Start()
+	if err := net.Node(0).Send(1, "nobody-home", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for net.Metrics.Counter("msgs.unrouted").Value() < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("unrouted counter never incremented")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	net.Stop()
+}
+
+func TestDeliveryLatencyScales(t *testing.T) {
+	topo := lineTopo(t)
+	cfg := Config{TimeScale: 200 * time.Microsecond, InboxSize: 64}
+	net := NewNetwork(topo, cfg)
+	net.Start()
+	defer net.Stop()
+
+	// Pick the farthest pair for a measurable delay.
+	var a, b topology.NodeID
+	worst := 0.0
+	for i := 0; i < topo.NumNodes(); i++ {
+		for j := 0; j < topo.NumNodes(); j++ {
+			if l := topo.Latency(topology.NodeID(i), topology.NodeID(j)); l > worst {
+				worst, a, b = l, topology.NodeID(i), topology.NodeID(j)
+			}
+		}
+	}
+	got := make(chan time.Duration, 1)
+	net.Node(b).Register("lat", func(m Message) { got <- time.Since(m.SentAt) })
+	if err := net.Node(a).Send(b, "lat", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-got:
+		want := time.Duration(worst * float64(cfg.TimeScale))
+		if d < want/2 {
+			t.Fatalf("delivery took %v, want >= ~%v", d, want)
+		}
+		if d > want*5+50*time.Millisecond {
+			t.Fatalf("delivery took %v, want <= ~%v", d, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	topo := lineTopo(t)
+	net := NewNetwork(topo, DefaultConfig())
+	net.Start()
+	done := make(chan struct{}, 10)
+	net.Node(2).Register("m", func(Message) { done <- struct{}{} })
+	const sends = 5
+	for i := 0; i < sends; i++ {
+		if err := net.Node(0).Send(2, "m", 2, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < sends; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("messages lost")
+		}
+	}
+	if got := net.Metrics.Counter("msgs.sent").Value(); got != sends {
+		t.Fatalf("msgs.sent = %v, want %v", got, sends)
+	}
+	if got := net.Metrics.Counter("kb.sent").Value(); got != 2*sends {
+		t.Fatalf("kb.sent = %v, want %v", got, 2*sends)
+	}
+	wantUsage := 2.0 * sends * topo.Latency(0, 2)
+	if got := net.Metrics.Counter("usage.kbms").Value(); got != wantUsage {
+		t.Fatalf("usage.kbms = %v, want %v", got, wantUsage)
+	}
+	net.Stop()
+}
+
+func TestStopIsIdempotentAndWaits(t *testing.T) {
+	net := NewNetwork(lineTopo(t), DefaultConfig())
+	net.Start()
+	var handled atomic.Int64
+	net.Node(1).Register("x", func(Message) { handled.Add(1) })
+	for i := 0; i < 100; i++ {
+		if err := net.Node(0).Send(1, "x", 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Stop()
+	net.Stop() // must not panic or deadlock
+	delivered := handled.Load()
+	dropped := net.Metrics.Counter("msgs.dropped").Value()
+	if delivered+int64(dropped) > 100 {
+		t.Fatalf("delivered %d + dropped %v exceeds sends", delivered, dropped)
+	}
+}
+
+func TestHandlersSerializedPerNode(t *testing.T) {
+	net := NewNetwork(lineTopo(t), DefaultConfig())
+	net.Start()
+	defer net.Stop()
+
+	var inHandler atomic.Int32
+	var overlap atomic.Bool
+	var count atomic.Int32
+	net.Node(4).Register("serial", func(Message) {
+		if inHandler.Add(1) > 1 {
+			overlap.Store(true)
+		}
+		time.Sleep(100 * time.Microsecond)
+		inHandler.Add(-1)
+		count.Add(1)
+	})
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_ = net.Node(topology.NodeID(src)).Send(4, "serial", 1, nil)
+			}
+		}(s)
+	}
+	wg.Wait()
+	deadline := time.After(10 * time.Second)
+	for count.Load() < 100 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/100 handled", count.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if overlap.Load() {
+		t.Fatal("handlers overlapped on one node")
+	}
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	net := NewNetwork(lineTopo(t), DefaultConfig())
+	net.Start()
+	got := make(chan struct{}, 2)
+	net.Node(1).Register("p", func(Message) { got <- struct{}{} })
+	_ = net.Node(0).Send(1, "p", 1, nil)
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first message lost")
+	}
+	net.Node(1).Unregister("p")
+	_ = net.Node(0).Send(1, "p", 1, nil)
+	deadline := time.After(2 * time.Second)
+	for net.Metrics.Counter("msgs.unrouted").Value() < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("message after Unregister was not counted unrouted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	net.Stop()
+}
+
+func TestSimMillis(t *testing.T) {
+	net := NewNetwork(lineTopo(t), Config{TimeScale: 100 * time.Microsecond})
+	if got := net.SimMillis(time.Millisecond); got != 10 {
+		t.Fatalf("SimMillis(1ms) = %v, want 10", got)
+	}
+}

@@ -1,0 +1,162 @@
+package placement
+
+import (
+	"fmt"
+
+	"github.com/hourglass/sbon/internal/costspace"
+	"github.com/hourglass/sbon/internal/dht"
+	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/vivaldi"
+)
+
+// NodeSource exposes the current cost-space coordinates of overlay nodes
+// to physical mappers. The optimizer environment implements it.
+type NodeSource interface {
+	// Space returns the cost space the coordinates live in.
+	Space() *costspace.Space
+	// NodeIDs returns all candidate host nodes.
+	NodeIDs() []topology.NodeID
+	// Point returns the node's current full cost-space coordinate.
+	Point(topology.NodeID) costspace.Point
+}
+
+// MapStats records the routing/search cost of one physical mapping.
+type MapStats struct {
+	LookupHops  int
+	PeersWalked int
+	Candidates  int
+	// Error is the full-space distance from the ideal coordinate to the
+	// chosen node's coordinate — the paper's mapping error.
+	Error float64
+}
+
+// Mapper maps an ideal vector coordinate to a physical node. The target's
+// scalar components are ideal (zero), so nodes with high scalar cost
+// appear distant (the Figure 3 mechanism).
+type Mapper interface {
+	// MapCoord returns the node hosting a service whose virtual placement
+	// chose the given vector coordinate. Nodes in exclude are skipped
+	// (used when a circuit must not co-locate services, or a node is
+	// being drained).
+	MapCoord(start topology.NodeID, vec vivaldi.Coord, exclude map[topology.NodeID]bool) (topology.NodeID, MapStats, error)
+	// Name identifies the mapper in experiment output.
+	Name() string
+}
+
+// OracleMapper scans every node and returns the one whose coordinate is
+// nearest in full-space distance — exact, centralised, and therefore the
+// ground truth mapping-error baseline.
+type OracleMapper struct {
+	Source NodeSource
+}
+
+// Name implements Mapper.
+func (OracleMapper) Name() string { return "oracle" }
+
+// MapCoord implements Mapper.
+func (m OracleMapper) MapCoord(_ topology.NodeID, vec vivaldi.Coord, exclude map[topology.NodeID]bool) (topology.NodeID, MapStats, error) {
+	space := m.Source.Space()
+	target := space.IdealPoint(vec)
+	best := topology.NodeID(-1)
+	bestDist := 0.0
+	n := 0
+	for _, id := range m.Source.NodeIDs() {
+		if exclude[id] {
+			continue
+		}
+		n++
+		d := space.Distance(target, m.Source.Point(id))
+		if best < 0 || d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	if best < 0 {
+		return 0, MapStats{}, fmt.Errorf("placement: no candidate nodes (all excluded)")
+	}
+	return best, MapStats{Candidates: n, Error: bestDist}, nil
+}
+
+// DHTMapper is the paper's decentralized mapping: look up the ideal
+// coordinate's Hilbert key in the DHT and take the nearest published
+// node coordinate (§3.2), considering Candidates nearby entries ranked by
+// full-space distance.
+type DHTMapper struct {
+	Catalog *dht.Catalog
+	// Candidates is how many nearby entries to rank (default 8).
+	Candidates int
+	// MaxScan bounds the ring walk (default 32 peers).
+	MaxScan int
+}
+
+// Name implements Mapper.
+func (DHTMapper) Name() string { return "hilbert-dht" }
+
+// MapCoord implements Mapper.
+func (m DHTMapper) MapCoord(start topology.NodeID, vec vivaldi.Coord, exclude map[topology.NodeID]bool) (topology.NodeID, MapStats, error) {
+	if m.Catalog == nil {
+		return 0, MapStats{}, fmt.Errorf("placement: DHTMapper has no catalog")
+	}
+	cands := m.Candidates
+	if cands <= 0 {
+		cands = 8
+	}
+	scan := m.MaxScan
+	if scan <= 0 {
+		scan = 32
+	}
+	space := m.Catalog.Space()
+	target := space.IdealPoint(vec)
+	// Ask for extra candidates to survive exclusions.
+	want := cands + len(exclude)
+	res, err := m.Catalog.NearestNodes(start, target, want, scan)
+	if err != nil {
+		return 0, MapStats{}, err
+	}
+	stats := MapStats{
+		LookupHops:  res.LookupHops,
+		PeersWalked: res.PeersWalked,
+		Candidates:  len(res.Entries),
+	}
+	for _, e := range res.Entries {
+		if exclude[e.Node] {
+			continue
+		}
+		stats.Error = space.Distance(target, e.Point)
+		return e.Node, stats, nil
+	}
+	return 0, stats, fmt.Errorf("placement: DHT walk found no admissible node (got %d entries)", len(res.Entries))
+}
+
+// VectorOnlyMapper ranks candidates by vector-subspace distance only,
+// ignoring scalar (load) dimensions. It exists to demonstrate the Figure
+// 3 failure mode: it will happily pick the overloaded nearer node N1.
+type VectorOnlyMapper struct {
+	Source NodeSource
+}
+
+// Name implements Mapper.
+func (VectorOnlyMapper) Name() string { return "vector-only" }
+
+// MapCoord implements Mapper.
+func (m VectorOnlyMapper) MapCoord(_ topology.NodeID, vec vivaldi.Coord, exclude map[topology.NodeID]bool) (topology.NodeID, MapStats, error) {
+	space := m.Source.Space()
+	target := space.IdealPoint(vec)
+	best := topology.NodeID(-1)
+	bestDist := 0.0
+	n := 0
+	for _, id := range m.Source.NodeIDs() {
+		if exclude[id] {
+			continue
+		}
+		n++
+		d := space.VectorDistance(target, m.Source.Point(id))
+		if best < 0 || d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	if best < 0 {
+		return 0, MapStats{}, fmt.Errorf("placement: no candidate nodes (all excluded)")
+	}
+	fullErr := space.Distance(target, m.Source.Point(best))
+	return best, MapStats{Candidates: n, Error: fullErr}, nil
+}

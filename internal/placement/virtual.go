@@ -1,0 +1,424 @@
+// Package placement implements the two phases of the paper's cost-space
+// service placement (§3.2):
+//
+//   - Virtual placement computes ideal coordinates for a circuit's
+//     unpinned services in the vector subspace of the cost space. The
+//     primary algorithm is spring Relaxation (from the companion SBON
+//     work the paper builds on): circuit links are springs whose constant
+//     is the link data rate and whose extension is the latency-space
+//     distance, and unpinned services are massless bodies that settle at
+//     the energy minimum. Weiszfeld, weighted-centroid, and
+//     gradient-descent placers are provided as alternatives/ablations.
+//
+//   - Physical mapping finds a real node near the ideal coordinate. The
+//     paper's mechanism is a Hilbert-keyed DHT lookup (DHTMapper); an
+//     exhaustive OracleMapper provides ground truth for measuring mapping
+//     error.
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hourglass/sbon/internal/vivaldi"
+)
+
+// Vertex is one service of a circuit being placed. Pinned vertices
+// (producers, consumers, reused services) have fixed coordinates;
+// unpinned vertices are placed by the algorithm.
+type Vertex struct {
+	// Pinned marks vertices whose coordinates are fixed.
+	Pinned bool
+	// Coord is the vertex's position in the vector subspace. For pinned
+	// vertices it is the input; for unpinned vertices it is the output
+	// (and may hold an initial guess on input; zero-value coords are
+	// seeded from the pinned centroid).
+	Coord vivaldi.Coord
+}
+
+// Link is an undirected circuit edge carrying Rate KB/s between the
+// vertices at indices A and B.
+type Link struct {
+	A, B int
+	Rate float64
+}
+
+// Problem is a circuit placement instance.
+type Problem struct {
+	Vertices []Vertex
+	Links    []Link
+}
+
+// Validate reports whether the problem is well formed: consistent
+// dimensions, valid link endpoints, positive rates, and at least one
+// pinned vertex (otherwise the optimum is degenerate — everything
+// collapses to a point).
+func (p *Problem) Validate() error {
+	if len(p.Vertices) == 0 {
+		return fmt.Errorf("placement: no vertices")
+	}
+	dims := -1
+	pinned := 0
+	for i, v := range p.Vertices {
+		if v.Pinned {
+			pinned++
+			if len(v.Coord) == 0 {
+				return fmt.Errorf("placement: pinned vertex %d has no coordinate", i)
+			}
+		}
+		if len(v.Coord) > 0 {
+			if dims == -1 {
+				dims = len(v.Coord)
+			} else if len(v.Coord) != dims {
+				return fmt.Errorf("placement: vertex %d has %d dims, expected %d", i, len(v.Coord), dims)
+			}
+		}
+	}
+	if pinned == 0 {
+		return fmt.Errorf("placement: no pinned vertices")
+	}
+	for i, l := range p.Links {
+		if l.A < 0 || l.A >= len(p.Vertices) || l.B < 0 || l.B >= len(p.Vertices) {
+			return fmt.Errorf("placement: link %d endpoints (%d,%d) out of range", i, l.A, l.B)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("placement: link %d is a self-loop", i)
+		}
+		if l.Rate <= 0 {
+			return fmt.Errorf("placement: link %d rate %v, need > 0", i, l.Rate)
+		}
+	}
+	return nil
+}
+
+// dims returns the coordinate dimensionality of the problem.
+func (p *Problem) dims() int {
+	for _, v := range p.Vertices {
+		if len(v.Coord) > 0 {
+			return len(v.Coord)
+		}
+	}
+	return 0
+}
+
+// pinnedCentroid returns the unweighted centroid of pinned vertices,
+// used to seed unpinned coordinates.
+func (p *Problem) pinnedCentroid() vivaldi.Coord {
+	d := p.dims()
+	c := make(vivaldi.Coord, d)
+	n := 0
+	for _, v := range p.Vertices {
+		if v.Pinned {
+			for i := range c {
+				c[i] += v.Coord[i]
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		for i := range c {
+			c[i] /= float64(n)
+		}
+	}
+	return c
+}
+
+// QuadraticEnergy returns Σ rate·dist² over the links — the spring
+// potential Relaxation minimizes.
+func (p *Problem) QuadraticEnergy() float64 {
+	var e float64
+	for _, l := range p.Links {
+		d := p.Vertices[l.A].Coord.Distance(p.Vertices[l.B].Coord)
+		e += l.Rate * d * d
+	}
+	return e
+}
+
+// LinearCost returns Σ rate·dist over the links — the network-usage
+// objective (data in transit) that the quadratic spring model surrogates.
+func (p *Problem) LinearCost() float64 {
+	var c float64
+	for _, l := range p.Links {
+		c += l.Rate * p.Vertices[l.A].Coord.Distance(p.Vertices[l.B].Coord)
+	}
+	return c
+}
+
+// VirtualPlacer computes coordinates for the unpinned vertices of a
+// problem, mutating their Coord fields in place.
+type VirtualPlacer interface {
+	// PlaceVirtual solves the problem. Implementations must leave pinned
+	// coordinates untouched.
+	PlaceVirtual(p *Problem) error
+	// Name identifies the placer in experiment output.
+	Name() string
+}
+
+// Relaxation is the paper's spring-relaxation virtual placement: each
+// unpinned vertex is iteratively moved to the rate-weighted centroid of
+// its neighbors (the exact minimizer of the quadratic spring energy for
+// that vertex with others fixed, i.e. Gauss–Seidel coordinate descent).
+type Relaxation struct {
+	// MaxIter bounds the sweeps over unpinned vertices (default 200).
+	MaxIter int
+	// Tolerance stops iteration when no vertex moves farther than this
+	// (default 1e-3, in coordinate units ≈ milliseconds).
+	Tolerance float64
+}
+
+// Name implements VirtualPlacer.
+func (r Relaxation) Name() string { return "relaxation" }
+
+// PlaceVirtual implements VirtualPlacer.
+func (r Relaxation) PlaceVirtual(p *Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	maxIter := r.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	tol := r.Tolerance
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	seedUnpinned(p)
+	adj := buildAdjacency(p)
+	d := p.dims()
+	for iter := 0; iter < maxIter; iter++ {
+		maxMove := 0.0
+		for vi := range p.Vertices {
+			v := &p.Vertices[vi]
+			if v.Pinned || len(adj[vi]) == 0 {
+				continue
+			}
+			num := make(vivaldi.Coord, d)
+			var den float64
+			for _, e := range adj[vi] {
+				o := p.Vertices[e.other].Coord
+				for k := range num {
+					num[k] += e.rate * o[k]
+				}
+				den += e.rate
+			}
+			next := num.Scale(1 / den)
+			if move := next.Distance(v.Coord); move > maxMove {
+				maxMove = move
+			}
+			v.Coord = next
+		}
+		if maxMove < tol {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Weiszfeld minimizes the linear network-usage objective Σ rate·dist
+// directly (the multi-facility Weber problem), as an ablation against the
+// quadratic spring surrogate (experiment X7). The iteration is IRLS with
+// a smoothed objective Σ rate·√(dist²+ε²) — block-coordinate updates on
+// the smoothed problem descend monotonically, avoiding the stalls of the
+// raw Weiszfeld fixed point when services coincide. Coordinates are
+// seeded from the quadratic Relaxation solution.
+type Weiszfeld struct {
+	MaxIter   int
+	Tolerance float64
+	// Epsilon is the smoothing length in coordinate units (default 1e-3,
+	// i.e. a microsecond in latency space).
+	Epsilon float64
+}
+
+// Name implements VirtualPlacer.
+func (w Weiszfeld) Name() string { return "weiszfeld" }
+
+// PlaceVirtual implements VirtualPlacer.
+func (w Weiszfeld) PlaceVirtual(p *Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	maxIter := w.MaxIter
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	tol := w.Tolerance
+	if tol <= 0 {
+		tol = 1e-5
+	}
+	eps := w.Epsilon
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	// Seed from the quadratic optimum: a good convex start.
+	if err := (Relaxation{MaxIter: maxIter, Tolerance: tol}).PlaceVirtual(p); err != nil {
+		return err
+	}
+	adj := buildAdjacency(p)
+	d := p.dims()
+	for iter := 0; iter < maxIter; iter++ {
+		maxMove := 0.0
+		for vi := range p.Vertices {
+			v := &p.Vertices[vi]
+			if v.Pinned || len(adj[vi]) == 0 {
+				continue
+			}
+			num := make(vivaldi.Coord, d)
+			var den float64
+			for _, e := range adj[vi] {
+				o := p.Vertices[e.other].Coord
+				dist := v.Coord.Distance(o)
+				wgt := e.rate / math.Sqrt(dist*dist+eps*eps)
+				for k := range num {
+					num[k] += wgt * o[k]
+				}
+				den += wgt
+			}
+			next := num.Scale(1 / den)
+			if move := next.Distance(v.Coord); move > maxMove {
+				maxMove = move
+			}
+			v.Coord = next
+		}
+		if maxMove < tol {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Centroid is the one-shot baseline: each unpinned vertex is set to the
+// rate-weighted centroid of its *pinned* neighbors only (no iteration).
+// It matches Relaxation exactly on star circuits and degrades on deeper
+// trees.
+type Centroid struct{}
+
+// Name implements VirtualPlacer.
+func (Centroid) Name() string { return "centroid" }
+
+// PlaceVirtual implements VirtualPlacer.
+func (Centroid) PlaceVirtual(p *Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	seedUnpinned(p)
+	adj := buildAdjacency(p)
+	d := p.dims()
+	for vi := range p.Vertices {
+		v := &p.Vertices[vi]
+		if v.Pinned {
+			continue
+		}
+		num := make(vivaldi.Coord, d)
+		var den float64
+		for _, e := range adj[vi] {
+			o := p.Vertices[e.other]
+			if !o.Pinned {
+				continue
+			}
+			for k := range num {
+				num[k] += e.rate * o.Coord[k]
+			}
+			den += e.rate
+		}
+		if den > 0 {
+			v.Coord = num.Scale(1 / den)
+		}
+	}
+	return nil
+}
+
+// GradientDescent minimizes the quadratic spring energy with plain
+// gradient steps — slower than Relaxation but demonstrates the paper's
+// remark that "other virtual placement algorithms could be based on ...
+// a gradient descent within the cost space" [18].
+type GradientDescent struct {
+	MaxIter   int
+	Step      float64 // relative step size (default 0.05)
+	Tolerance float64
+}
+
+// Name implements VirtualPlacer.
+func (GradientDescent) Name() string { return "gradient" }
+
+// PlaceVirtual implements VirtualPlacer.
+func (g GradientDescent) PlaceVirtual(p *Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	maxIter := g.MaxIter
+	if maxIter <= 0 {
+		maxIter = 2000
+	}
+	step := g.Step
+	if step <= 0 {
+		step = 0.05
+	}
+	tol := g.Tolerance
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	seedUnpinned(p)
+	adj := buildAdjacency(p)
+	d := p.dims()
+	for iter := 0; iter < maxIter; iter++ {
+		maxMove := 0.0
+		for vi := range p.Vertices {
+			v := &p.Vertices[vi]
+			if v.Pinned || len(adj[vi]) == 0 {
+				continue
+			}
+			// ∇E_v = Σ 2·rate·(x_v - x_u); scale step by Σ rate so the
+			// effective step is dimensionless.
+			grad := make(vivaldi.Coord, d)
+			var totalRate float64
+			for _, e := range adj[vi] {
+				o := p.Vertices[e.other].Coord
+				for k := range grad {
+					grad[k] += 2 * e.rate * (v.Coord[k] - o[k])
+				}
+				totalRate += e.rate
+			}
+			delta := grad.Scale(-step / (2 * totalRate))
+			v.Coord = v.Coord.Add(delta)
+			if m := delta.Norm(); m > maxMove {
+				maxMove = m
+			}
+		}
+		if maxMove < tol {
+			return nil
+		}
+	}
+	return nil
+}
+
+// adjEntry is one incident link from a vertex's perspective.
+type adjEntry struct {
+	other int
+	rate  float64
+}
+
+func buildAdjacency(p *Problem) [][]adjEntry {
+	adj := make([][]adjEntry, len(p.Vertices))
+	for _, l := range p.Links {
+		adj[l.A] = append(adj[l.A], adjEntry{other: l.B, rate: l.Rate})
+		adj[l.B] = append(adj[l.B], adjEntry{other: l.A, rate: l.Rate})
+	}
+	return adj
+}
+
+// seedUnpinned gives zero-length unpinned coordinates an initial position
+// at the pinned centroid.
+func seedUnpinned(p *Problem) {
+	d := p.dims()
+	var seed vivaldi.Coord
+	for vi := range p.Vertices {
+		v := &p.Vertices[vi]
+		if v.Pinned || len(v.Coord) == d {
+			continue
+		}
+		if seed == nil {
+			seed = p.pinnedCentroid()
+		}
+		v.Coord = seed.Clone()
+	}
+}

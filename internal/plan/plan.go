@@ -1,0 +1,292 @@
+// Package plan implements plan generation for SBON queries: enumerating
+// candidate logical plans (join trees) over a query's source streams and
+// costing them with the network-oblivious rate model from the statistics
+// catalog.
+//
+// Two enumeration strategies are provided:
+//
+//   - Exhaustive enumeration of all unordered binary join trees, feasible
+//     for small stream counts ((2k-3)!! trees over k streams: 15 for a
+//     4-way join). The integrated optimizer virtually places each of these
+//     (§3.3: "a set of candidate plans is created ... each plan is
+//     virtually placed and physically mapped").
+//   - Subset dynamic programming with a beam (top-B plans kept per stream
+//     subset), for larger queries where exhaustive enumeration explodes.
+//
+// Plans returned are deduplicated by canonical signature and sorted by the
+// traditional cost metric, total intermediate data rate.
+package plan
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/hourglass/sbon/internal/query"
+)
+
+// Enumerator generates candidate logical plans for queries.
+type Enumerator struct {
+	// Catalog supplies rates and selectivities.
+	Catalog *query.Catalog
+	// MaxExhaustive is the largest stream count for which all join trees
+	// are enumerated; above it the beam DP is used. Default 6.
+	MaxExhaustive int
+	// TopK bounds the number of plans returned (0 = all generated).
+	TopK int
+	// BeamWidth is the number of plans kept per stream subset in the DP
+	// (default 3).
+	BeamWidth int
+}
+
+// NewEnumerator returns an enumerator with default limits.
+func NewEnumerator(c *query.Catalog) *Enumerator {
+	return &Enumerator{Catalog: c, MaxExhaustive: 6, BeamWidth: 3}
+}
+
+// Enumerate returns candidate plans for q, cheapest (by intermediate
+// rate) first. Every plan has rates computed and ends with the query's
+// aggregate, if any.
+func (e *Enumerator) Enumerate(q query.Query) ([]*query.PlanNode, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Catalog == nil {
+		return nil, fmt.Errorf("plan: enumerator has no catalog")
+	}
+	for _, s := range q.Streams {
+		if e.Catalog.Rate(s) <= 0 {
+			return nil, fmt.Errorf("plan: stream %d not in catalog", s)
+		}
+	}
+
+	leaves := make([]*query.PlanNode, len(q.Streams))
+	for i, s := range q.Streams {
+		leaf := query.NewSource(s)
+		if sel, ok := q.FilterSel[s]; ok {
+			leaf = query.NewFilter(leaf, sel)
+		}
+		leaves[i] = leaf
+	}
+
+	var trees []*query.PlanNode
+	maxEx := e.MaxExhaustive
+	if maxEx <= 0 {
+		maxEx = 6
+	}
+	if len(leaves) <= maxEx {
+		trees = enumerateAllTrees(leaves)
+	} else {
+		var err error
+		trees, err = e.beamDP(leaves)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	seen := make(map[string]bool, len(trees))
+	plans := make([]*query.PlanNode, 0, len(trees))
+	for _, tr := range trees {
+		root := tr
+		if q.AggregateFraction > 0 {
+			root = query.NewAggregate(root, q.AggregateFraction)
+		}
+		if err := root.ComputeRates(e.Catalog); err != nil {
+			return nil, err
+		}
+		sig := root.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		plans = append(plans, root)
+	}
+	sort.SliceStable(plans, func(i, j int) bool {
+		return plans[i].IntermediateRate() < plans[j].IntermediateRate()
+	})
+	if e.TopK > 0 && len(plans) > e.TopK {
+		plans = plans[:e.TopK]
+	}
+	return plans, nil
+}
+
+// Best returns only the cheapest plan by intermediate rate — what a
+// traditional two-step optimizer would hand to the placement phase.
+func (e *Enumerator) Best(q query.Query) (*query.PlanNode, error) {
+	saved := e.TopK
+	e.TopK = 1
+	plans, err := e.Enumerate(q)
+	e.TopK = saved
+	if err != nil {
+		return nil, err
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("plan: no plans for query %d", q.ID)
+	}
+	return plans[0], nil
+}
+
+// CountTrees returns the number of unordered binary join trees over k
+// leaves: (2k-3)!! for k >= 2, 1 for k <= 1.
+func CountTrees(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	n := 1
+	for f := 2*k - 3; f > 1; f -= 2 {
+		n *= f
+	}
+	return n
+}
+
+// enumerateAllTrees generates every unordered binary join tree over the
+// leaves. Mirror duplicates are avoided by keeping the leaf with the
+// lowest index on the left side of every split.
+func enumerateAllTrees(leaves []*query.PlanNode) []*query.PlanNode {
+	idx := make([]int, len(leaves))
+	for i := range idx {
+		idx[i] = i
+	}
+	var build func(set []int) []*query.PlanNode
+	build = func(set []int) []*query.PlanNode {
+		if len(set) == 1 {
+			// Fresh clone per use: plans must not share mutable nodes.
+			return []*query.PlanNode{leaves[set[0]].Clone()}
+		}
+		var out []*query.PlanNode
+		first, rest := set[0], set[1:]
+		// Choose which of the remaining leaves accompany `first` on the
+		// left side: any proper subset (possibly empty).
+		n := len(rest)
+		for mask := 0; mask < 1<<n; mask++ {
+			left := []int{first}
+			var right []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					left = append(left, rest[i])
+				} else {
+					right = append(right, rest[i])
+				}
+			}
+			if len(right) == 0 {
+				continue
+			}
+			for _, lt := range build(left) {
+				for _, rt := range build(right) {
+					out = append(out, query.NewJoin(lt.Clone(), rt.Clone()))
+				}
+			}
+		}
+		return out
+	}
+	return build(idx)
+}
+
+// ratedPlan pairs a subtree with its cumulative intermediate rate, used
+// by the beam DP.
+type ratedPlan struct {
+	node *query.PlanNode
+	cost float64
+}
+
+// beamDP runs subset dynamic programming keeping the BeamWidth cheapest
+// plans per stream subset. Cost is cumulative intermediate rate, which is
+// additive over subtrees, so the beam is a high-quality heuristic (exact
+// when BeamWidth covers all distinct subtree rates).
+func (e *Enumerator) beamDP(leaves []*query.PlanNode) ([]*query.PlanNode, error) {
+	k := len(leaves)
+	if k > 20 {
+		return nil, fmt.Errorf("plan: %d streams exceeds DP limit of 20", k)
+	}
+	beam := e.BeamWidth
+	if beam < 1 {
+		beam = 3
+	}
+	dp := make([][]ratedPlan, 1<<k)
+	for i, leaf := range leaves {
+		l := leaf.Clone()
+		if err := l.ComputeRates(e.Catalog); err != nil {
+			return nil, err
+		}
+		cost := 0.0
+		if l.Kind != query.KindSource {
+			cost = l.OutRate // a pushed-down filter is a service too
+		}
+		dp[1<<i] = []ratedPlan{{node: l, cost: cost}}
+	}
+	for mask := 1; mask < 1<<k; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		lowest := mask & -mask
+		var cands []ratedPlan
+		// Enumerate splits; keep the lowest bit on the left to halve work.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			if sub&lowest == 0 {
+				continue
+			}
+			other := mask ^ sub
+			if other == 0 {
+				continue
+			}
+			for _, lp := range dp[sub] {
+				for _, rp := range dp[other] {
+					jn := query.NewJoin(lp.node.Clone(), rp.node.Clone())
+					if err := jn.ComputeRates(e.Catalog); err != nil {
+						return nil, err
+					}
+					cands = append(cands, ratedPlan{
+						node: jn,
+						cost: lp.cost + rp.cost + jn.OutRate,
+					})
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].cost < cands[j].cost })
+		if len(cands) > beam {
+			cands = cands[:beam]
+		}
+		dp[mask] = cands
+	}
+	full := dp[1<<k-1]
+	out := make([]*query.PlanNode, len(full))
+	for i, rp := range full {
+		out[i] = rp.node
+	}
+	return out, nil
+}
+
+// LeftDeepChain builds the left-deep join tree over the query's streams
+// ordered by ascending source rate — the classic greedy heuristic, used
+// as a baseline plan shape in the Figure 1 experiment.
+func LeftDeepChain(q query.Query, c *query.Catalog) (*query.PlanNode, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	streams := append([]query.StreamID(nil), q.Streams...)
+	sort.Slice(streams, func(i, j int) bool {
+		ri, rj := c.Rate(streams[i]), c.Rate(streams[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return streams[i] < streams[j]
+	})
+	mk := func(s query.StreamID) *query.PlanNode {
+		leaf := query.NewSource(s)
+		if sel, ok := q.FilterSel[s]; ok {
+			leaf = query.NewFilter(leaf, sel)
+		}
+		return leaf
+	}
+	root := mk(streams[0])
+	for _, s := range streams[1:] {
+		root = query.NewJoin(root, mk(s))
+	}
+	if q.AggregateFraction > 0 {
+		root = query.NewAggregate(root, q.AggregateFraction)
+	}
+	if err := root.ComputeRates(c); err != nil {
+		return nil, err
+	}
+	return root, nil
+}

@@ -1,0 +1,394 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+func testCatalog(t *testing.T, nStreams int, seed int64) *query.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c, err := query.NewCatalog(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nStreams; i++ {
+		if err := c.AddStream(query.StreamID(i), topology.NodeID(i), 50+rng.Float64()*400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nStreams; i++ {
+		for j := i + 1; j < nStreams; j++ {
+			if err := c.SetPairSelectivity(query.StreamID(i), query.StreamID(j), 0.3+rng.Float64()*0.9); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+func streams(n int) []query.StreamID {
+	out := make([]query.StreamID, n)
+	for i := range out {
+		out[i] = query.StreamID(i)
+	}
+	return out
+}
+
+func TestCountTrees(t *testing.T) {
+	want := map[int]int{1: 1, 2: 1, 3: 3, 4: 15, 5: 105, 6: 945}
+	for k, n := range want {
+		if got := CountTrees(k); got != n {
+			t.Fatalf("CountTrees(%d) = %d, want %d", k, got, n)
+		}
+	}
+}
+
+func TestEnumerateCountsMatchClosedForm(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		c := testCatalog(t, k, int64(k))
+		e := NewEnumerator(c)
+		plans, err := e.Enumerate(query.Query{ID: 1, Streams: streams(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Signature dedup can only reduce the count if two trees coincide,
+		// which cannot happen for distinct shapes over distinct leaves.
+		if len(plans) != CountTrees(k) {
+			t.Fatalf("k=%d: %d plans, want %d", k, len(plans), CountTrees(k))
+		}
+	}
+}
+
+func TestEnumerateSortedByIntermediateRate(t *testing.T) {
+	c := testCatalog(t, 5, 7)
+	e := NewEnumerator(c)
+	plans, err := e.Enumerate(query.Query{ID: 1, Streams: streams(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i-1].IntermediateRate() > plans[i].IntermediateRate() {
+			t.Fatal("plans not sorted by intermediate rate")
+		}
+	}
+}
+
+func TestEnumerateAllPlansCoverAllStreams(t *testing.T) {
+	c := testCatalog(t, 4, 3)
+	e := NewEnumerator(c)
+	plans, err := e.Enumerate(query.Query{ID: 1, Streams: streams(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		leaves := p.Leaves()
+		if len(leaves) != 4 {
+			t.Fatalf("plan %s has %d leaves", p, len(leaves))
+		}
+		seen := map[query.StreamID]bool{}
+		for _, s := range leaves {
+			seen[s] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("plan %s repeats leaves", p)
+		}
+	}
+}
+
+func TestEnumerateAppliesFiltersAndAggregate(t *testing.T) {
+	c := testCatalog(t, 3, 4)
+	q := query.Query{
+		ID: 1, Streams: streams(3),
+		FilterSel:         map[query.StreamID]float64{0: 0.5},
+		AggregateFraction: 0.2,
+	}
+	e := NewEnumerator(c)
+	plans, err := e.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Kind != query.KindAggregate {
+			t.Fatalf("plan root is %v, want aggregate", p.Kind)
+		}
+		foundFilter := false
+		for _, s := range p.Services() {
+			if s.Kind == query.KindFilter {
+				foundFilter = true
+			}
+		}
+		if !foundFilter {
+			t.Fatalf("plan %s lost the pushed-down filter", p)
+		}
+	}
+}
+
+func TestEnumerateTopK(t *testing.T) {
+	c := testCatalog(t, 4, 5)
+	e := NewEnumerator(c)
+	e.TopK = 3
+	plans, err := e.Enumerate(query.Query{ID: 1, Streams: streams(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("TopK=3 returned %d plans", len(plans))
+	}
+}
+
+func TestEnumerateSingleStream(t *testing.T) {
+	c := testCatalog(t, 1, 6)
+	e := NewEnumerator(c)
+	plans, err := e.Enumerate(query.Query{ID: 1, Streams: streams(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 || plans[0].Kind != query.KindSource {
+		t.Fatalf("single-stream plans = %v", plans)
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	c := testCatalog(t, 2, 8)
+	e := NewEnumerator(c)
+	if _, err := e.Enumerate(query.Query{ID: 1}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := e.Enumerate(query.Query{ID: 1, Streams: []query.StreamID{5}}); err == nil {
+		t.Fatal("unknown stream accepted")
+	}
+	e.Catalog = nil
+	if _, err := e.Enumerate(query.Query{ID: 1, Streams: streams(2)}); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+}
+
+func TestBestReturnsCheapest(t *testing.T) {
+	c := testCatalog(t, 4, 9)
+	e := NewEnumerator(c)
+	q := query.Query{ID: 1, Streams: streams(4)}
+	best, err := e.Best(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := e.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Signature() != all[0].Signature() {
+		t.Fatalf("Best() = %s, cheapest enumerated = %s", best, all[0])
+	}
+	if e.TopK != 0 {
+		t.Fatal("Best() must restore TopK")
+	}
+}
+
+// The beam DP with a generous beam must find the same optimum as
+// exhaustive enumeration.
+func TestBeamDPMatchesExhaustiveOptimum(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		c := testCatalog(t, 5, seed)
+		q := query.Query{ID: 1, Streams: streams(5)}
+
+		ex := NewEnumerator(c)
+		exPlans, err := ex.Enumerate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dp := NewEnumerator(c)
+		dp.MaxExhaustive = 1 // force the DP path
+		dp.BeamWidth = 12
+		dpPlans, err := dp.Enumerate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dpPlans) == 0 {
+			t.Fatal("DP returned no plans")
+		}
+		exBest := exPlans[0].IntermediateRate()
+		dpBest := dpPlans[0].IntermediateRate()
+		if math.Abs(exBest-dpBest) > 1e-6*exBest {
+			t.Fatalf("seed %d: DP best %v != exhaustive best %v", seed, dpBest, exBest)
+		}
+	}
+}
+
+func TestBeamDPHandlesLargerQueries(t *testing.T) {
+	c := testCatalog(t, 9, 11)
+	e := NewEnumerator(c)
+	plans, err := e.Enumerate(query.Query{ID: 1, Streams: streams(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans for 9-way join")
+	}
+	if got := len(plans[0].Leaves()); got != 9 {
+		t.Fatalf("plan covers %d leaves, want 9", got)
+	}
+}
+
+func TestBeamDPRejectsHugeQueries(t *testing.T) {
+	c := testCatalog(t, 2, 12)
+	e := NewEnumerator(c)
+	e.MaxExhaustive = 1
+	big := make([]query.StreamID, 21)
+	for i := range big {
+		big[i] = query.StreamID(i)
+		if i >= 2 {
+			if err := c.AddStream(query.StreamID(i), topology.NodeID(i), 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.Enumerate(query.Query{ID: 1, Streams: big}); err == nil {
+		t.Fatal("21-stream DP accepted")
+	}
+}
+
+func TestLeftDeepChainShape(t *testing.T) {
+	c := testCatalog(t, 4, 13)
+	q := query.Query{ID: 1, Streams: streams(4)}
+	root, err := LeftDeepChain(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left-deep: every right child is a leaf (or filtered leaf).
+	n := root
+	depth := 0
+	for n.Kind == query.KindJoin {
+		r := n.Right
+		for r.Kind == query.KindFilter {
+			r = r.Left
+		}
+		if r.Kind != query.KindSource {
+			t.Fatalf("right child at depth %d is %v, want source", depth, r.Kind)
+		}
+		n = n.Left
+		depth++
+	}
+	if depth != 3 {
+		t.Fatalf("chain depth = %d, want 3", depth)
+	}
+}
+
+func TestLeftDeepChainOrdersByRate(t *testing.T) {
+	c, err := query.NewCatalog(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[query.StreamID]float64{0: 300, 1: 100, 2: 200}
+	for s, r := range rates {
+		if err := c.AddStream(s, topology.NodeID(s), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, err := LeftDeepChain(query.Query{ID: 1, Streams: []query.StreamID{0, 1, 2}}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := root.Leaves()
+	// Ascending rate: 1 (100), 2 (200), 0 (300).
+	want := []query.StreamID{1, 2, 0}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("Leaves() = %v, want %v", leaves, want)
+		}
+	}
+}
+
+func TestLeftDeepChainValidates(t *testing.T) {
+	c := testCatalog(t, 2, 14)
+	if _, err := LeftDeepChain(query.Query{ID: 1}, c); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+// Property: for random small catalogs, the exhaustive minimum is no worse
+// than the left-deep heuristic.
+func TestExhaustiveBeatsLeftDeepProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := testCatalog(t, 4, seed)
+		q := query.Query{ID: 1, Streams: streams(4)}
+		e := NewEnumerator(c)
+		best, err := e.Best(q)
+		if err != nil {
+			return false
+		}
+		ld, err := LeftDeepChain(q, c)
+		if err != nil {
+			return false
+		}
+		return best.IntermediateRate() <= ld.IntermediateRate()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every enumerated plan's rates are internally consistent with
+// a fresh recomputation.
+func TestEnumerateRatesConsistentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := testCatalog(t, 4, seed)
+		e := NewEnumerator(c)
+		plans, err := e.Enumerate(query.Query{ID: 1, Streams: streams(4)})
+		if err != nil {
+			return false
+		}
+		for _, p := range plans {
+			cp := p.Clone()
+			if err := cp.ComputeRates(c); err != nil {
+				return false
+			}
+			if math.Abs(cp.OutRate-p.OutRate) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEnumerate5Way(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c, _ := query.NewCatalog(0.9)
+	for i := 0; i < 5; i++ {
+		_ = c.AddStream(query.StreamID(i), topology.NodeID(i), 50+rng.Float64()*400)
+	}
+	e := NewEnumerator(c)
+	q := query.Query{ID: 1, Streams: streams(5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Enumerate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBeamDP10Way(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c, _ := query.NewCatalog(0.9)
+	ids := make([]query.StreamID, 10)
+	for i := range ids {
+		ids[i] = query.StreamID(i)
+		_ = c.AddStream(ids[i], topology.NodeID(i), 50+rng.Float64()*400)
+	}
+	e := NewEnumerator(c)
+	q := query.Query{ID: 1, Streams: ids}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Enumerate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"github.com/hourglass/sbon/internal/query"
+)
+
+// Rotations returns the one-step join reorderings of a plan tree — the
+// "limited plan re-writing ... reordering of services" a re-optimizing
+// node can perform (§3.3 of the paper). For every edge between a join
+// and a join child, the associativity rotations are generated:
+//
+//	(A ⋈ B) ⋈ C   →   (A ⋈ C) ⋈ B   and   (B ⋈ C) ⋈ A
+//
+// where A, B, C are maximal non-join subtrees (sources, filtered
+// sources, aggregates). Non-join operators above the rotation point are
+// preserved. Results are deduplicated by canonical signature and exclude
+// the original tree; rates are NOT computed — callers must invoke
+// ComputeRates before costing.
+func Rotations(root *query.PlanNode) []*query.PlanNode {
+	if root == nil {
+		return nil
+	}
+	variants := rotateNode(root)
+	seen := map[string]bool{root.Signature(): true}
+	out := make([]*query.PlanNode, 0, len(variants))
+	for _, v := range variants {
+		sig := v.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// rotateNode returns full copies of the subtree rooted at n with exactly
+// one rotation applied somewhere inside it.
+func rotateNode(n *query.PlanNode) []*query.PlanNode {
+	if n == nil || n.Kind == query.KindSource {
+		return nil
+	}
+	var out []*query.PlanNode
+
+	// A variant inside the left child, with the rest of this node intact.
+	for _, lv := range rotateNode(n.Left) {
+		c := shallowCopy(n)
+		c.Left = lv
+		c.Right = n.Right.Clone()
+		out = append(out, c)
+	}
+	// A variant inside the right child.
+	for _, rv := range rotateNode(n.Right) {
+		c := shallowCopy(n)
+		c.Left = n.Left.Clone()
+		c.Right = rv
+		out = append(out, c)
+	}
+
+	// Local rotations at this node.
+	if n.Kind == query.KindJoin {
+		if n.Left != nil && n.Left.Kind == query.KindJoin {
+			a, b, c := n.Left.Left, n.Left.Right, n.Right
+			out = append(out,
+				query.NewJoin(query.NewJoin(a.Clone(), c.Clone()), b.Clone()),
+				query.NewJoin(query.NewJoin(b.Clone(), c.Clone()), a.Clone()),
+			)
+		}
+		if n.Right != nil && n.Right.Kind == query.KindJoin {
+			a, b, c := n.Left, n.Right.Left, n.Right.Right
+			out = append(out,
+				query.NewJoin(query.NewJoin(a.Clone(), b.Clone()), c.Clone()),
+				query.NewJoin(query.NewJoin(a.Clone(), c.Clone()), b.Clone()),
+			)
+		}
+	}
+	return out
+}
+
+// shallowCopy duplicates a node without children.
+func shallowCopy(n *query.PlanNode) *query.PlanNode {
+	c := *n
+	c.Left, c.Right = nil, nil
+	return &c
+}

@@ -1,0 +1,421 @@
+// Package query defines the SBON query model: streams published by pinned
+// producers, continuous queries posed by pinned consumers, and logical
+// plans — trees of services (operators) that transform the source streams
+// into the consumer's result stream.
+//
+// The model is deliberately agnostic to the data model, like the paper's
+// SBON definition: services are characterized by their rate behaviour
+// (selectivity) and identity (signature), which is all that plan
+// generation, placement, and multi-query reuse need. The stream engine
+// (package stream) gives the same operators executable semantics.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// StreamID identifies a published source stream.
+type StreamID int
+
+// QueryID identifies a continuous query.
+type QueryID int
+
+// ServiceKind enumerates the operator types a plan can contain.
+type ServiceKind uint8
+
+// Service kinds.
+const (
+	// KindSource is a leaf: the stream as published by its producer.
+	KindSource ServiceKind = iota
+	// KindFilter drops tuples, keeping a fraction equal to its selectivity.
+	KindFilter
+	// KindJoin is a windowed two-way stream join.
+	KindJoin
+	// KindAggregate is a windowed aggregate emitting a reduced stream.
+	KindAggregate
+	// KindUnion merges two streams without reduction.
+	KindUnion
+)
+
+// String returns the lower-case kind name.
+func (k ServiceKind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindFilter:
+		return "filter"
+	case KindJoin:
+		return "join"
+	case KindAggregate:
+		return "aggregate"
+	case KindUnion:
+		return "union"
+	default:
+		return fmt.Sprintf("ServiceKind(%d)", uint8(k))
+	}
+}
+
+// Query is a continuous query: a windowed equi-join over a set of source
+// streams, optionally pre-filtered per source and aggregated at the top,
+// delivered to a pinned consumer node.
+type Query struct {
+	ID       QueryID
+	Consumer topology.NodeID
+	// Streams lists the joined source streams (len >= 1).
+	Streams []StreamID
+	// FilterSel, if non-nil, gives per-source filter selectivities in
+	// (0,1]; sources absent from the map are unfiltered.
+	FilterSel map[StreamID]float64
+	// AggregateFraction, if > 0, adds a windowed aggregate above the join
+	// whose output rate is this fraction of its input rate.
+	AggregateFraction float64
+}
+
+// Validate reports whether the query is well formed.
+func (q Query) Validate() error {
+	if len(q.Streams) == 0 {
+		return fmt.Errorf("query %d: no source streams", q.ID)
+	}
+	seen := make(map[StreamID]bool, len(q.Streams))
+	for _, s := range q.Streams {
+		if seen[s] {
+			return fmt.Errorf("query %d: duplicate stream %d", q.ID, s)
+		}
+		seen[s] = true
+	}
+	for s, sel := range q.FilterSel {
+		if !seen[s] {
+			return fmt.Errorf("query %d: filter on stream %d not in query", q.ID, s)
+		}
+		if sel <= 0 || sel > 1 {
+			return fmt.Errorf("query %d: filter selectivity %v on stream %d out of (0,1]", q.ID, sel, s)
+		}
+	}
+	if q.AggregateFraction < 0 || q.AggregateFraction > 1 {
+		return fmt.Errorf("query %d: aggregate fraction %v out of [0,1]", q.ID, q.AggregateFraction)
+	}
+	return nil
+}
+
+// Catalog holds the statistics plan generation uses: per-stream data
+// rates and producers, and pairwise join selectivities.
+//
+// Rate model (see DESIGN.md §4): a join's output rate is
+// sel(left,right)·(rateL + rateR), where sel is the product of the
+// pairwise selectivities across the two sides. This keeps rates in linear
+// KB/s units, which is what link-level network usage needs; the
+// relational cross-product model has no stable rate unit for unbounded
+// streams.
+type Catalog struct {
+	rates      map[StreamID]float64
+	producers  map[StreamID]topology.NodeID
+	pairSel    map[[2]StreamID]float64
+	defaultSel float64
+}
+
+// NewCatalog returns an empty catalog with the given default pairwise
+// join selectivity (used for stream pairs without an explicit entry).
+func NewCatalog(defaultSel float64) (*Catalog, error) {
+	if defaultSel <= 0 {
+		return nil, fmt.Errorf("query: default selectivity %v, need > 0", defaultSel)
+	}
+	return &Catalog{
+		rates:      make(map[StreamID]float64),
+		producers:  make(map[StreamID]topology.NodeID),
+		pairSel:    make(map[[2]StreamID]float64),
+		defaultSel: defaultSel,
+	}, nil
+}
+
+// AddStream registers a source stream with its producer node and data
+// rate in KB/s.
+func (c *Catalog) AddStream(s StreamID, producer topology.NodeID, rate float64) error {
+	if rate <= 0 {
+		return fmt.Errorf("query: stream %d rate %v, need > 0", s, rate)
+	}
+	if _, ok := c.rates[s]; ok {
+		return fmt.Errorf("query: stream %d already registered", s)
+	}
+	c.rates[s] = rate
+	c.producers[s] = producer
+	return nil
+}
+
+// SetPairSelectivity sets the join selectivity between two streams
+// (symmetric).
+func (c *Catalog) SetPairSelectivity(a, b StreamID, sel float64) error {
+	if sel <= 0 {
+		return fmt.Errorf("query: selectivity %v for (%d,%d), need > 0", sel, a, b)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	c.pairSel[[2]StreamID{a, b}] = sel
+	return nil
+}
+
+// PairSelectivity returns the join selectivity between streams a and b.
+func (c *Catalog) PairSelectivity(a, b StreamID) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if sel, ok := c.pairSel[[2]StreamID{a, b}]; ok {
+		return sel
+	}
+	return c.defaultSel
+}
+
+// Rate returns the stream's data rate in KB/s (0 if unknown).
+func (c *Catalog) Rate(s StreamID) float64 { return c.rates[s] }
+
+// Producer returns the node that publishes stream s.
+func (c *Catalog) Producer(s StreamID) (topology.NodeID, bool) {
+	n, ok := c.producers[s]
+	return n, ok
+}
+
+// Streams returns all registered streams in ascending order.
+func (c *Catalog) Streams() []StreamID {
+	out := make([]StreamID, 0, len(c.rates))
+	for s := range c.rates {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// JoinSelectivity returns the selectivity of joining two disjoint stream
+// sets: the product of pairwise selectivities across the cut.
+func (c *Catalog) JoinSelectivity(left, right []StreamID) float64 {
+	sel := 1.0
+	for _, a := range left {
+		for _, b := range right {
+			sel *= c.PairSelectivity(a, b)
+		}
+	}
+	return sel
+}
+
+// PlanNode is one node of a logical plan tree. Leaves are sources;
+// interior nodes are services. OutRate is the estimated output data rate
+// in KB/s, filled by ComputeRates.
+type PlanNode struct {
+	Kind ServiceKind
+	// Stream is set for KindSource leaves.
+	Stream StreamID
+	// Sel is the operator's rate factor (filter selectivity, join
+	// selectivity across the children's stream sets, or aggregate output
+	// fraction). Unused for sources.
+	Sel float64
+	// Left and Right are the children. Filters and aggregates use Left
+	// only.
+	Left, Right *PlanNode
+	// OutRate is the estimated output rate in KB/s.
+	OutRate float64
+}
+
+// NewSource returns a leaf node for stream s.
+func NewSource(s StreamID) *PlanNode {
+	return &PlanNode{Kind: KindSource, Stream: s}
+}
+
+// NewFilter returns a filter over child with the given selectivity.
+func NewFilter(child *PlanNode, sel float64) *PlanNode {
+	return &PlanNode{Kind: KindFilter, Sel: sel, Left: child}
+}
+
+// NewJoin returns a join of the two children; selectivity is filled by
+// ComputeRates from the catalog.
+func NewJoin(left, right *PlanNode) *PlanNode {
+	return &PlanNode{Kind: KindJoin, Left: left, Right: right}
+}
+
+// NewAggregate returns an aggregate over child emitting fraction frac of
+// its input rate.
+func NewAggregate(child *PlanNode, frac float64) *PlanNode {
+	return &PlanNode{Kind: KindAggregate, Sel: frac, Left: child}
+}
+
+// NewUnion returns a union of the two children.
+func NewUnion(left, right *PlanNode) *PlanNode {
+	return &PlanNode{Kind: KindUnion, Left: left, Right: right}
+}
+
+// Leaves returns the source streams under n in left-to-right order.
+func (n *PlanNode) Leaves() []StreamID {
+	var out []StreamID
+	var walk func(p *PlanNode)
+	walk = func(p *PlanNode) {
+		if p == nil {
+			return
+		}
+		if p.Kind == KindSource {
+			out = append(out, p.Stream)
+			return
+		}
+		walk(p.Left)
+		walk(p.Right)
+	}
+	walk(n)
+	return out
+}
+
+// Services returns all interior (non-source) nodes of the tree in
+// post-order.
+func (n *PlanNode) Services() []*PlanNode {
+	var out []*PlanNode
+	var walk func(p *PlanNode)
+	walk = func(p *PlanNode) {
+		if p == nil || p.Kind == KindSource {
+			return
+		}
+		walk(p.Left)
+		walk(p.Right)
+		out = append(out, p)
+	}
+	walk(n)
+	return out
+}
+
+// ComputeRates fills OutRate (and join selectivities) bottom-up from the
+// catalog. It returns an error for unknown streams or malformed shapes.
+func (n *PlanNode) ComputeRates(c *Catalog) error {
+	switch n.Kind {
+	case KindSource:
+		r := c.Rate(n.Stream)
+		if r <= 0 {
+			return fmt.Errorf("query: unknown stream %d in plan", n.Stream)
+		}
+		n.OutRate = r
+		return nil
+	case KindFilter, KindAggregate:
+		if n.Left == nil || n.Right != nil {
+			return fmt.Errorf("query: %s must have exactly one child", n.Kind)
+		}
+		if err := n.Left.ComputeRates(c); err != nil {
+			return err
+		}
+		if n.Sel <= 0 || n.Sel > 1 {
+			return fmt.Errorf("query: %s selectivity %v out of (0,1]", n.Kind, n.Sel)
+		}
+		n.OutRate = n.Sel * n.Left.OutRate
+		return nil
+	case KindJoin:
+		if n.Left == nil || n.Right == nil {
+			return fmt.Errorf("query: join must have two children")
+		}
+		if err := n.Left.ComputeRates(c); err != nil {
+			return err
+		}
+		if err := n.Right.ComputeRates(c); err != nil {
+			return err
+		}
+		n.Sel = c.JoinSelectivity(n.Left.Leaves(), n.Right.Leaves())
+		n.OutRate = n.Sel * (n.Left.OutRate + n.Right.OutRate)
+		return nil
+	case KindUnion:
+		if n.Left == nil || n.Right == nil {
+			return fmt.Errorf("query: union must have two children")
+		}
+		if err := n.Left.ComputeRates(c); err != nil {
+			return err
+		}
+		if err := n.Right.ComputeRates(c); err != nil {
+			return err
+		}
+		n.Sel = 1
+		n.OutRate = n.Left.OutRate + n.Right.OutRate
+		return nil
+	default:
+		return fmt.Errorf("query: unknown kind %v", n.Kind)
+	}
+}
+
+// Signature returns a canonical string identifying the service and its
+// entire upstream sub-plan. Two plan nodes with equal signatures compute
+// identical streams, which is the condition for multi-query service reuse
+// (§3.4). Join and union children are ordered canonically so mirrored
+// trees share a signature.
+func (n *PlanNode) Signature() string {
+	switch n.Kind {
+	case KindSource:
+		return fmt.Sprintf("s%d", n.Stream)
+	case KindFilter:
+		return fmt.Sprintf("filter[%.4g](%s)", n.Sel, n.Left.Signature())
+	case KindAggregate:
+		return fmt.Sprintf("agg[%.4g](%s)", n.Sel, n.Left.Signature())
+	case KindJoin, KindUnion:
+		a, b := n.Left.Signature(), n.Right.Signature()
+		if a > b {
+			a, b = b, a
+		}
+		op := "join"
+		if n.Kind == KindUnion {
+			op = "union"
+		}
+		return fmt.Sprintf("%s(%s,%s)", op, a, b)
+	default:
+		return fmt.Sprintf("?%d", n.Kind)
+	}
+}
+
+// String renders the plan tree in infix form for logs.
+func (n *PlanNode) String() string {
+	var b strings.Builder
+	var walk func(p *PlanNode)
+	walk = func(p *PlanNode) {
+		switch p.Kind {
+		case KindSource:
+			fmt.Fprintf(&b, "S%d", p.Stream)
+		case KindFilter:
+			fmt.Fprintf(&b, "σ[%.2g](", p.Sel)
+			walk(p.Left)
+			b.WriteString(")")
+		case KindAggregate:
+			fmt.Fprintf(&b, "γ[%.2g](", p.Sel)
+			walk(p.Left)
+			b.WriteString(")")
+		case KindJoin:
+			b.WriteString("(")
+			walk(p.Left)
+			b.WriteString(" ⋈ ")
+			walk(p.Right)
+			b.WriteString(")")
+		case KindUnion:
+			b.WriteString("(")
+			walk(p.Left)
+			b.WriteString(" ∪ ")
+			walk(p.Right)
+			b.WriteString(")")
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// Clone returns a deep copy of the plan tree.
+func (n *PlanNode) Clone() *PlanNode {
+	if n == nil {
+		return nil
+	}
+	out := *n
+	out.Left = n.Left.Clone()
+	out.Right = n.Right.Clone()
+	return &out
+}
+
+// IntermediateRate returns the total estimated data rate of all service
+// outputs (the network-oblivious plan cost traditional optimizers
+// minimize). Source leaf rates are excluded: they are identical across
+// all plans for the same query.
+func (n *PlanNode) IntermediateRate() float64 {
+	var sum float64
+	for _, s := range n.Services() {
+		sum += s.OutRate
+	}
+	return sum
+}

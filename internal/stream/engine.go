@@ -1,0 +1,320 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hourglass/sbon/internal/metrics"
+	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/overlay"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// EngineConfig tunes circuit execution.
+type EngineConfig struct {
+	// Keyspace is the producer key domain [0, Keyspace) (default 1000).
+	// Join windows are sized as selectivity·Keyspace to make measured
+	// join rates track the catalog model.
+	Keyspace int64
+	// TupleSizeKB is the producer tuple size (default 1.0).
+	TupleSizeKB float64
+	// Seed drives producer key/value generation.
+	Seed int64
+}
+
+// DefaultEngineConfig returns engine defaults.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{Keyspace: 1000, TupleSizeKB: 1.0, Seed: 1}
+}
+
+// Engine deploys circuits onto the overlay runtime and measures the
+// resulting dataflow.
+type Engine struct {
+	net  *overlay.Network
+	topo *topology.Topology
+	cfg  EngineConfig
+
+	mu      sync.Mutex
+	running map[query.QueryID]*Running
+}
+
+// NewEngine builds an engine over a started overlay network.
+func NewEngine(net *overlay.Network, topo *topology.Topology, cfg EngineConfig) *Engine {
+	if cfg.Keyspace <= 0 {
+		cfg.Keyspace = 1000
+	}
+	if cfg.TupleSizeKB <= 0 {
+		cfg.TupleSizeKB = 1.0
+	}
+	return &Engine{
+		net:     net,
+		topo:    topo,
+		cfg:     cfg,
+		running: make(map[query.QueryID]*Running),
+	}
+}
+
+// Running is one deployed, executing circuit.
+type Running struct {
+	Circuit *optimizer.Circuit
+
+	engine    *Engine
+	ports     []portReg
+	stop      chan struct{}
+	producers sync.WaitGroup
+	started   time.Time
+
+	tuplesOut *metrics.Counter
+	kbOut     *metrics.Counter
+	latencyMs *metrics.Histogram
+	usageKBms *metrics.Counter
+}
+
+type portReg struct {
+	node topology.NodeID
+	port string
+}
+
+// outEdge is a precomputed delivery target for a service's emissions.
+type outEdge struct {
+	node topology.NodeID
+	port string
+	side int
+}
+
+// Deploy instantiates the circuit's operators on their hosts, starts
+// producers, and begins measurement. Circuits with reused services cannot
+// be executed standalone (their upstream lives in another circuit) and
+// are rejected.
+func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range c.Services {
+		if s.Reused {
+			return nil, fmt.Errorf("stream: circuit q%d contains reused services; deploy the owning circuit instead", c.Query.ID)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.running[c.Query.ID]; ok {
+		return nil, fmt.Errorf("stream: query %d already running", c.Query.ID)
+	}
+
+	r := &Running{
+		Circuit:   c,
+		engine:    e,
+		stop:      make(chan struct{}),
+		tuplesOut: &metrics.Counter{},
+		kbOut:     &metrics.Counter{},
+		latencyMs: &metrics.Histogram{},
+		usageKBms: &metrics.Counter{},
+	}
+
+	port := func(i int) string { return fmt.Sprintf("q%d.s%d", c.Query.ID, i) }
+
+	// Outgoing edges per service, with input side derived from link order
+	// at the receiver (left child link is appended first by the builder).
+	outs := make([][]outEdge, len(c.Services))
+	inputsSeen := make(map[int]int, len(c.Services))
+	for _, l := range c.Links {
+		side := inputsSeen[l.To]
+		inputsSeen[l.To]++
+		outs[l.From] = append(outs[l.From], outEdge{
+			node: c.Services[l.To].Node,
+			port: port(l.To),
+			side: side,
+		})
+	}
+
+	// dataMsg is the on-wire payload.
+	type dataMsg struct {
+		Side int
+		T    Tuple
+	}
+
+	emitFor := func(idx int) Emit {
+		from := c.Services[idx].Node
+		targets := outs[idx]
+		node := e.net.Node(from)
+		return func(t Tuple) {
+			for _, tgt := range targets {
+				r.usageKBms.Add(t.SizeKB * e.topo.Latency(from, tgt.node))
+				// Send never blocks; post-shutdown sends are dropped.
+				_ = node.Send(tgt.node, tgt.port, t.SizeKB, dataMsg{Side: tgt.side, T: t})
+			}
+		}
+	}
+
+	// Install operator handlers and the consumer sink.
+	for i, s := range c.Services {
+		switch {
+		case s.Plan == nil: // consumer sink
+			nd := e.net.Node(s.Node)
+			p := port(i)
+			nd.Register(p, func(m overlay.Message) {
+				dm := m.Payload.(dataMsg)
+				r.tuplesOut.Inc()
+				r.kbOut.Add(dm.T.SizeKB)
+				r.latencyMs.Observe(e.net.SimMillis(time.Since(dm.T.Created)))
+			})
+			r.ports = append(r.ports, portReg{node: s.Node, port: p})
+		case s.Plan.Kind == query.KindSource:
+			// Producers are goroutines, started below.
+		default:
+			op, err := OperatorFor(s.Plan, e.cfg.Keyspace)
+			if err != nil {
+				e.teardownLocked(r)
+				return nil, err
+			}
+			nd := e.net.Node(s.Node)
+			p := port(i)
+			emit := emitFor(i)
+			operator := op
+			nd.Register(p, func(m overlay.Message) {
+				dm := m.Payload.(dataMsg)
+				operator.Process(dm.Side, dm.T, emit)
+			})
+			r.ports = append(r.ports, portReg{node: s.Node, port: p})
+		}
+	}
+
+	// Start producers.
+	r.started = time.Now()
+	for i, s := range c.Services {
+		if s.Plan == nil || s.Plan.Kind != query.KindSource {
+			continue
+		}
+		rate := s.Plan.OutRate // KB/s simulated
+		emit := emitFor(i)
+		stream := s.Plan.Stream
+		seed := e.cfg.Seed + int64(stream)*7919 + int64(c.Query.ID)*104729
+		r.producers.Add(1)
+		go e.produce(r, stream, rate, seed, emit)
+	}
+
+	e.running[c.Query.ID] = r
+	return r, nil
+}
+
+// produce generates tuples at the stream's simulated rate until stopped.
+// Emission is paced by elapsed wall time rather than one-per-tick: Go
+// tickers coalesce missed ticks, which would silently under-produce at
+// sub-millisecond intervals.
+func (e *Engine) produce(r *Running, stream query.StreamID, rateKBs float64, seed int64, emit Emit) {
+	defer r.producers.Done()
+	rng := rand.New(rand.NewSource(seed))
+	// One tuple every TupleSizeKB/rate simulated seconds; a simulated
+	// second is 1000·TimeScale of wall time.
+	simSec := e.cfg.TupleSizeKB / rateKBs
+	interval := time.Duration(simSec * 1000 * float64(e.net.Config().TimeScale))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := interval
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	const maxBurst = 1000 // bound catch-up after a scheduling stall
+	start := time.Now()
+	emitted := int64(0)
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			due := int64(time.Since(start) / interval)
+			if due-emitted > maxBurst {
+				emitted = due - maxBurst // slip instead of flooding
+			}
+			for ; emitted < due; emitted++ {
+				emit(Tuple{
+					Stream:  stream,
+					Key:     rng.Int63n(e.cfg.Keyspace),
+					Value:   rng.NormFloat64(),
+					SizeKB:  e.cfg.TupleSizeKB,
+					Created: time.Now(),
+				})
+			}
+		}
+	}
+}
+
+// Stop cancels a running circuit: producers halt and handlers are
+// removed.
+func (e *Engine) Stop(id query.QueryID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.running[id]
+	if !ok {
+		return fmt.Errorf("stream: query %d not running", id)
+	}
+	e.teardownLocked(r)
+	delete(e.running, id)
+	return nil
+}
+
+func (e *Engine) teardownLocked(r *Running) {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.producers.Wait()
+	for _, pr := range r.ports {
+		e.net.Node(pr.node).Unregister(pr.port)
+	}
+}
+
+// Close stops every running circuit (the overlay network itself is owned
+// by the caller).
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, r := range e.running {
+		e.teardownLocked(r)
+		delete(e.running, id)
+	}
+}
+
+// Measurement is a snapshot of a running circuit's delivered output and
+// measured network usage, in simulated units.
+type Measurement struct {
+	Wall       time.Duration
+	SimSeconds float64
+	TuplesOut  int
+	// OutRateKBs is the delivered data rate at the consumer (simulated
+	// KB/s).
+	OutRateKBs float64
+	// MeanLatencyMs and P95LatencyMs are producer→consumer tuple
+	// latencies in simulated milliseconds.
+	MeanLatencyMs float64
+	P95LatencyMs  float64
+	// NetworkUsage is measured Σ rate·latency (KB·ms/s): the usage
+	// integral divided by elapsed simulated time.
+	NetworkUsage float64
+}
+
+// Measure snapshots the circuit's counters since deployment.
+func (r *Running) Measure() Measurement {
+	wall := time.Since(r.started)
+	simMs := r.engine.net.SimMillis(wall)
+	simSec := simMs / 1000
+	m := Measurement{
+		Wall:          wall,
+		SimSeconds:    simSec,
+		TuplesOut:     int(r.tuplesOut.Value()),
+		MeanLatencyMs: r.latencyMs.Mean(),
+		P95LatencyMs:  r.latencyMs.Quantile(0.95),
+	}
+	if simSec > 0 {
+		m.OutRateKBs = r.kbOut.Value() / simSec
+		m.NetworkUsage = r.usageKBms.Value() / simSec
+	}
+	return m
+}

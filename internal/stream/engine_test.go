@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/overlay"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// engineSetup builds a small env + overlay + engine and optimizes q.
+type engineSetup struct {
+	env    *optimizer.Env
+	net    *overlay.Network
+	engine *Engine
+}
+
+func newEngineSetup(t *testing.T, seed int64) *engineSetup {
+	t.Helper()
+	cfg := topology.Config{
+		TransitDomains:      2,
+		TransitNodes:        2,
+		StubsPerTransit:     1,
+		StubNodes:           4,
+		IntraStubLatency:    [2]float64{1, 4},
+		StubUplinkLatency:   [2]float64{2, 8},
+		IntraTransitLatency: [2]float64{5, 15},
+		InterTransitLatency: [2]float64{20, 50},
+		ExtraStubEdgeProb:   0.2,
+	}
+	topo := topology.MustGenerate(cfg, rand.New(rand.NewSource(seed)))
+	stats, err := query.NewCatalog(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := topo.StubNodeIDs()
+	for i := 0; i < 3; i++ {
+		if err := stats.AddStream(query.StreamID(i), stubs[i*4], 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ecfg := optimizer.DefaultEnvConfig(seed)
+	ecfg.UseDHT = false
+	ecfg.VivaldiRounds = 20
+	env, err := optimizer.NewEnv(topo, stats, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: 10 * time.Microsecond, InboxSize: 8192})
+	net.Start()
+	eng := NewEngine(net, topo, DefaultEngineConfig())
+	t.Cleanup(func() {
+		eng.Close()
+		net.Stop()
+	})
+	return &engineSetup{env: env, net: net, engine: eng}
+}
+
+func (s *engineSetup) optimize(t *testing.T, q query.Query) *optimizer.Circuit {
+	t.Helper()
+	res, err := optimizer.NewIntegrated(s.env).Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Circuit
+}
+
+func TestEngineDeliversFilteredStream(t *testing.T) {
+	s := newEngineSetup(t, 1)
+	q := query.Query{
+		ID:       1,
+		Consumer: s.env.Topo.StubNodeIDs()[11],
+		Streams:  []query.StreamID{0},
+		FilterSel: map[query.StreamID]float64{
+			0: 0.5,
+		},
+	}
+	c := s.optimize(t, q)
+	run, err := s.engine.Deploy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	m := run.Measure()
+	if m.TuplesOut == 0 {
+		t.Fatal("no tuples delivered")
+	}
+	// Plan: 50 KB/s source × 0.5 filter = 25 KB/s at the consumer.
+	want := c.Plan.OutRate
+	if m.OutRateKBs < want*0.5 || m.OutRateKBs > want*1.6 {
+		t.Fatalf("delivered rate %v KB/s, want ≈%v", m.OutRateKBs, want)
+	}
+	if m.MeanLatencyMs <= 0 {
+		t.Fatalf("mean latency %v", m.MeanLatencyMs)
+	}
+	if m.P95LatencyMs < m.MeanLatencyMs {
+		t.Fatal("p95 below mean")
+	}
+}
+
+func TestEngineMeasuredUsageTracksAnalytic(t *testing.T) {
+	s := newEngineSetup(t, 2)
+	q := query.Query{
+		ID:       2,
+		Consumer: s.env.Topo.StubNodeIDs()[9],
+		Streams:  []query.StreamID{0},
+	}
+	c := s.optimize(t, q)
+	analytic := c.NetworkUsage(optimizer.TrueLatency{Topo: s.env.Topo})
+	run, err := s.engine.Deploy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	m := run.Measure()
+	if m.NetworkUsage <= 0 {
+		t.Fatal("no usage measured")
+	}
+	ratio := m.NetworkUsage / analytic
+	if ratio < 0.5 || ratio > 1.7 {
+		t.Fatalf("measured usage %v vs analytic %v (ratio %v)", m.NetworkUsage, analytic, ratio)
+	}
+}
+
+func TestEngineJoinCircuitFlows(t *testing.T) {
+	s := newEngineSetup(t, 3)
+	q := query.Query{
+		ID:       3,
+		Consumer: s.env.Topo.TransitNodeIDs()[0],
+		Streams:  []query.StreamID{0, 1},
+	}
+	c := s.optimize(t, q)
+	run, err := s.engine.Deploy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Second)
+	m := run.Measure()
+	if m.TuplesOut == 0 {
+		t.Fatal("join circuit delivered nothing")
+	}
+	// Join rates are noisy (window fill, hash collisions): demand only
+	// the right order of magnitude versus the plan estimate.
+	want := c.Plan.OutRate
+	if m.OutRateKBs < want*0.2 || m.OutRateKBs > want*4 {
+		t.Fatalf("join delivered rate %v, plan %v", m.OutRateKBs, want)
+	}
+}
+
+func TestEngineDeployErrors(t *testing.T) {
+	s := newEngineSetup(t, 4)
+	q := query.Query{ID: 5, Consumer: s.env.Topo.StubNodeIDs()[0], Streams: []query.StreamID{0}}
+	c := s.optimize(t, q)
+	if _, err := s.engine.Deploy(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.engine.Deploy(c); err == nil {
+		t.Fatal("duplicate deploy accepted")
+	}
+	bad := &optimizer.Circuit{}
+	if _, err := s.engine.Deploy(bad); err == nil {
+		t.Fatal("invalid circuit accepted")
+	}
+}
+
+func TestEngineRejectsReusedServices(t *testing.T) {
+	s := newEngineSetup(t, 5)
+	q := query.Query{ID: 6, Consumer: s.env.Topo.StubNodeIDs()[1], Streams: []query.StreamID{0, 1}}
+	c := s.optimize(t, q)
+	// Mark a service reused artificially.
+	for _, svc := range c.UnpinnedServices() {
+		svc.Reused = true
+		break
+	}
+	if _, err := s.engine.Deploy(c); err == nil {
+		t.Fatal("circuit with reused services accepted")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	s := newEngineSetup(t, 6)
+	q := query.Query{ID: 7, Consumer: s.env.Topo.StubNodeIDs()[2], Streams: []query.StreamID{0}}
+	c := s.optimize(t, q)
+	run, err := s.engine.Deploy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := s.engine.Stop(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.engine.Stop(q.ID); err == nil {
+		t.Fatal("double stop accepted")
+	}
+	// After stop, output must cease.
+	base := run.Measure().TuplesOut
+	time.Sleep(300 * time.Millisecond)
+	// Allow a few in-flight stragglers.
+	if after := run.Measure().TuplesOut; after > base+20 {
+		t.Fatalf("tuples still flowing after stop: %d -> %d", base, after)
+	}
+	// Redeploy under the same ID must work after Stop.
+	if _, err := s.engine.Deploy(c); err != nil {
+		t.Fatalf("redeploy after stop: %v", err)
+	}
+}
+
+func TestEngineConcurrentCircuits(t *testing.T) {
+	s := newEngineSetup(t, 7)
+	stubs := s.env.Topo.StubNodeIDs()
+	runs := make([]*Running, 0, 3)
+	for i := 0; i < 3; i++ {
+		q := query.Query{
+			ID:       query.QueryID(10 + i),
+			Consumer: stubs[13+i],
+			Streams:  []query.StreamID{query.StreamID(i % 3)},
+		}
+		c := s.optimize(t, q)
+		run, err := s.engine.Deploy(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+	time.Sleep(1200 * time.Millisecond)
+	for i, run := range runs {
+		if m := run.Measure(); m.TuplesOut == 0 {
+			t.Fatalf("circuit %d delivered nothing", i)
+		}
+	}
+}
+
+func TestMeasurementSimSecondsPositive(t *testing.T) {
+	s := newEngineSetup(t, 8)
+	q := query.Query{ID: 20, Consumer: s.env.Topo.StubNodeIDs()[3], Streams: []query.StreamID{0}}
+	c := s.optimize(t, q)
+	run, err := s.engine.Deploy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	m := run.Measure()
+	if m.SimSeconds <= 0 || m.Wall <= 0 {
+		t.Fatalf("measurement timing invalid: %+v", m)
+	}
+	if math.IsNaN(m.NetworkUsage) {
+		t.Fatal("NaN usage")
+	}
+}

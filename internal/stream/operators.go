@@ -1,0 +1,253 @@
+// Package stream is the SBON data plane: executable operators with real
+// windowed semantics, producers that generate tuples at configured rates,
+// and an engine that deploys optimizer circuits onto the overlay runtime
+// and measures what actually flows.
+//
+// Rate semantics mirror the catalog's model (DESIGN.md §4): a filter with
+// selectivity s passes ≈ s of its input; a windowed equi-join over keys
+// drawn uniformly from [0,K) with W tuples of window per side matches each
+// probe with probability ≈ W/K, so its output rate is ≈ (W/K)·(rA+rB) —
+// i.e. catalog selectivity sel corresponds to window/keyspace = sel; an
+// aggregate over count-N windows emitting Frac·(window bytes) has output
+// rate Frac·input.
+package stream
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/hourglass/sbon/internal/query"
+)
+
+// Tuple is one stream data item.
+type Tuple struct {
+	Stream query.StreamID
+	Key    int64
+	Value  float64
+	SizeKB float64
+	// Created is the wall-clock time the tuple entered the system at its
+	// producer; consumer latency is measured against it.
+	Created time.Time
+}
+
+// Emit forwards an operator output downstream.
+type Emit func(Tuple)
+
+// Operator is an executable service. Process is called on the hosting
+// node's goroutine (serialized), with side identifying which input feeds
+// the tuple (0 = left/only, 1 = right).
+type Operator interface {
+	Process(side int, t Tuple, emit Emit)
+	Kind() query.ServiceKind
+}
+
+// keyFraction hashes a key to a uniform fraction in [0,1) for
+// deterministic, rate-faithful selectivity decisions.
+func keyFraction(key int64, salt uint64) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	v := uint64(key)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+		buf[8+i] = byte(salt >> (8 * i))
+	}
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Filter passes tuples whose key hashes below Sel — a deterministic
+// predicate with measured selectivity ≈ Sel over uniform keys.
+type Filter struct {
+	Sel  float64
+	Salt uint64
+}
+
+// Kind implements Operator.
+func (Filter) Kind() query.ServiceKind { return query.KindFilter }
+
+// Process implements Operator.
+func (f Filter) Process(_ int, t Tuple, emit Emit) {
+	if keyFraction(t.Key, f.Salt) < f.Sel {
+		emit(t)
+	}
+}
+
+// Join is a symmetric windowed hash equi-join: each side keeps the last
+// Window tuples hashed by key; an arriving tuple probes the opposite
+// window and emits one combined tuple per match.
+type Join struct {
+	Window int // tuples retained per side (default 64)
+
+	left  *joinWindow
+	right *joinWindow
+}
+
+// NewJoin returns a join with the given per-side window size.
+func NewJoin(window int) *Join {
+	if window <= 0 {
+		window = 64
+	}
+	return &Join{
+		Window: window,
+		left:   newJoinWindow(window),
+		right:  newJoinWindow(window),
+	}
+}
+
+// Kind implements Operator.
+func (*Join) Kind() query.ServiceKind { return query.KindJoin }
+
+// Process implements Operator.
+func (j *Join) Process(side int, t Tuple, emit Emit) {
+	mine, other := j.left, j.right
+	if side == 1 {
+		mine, other = j.right, j.left
+	}
+	mine.add(t)
+	for _, m := range other.match(t.Key) {
+		out := Tuple{
+			Stream: t.Stream,
+			Key:    t.Key,
+			Value:  t.Value + m.Value,
+			SizeKB: t.SizeKB + m.SizeKB,
+			// Latency is measured from the triggering (probe) tuple: the
+			// matched tuple's window residency is state age, not
+			// delivery delay.
+			Created: t.Created,
+		}
+		emit(out)
+	}
+}
+
+// joinWindow is a fixed-capacity FIFO with a key index.
+type joinWindow struct {
+	cap   int
+	fifo  []Tuple
+	next  int
+	count int
+	byKey map[int64][]int // key -> slot indices
+}
+
+func newJoinWindow(capacity int) *joinWindow {
+	return &joinWindow{
+		cap:   capacity,
+		fifo:  make([]Tuple, capacity),
+		byKey: make(map[int64][]int),
+	}
+}
+
+func (w *joinWindow) add(t Tuple) {
+	slot := w.next
+	if w.count == w.cap {
+		old := w.fifo[slot]
+		w.dropIndex(old.Key, slot)
+	} else {
+		w.count++
+	}
+	w.fifo[slot] = t
+	w.byKey[t.Key] = append(w.byKey[t.Key], slot)
+	w.next = (w.next + 1) % w.cap
+}
+
+func (w *joinWindow) dropIndex(key int64, slot int) {
+	idx := w.byKey[key]
+	for i, s := range idx {
+		if s == slot {
+			w.byKey[key] = append(idx[:i], idx[i+1:]...)
+			break
+		}
+	}
+	if len(w.byKey[key]) == 0 {
+		delete(w.byKey, key)
+	}
+}
+
+func (w *joinWindow) match(key int64) []Tuple {
+	idx := w.byKey[key]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Tuple, len(idx))
+	for i, s := range idx {
+		out[i] = w.fifo[s]
+	}
+	return out
+}
+
+// Aggregate reduces count-N tumbling windows: after every N inputs it
+// emits one tuple whose value is the window mean and whose size is Frac
+// of the window's bytes, giving output rate Frac·input rate. The output
+// carries the closing (triggering) tuple's timestamp.
+type Aggregate struct {
+	N    int
+	Frac float64
+
+	count  int
+	sum    float64
+	sizeKB float64
+}
+
+// NewAggregate returns an aggregate with window N and output fraction
+// frac.
+func NewAggregate(n int, frac float64) *Aggregate {
+	if n <= 0 {
+		n = 10
+	}
+	return &Aggregate{N: n, Frac: frac}
+}
+
+// Kind implements Operator.
+func (*Aggregate) Kind() query.ServiceKind { return query.KindAggregate }
+
+// Process implements Operator.
+func (a *Aggregate) Process(_ int, t Tuple, emit Emit) {
+	a.count++
+	a.sum += t.Value
+	a.sizeKB += t.SizeKB
+	if a.count < a.N {
+		return
+	}
+	out := Tuple{
+		Stream:  t.Stream,
+		Key:     t.Key,
+		Value:   a.sum / float64(a.count),
+		SizeKB:  a.sizeKB * a.Frac,
+		Created: t.Created,
+	}
+	a.count, a.sum, a.sizeKB = 0, 0, 0
+	emit(out)
+}
+
+// Union forwards both inputs unchanged.
+type Union struct{}
+
+// Kind implements Operator.
+func (Union) Kind() query.ServiceKind { return query.KindUnion }
+
+// Process implements Operator.
+func (Union) Process(_ int, t Tuple, emit Emit) { emit(t) }
+
+// OperatorFor instantiates the executable operator for a plan node. The
+// join window is sized to sel·keyspace/2: each probe then matches
+// sel/2 of the time, and since a joined tuple carries both inputs (≈2×
+// the bytes), the output *data rate* lands on the catalog model's
+// sel·(rateL+rateR) KB/s.
+func OperatorFor(n *query.PlanNode, keyspace int64) (Operator, error) {
+	switch n.Kind {
+	case query.KindFilter:
+		return Filter{Sel: n.Sel}, nil
+	case query.KindJoin:
+		w := int(n.Sel * float64(keyspace) / 2)
+		if w < 1 {
+			w = 1
+		}
+		return NewJoin(w), nil
+	case query.KindAggregate:
+		return NewAggregate(10, n.Sel), nil
+	case query.KindUnion:
+		return Union{}, nil
+	default:
+		return nil, fmt.Errorf("stream: no operator for plan kind %v", n.Kind)
+	}
+}

@@ -1,0 +1,255 @@
+// Package workload generates synthetic stream catalogs, query
+// populations, and dynamics scripts for the experiments: producer
+// placements (uniform or stub-clustered), rate and selectivity
+// distributions, Zipf-skewed query templates that create sub-plan sharing
+// opportunities for multi-query optimization, and load/latency churn.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// Placement selects how producers are spread over the topology.
+type Placement int
+
+// Placement modes.
+const (
+	// Uniform scatters producers over random stub nodes.
+	Uniform Placement = iota
+	// Clustered groups consecutive streams into shared stub domains
+	// (sensor-network style: co-located sources).
+	Clustered
+)
+
+// StreamConfig parameterizes catalog generation.
+type StreamConfig struct {
+	NumStreams int
+	// RateRange bounds stream rates in KB/s.
+	RateRange [2]float64
+	// DefaultSel is the catalog default pairwise join selectivity.
+	DefaultSel float64
+	// SelRange bounds explicit pairwise selectivities; when both are 0 no
+	// explicit entries are generated (DefaultSel applies everywhere).
+	SelRange [2]float64
+	// Placement chooses producer spreading.
+	Placement Placement
+	// StreamsPerCluster groups this many consecutive streams per stub
+	// domain under Clustered placement (default 2).
+	StreamsPerCluster int
+}
+
+// DefaultStreamConfig returns a moderate workload: 12 streams at 50–300
+// KB/s with mildly reducing joins.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		NumStreams:        12,
+		RateRange:         [2]float64{50, 300},
+		DefaultSel:        0.8,
+		SelRange:          [2]float64{0.5, 1.1},
+		Placement:         Uniform,
+		StreamsPerCluster: 2,
+	}
+}
+
+// GenerateStats builds a statistics catalog with producers placed on the
+// topology's stub nodes.
+func GenerateStats(topo *topology.Topology, cfg StreamConfig, rng *rand.Rand) (*query.Catalog, error) {
+	if cfg.NumStreams < 1 {
+		return nil, fmt.Errorf("workload: NumStreams = %d", cfg.NumStreams)
+	}
+	if cfg.RateRange[0] <= 0 || cfg.RateRange[1] < cfg.RateRange[0] {
+		return nil, fmt.Errorf("workload: invalid rate range %v", cfg.RateRange)
+	}
+	stubs := topo.StubNodeIDs()
+	if len(stubs) == 0 {
+		return nil, fmt.Errorf("workload: topology has no stub nodes")
+	}
+	cat, err := query.NewCatalog(cfg.DefaultSel)
+	if err != nil {
+		return nil, err
+	}
+	perCluster := cfg.StreamsPerCluster
+	if perCluster < 1 {
+		perCluster = 2
+	}
+	nDomains := topo.NumStubDomains()
+	for i := 0; i < cfg.NumStreams; i++ {
+		var producer topology.NodeID
+		switch cfg.Placement {
+		case Clustered:
+			domain := (i / perCluster) % nDomains
+			members := topo.StubDomainMembers(domain)
+			producer = members[rng.Intn(len(members))]
+		default:
+			producer = stubs[rng.Intn(len(stubs))]
+		}
+		rate := cfg.RateRange[0] + rng.Float64()*(cfg.RateRange[1]-cfg.RateRange[0])
+		if err := cat.AddStream(query.StreamID(i), producer, rate); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.SelRange[0] > 0 || cfg.SelRange[1] > 0 {
+		if cfg.SelRange[0] <= 0 || cfg.SelRange[1] < cfg.SelRange[0] {
+			return nil, fmt.Errorf("workload: invalid selectivity range %v", cfg.SelRange)
+		}
+		for i := 0; i < cfg.NumStreams; i++ {
+			for j := i + 1; j < cfg.NumStreams; j++ {
+				sel := cfg.SelRange[0] + rng.Float64()*(cfg.SelRange[1]-cfg.SelRange[0])
+				if err := cat.SetPairSelectivity(query.StreamID(i), query.StreamID(j), sel); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return cat, nil
+}
+
+// QueryConfig parameterizes query-population generation.
+type QueryConfig struct {
+	NumQueries int
+	// StreamsPerQuery bounds the join width [min, max].
+	StreamsPerQuery [2]int
+	// FilterProb is the chance each source gets a pushed-down filter.
+	FilterProb float64
+	// FilterSelRange bounds filter selectivities.
+	FilterSelRange [2]float64
+	// AggregateProb is the chance a query aggregates at the top.
+	AggregateProb float64
+	// AggregateFracRange bounds aggregate output fractions.
+	AggregateFracRange [2]float64
+	// Templates > 0 draws each query's stream set from a fixed pool of
+	// this many templates (Zipf-skewed), creating identical sub-plans
+	// across queries — the sharing opportunity §3.4 exploits. Zero means
+	// every query gets an independent random stream set.
+	Templates int
+	// TemplateSkew is the Zipf exponent (default 1.1; larger = more
+	// sharing on the hottest template).
+	TemplateSkew float64
+}
+
+// DefaultQueryConfig returns 20 queries of 2–4 way joins with moderate
+// template sharing.
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{
+		NumQueries:         20,
+		StreamsPerQuery:    [2]int{2, 4},
+		FilterProb:         0.3,
+		FilterSelRange:     [2]float64{0.2, 0.9},
+		AggregateProb:      0.2,
+		AggregateFracRange: [2]float64{0.05, 0.3},
+		Templates:          6,
+		TemplateSkew:       1.1,
+	}
+}
+
+// GenerateQueries builds a query population against the catalog, with
+// consumers on random stub nodes. Query IDs start at baseID.
+func GenerateQueries(topo *topology.Topology, cat *query.Catalog, cfg QueryConfig, rng *rand.Rand, baseID int) ([]query.Query, error) {
+	if cfg.NumQueries < 1 {
+		return nil, fmt.Errorf("workload: NumQueries = %d", cfg.NumQueries)
+	}
+	streams := cat.Streams()
+	minW, maxW := cfg.StreamsPerQuery[0], cfg.StreamsPerQuery[1]
+	if minW < 1 || maxW < minW || maxW > len(streams) {
+		return nil, fmt.Errorf("workload: invalid StreamsPerQuery %v for %d streams", cfg.StreamsPerQuery, len(streams))
+	}
+	stubs := topo.StubNodeIDs()
+	if len(stubs) == 0 {
+		return nil, fmt.Errorf("workload: topology has no stub nodes")
+	}
+
+	pickSet := func() []query.StreamID {
+		w := minW + rng.Intn(maxW-minW+1)
+		perm := rng.Perm(len(streams))
+		set := make([]query.StreamID, w)
+		for i := 0; i < w; i++ {
+			set[i] = streams[perm[i]]
+		}
+		return set
+	}
+
+	var templates [][]query.StreamID
+	var zipf *rand.Zipf
+	if cfg.Templates > 0 {
+		templates = make([][]query.StreamID, cfg.Templates)
+		for i := range templates {
+			templates[i] = pickSet()
+		}
+		skew := cfg.TemplateSkew
+		if skew <= 1 {
+			skew = 1.1
+		}
+		zipf = rand.NewZipf(rng, skew, 1, uint64(cfg.Templates-1))
+	}
+
+	out := make([]query.Query, 0, cfg.NumQueries)
+	for i := 0; i < cfg.NumQueries; i++ {
+		var set []query.StreamID
+		if templates != nil {
+			set = templates[int(zipf.Uint64())]
+		} else {
+			set = pickSet()
+		}
+		q := query.Query{
+			ID:       query.QueryID(baseID + i),
+			Consumer: stubs[rng.Intn(len(stubs))],
+			Streams:  append([]query.StreamID(nil), set...),
+		}
+		if cfg.FilterProb > 0 {
+			for _, s := range q.Streams {
+				if rng.Float64() < cfg.FilterProb {
+					if q.FilterSel == nil {
+						q.FilterSel = make(map[query.StreamID]float64)
+					}
+					q.FilterSel[s] = cfg.FilterSelRange[0] + rng.Float64()*(cfg.FilterSelRange[1]-cfg.FilterSelRange[0])
+				}
+			}
+		}
+		if rng.Float64() < cfg.AggregateProb {
+			q.AggregateFraction = cfg.AggregateFracRange[0] + rng.Float64()*(cfg.AggregateFracRange[1]-cfg.AggregateFracRange[0])
+		}
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// Churn describes one step of environment dynamics.
+type Churn struct {
+	// LoadFraction of nodes get a fresh background load each step.
+	LoadFraction float64
+	// LoadMax bounds the new background loads.
+	LoadMax float64
+	// LatencyAmount, if > 0, perturbs every edge latency by ±this
+	// fraction (invalidating the latency matrix).
+	LatencyAmount float64
+}
+
+// LoadSetter is the environment surface churn needs (satisfied by
+// *optimizer.Env).
+type LoadSetter interface {
+	SetBackgroundLoad(n topology.NodeID, load float64)
+}
+
+// ApplyChurn mutates node loads (and optionally topology latencies) for
+// one dynamics step.
+func ApplyChurn(topo *topology.Topology, env LoadSetter, c Churn, rng *rand.Rand) {
+	if c.LoadFraction > 0 {
+		n := topo.NumNodes()
+		count := int(math.Ceil(c.LoadFraction * float64(n)))
+		for i := 0; i < count; i++ {
+			node := topology.NodeID(rng.Intn(n))
+			env.SetBackgroundLoad(node, rng.Float64()*c.LoadMax)
+		}
+	}
+	if c.LatencyAmount > 0 {
+		topo.PerturbLatencies(rng, c.LatencyAmount)
+	}
+}

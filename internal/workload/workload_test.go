@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	cfg := topology.DefaultConfig()
+	cfg.StubNodes = 4
+	return topology.MustGenerate(cfg, rand.New(rand.NewSource(1)))
+}
+
+func TestGenerateStatsCounts(t *testing.T) {
+	topo := testTopo(t)
+	cfg := DefaultStreamConfig()
+	cat, err := GenerateStats(topo, cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cat.Streams()); got != cfg.NumStreams {
+		t.Fatalf("streams = %d, want %d", got, cfg.NumStreams)
+	}
+	for _, s := range cat.Streams() {
+		r := cat.Rate(s)
+		if r < cfg.RateRange[0] || r > cfg.RateRange[1] {
+			t.Fatalf("stream %d rate %v out of range", s, r)
+		}
+		prod, ok := cat.Producer(s)
+		if !ok {
+			t.Fatalf("stream %d missing producer", s)
+		}
+		if topo.Node(prod).Kind != topology.Stub {
+			t.Fatalf("producer %d not a stub node", prod)
+		}
+	}
+}
+
+func TestGenerateStatsSelectivityRange(t *testing.T) {
+	topo := testTopo(t)
+	cfg := DefaultStreamConfig()
+	cat, err := GenerateStats(topo, cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NumStreams; i++ {
+		for j := i + 1; j < cfg.NumStreams; j++ {
+			sel := cat.PairSelectivity(query.StreamID(i), query.StreamID(j))
+			if sel < cfg.SelRange[0] || sel > cfg.SelRange[1] {
+				t.Fatalf("sel(%d,%d) = %v out of %v", i, j, sel, cfg.SelRange)
+			}
+		}
+	}
+}
+
+func TestGenerateStatsClustered(t *testing.T) {
+	topo := testTopo(t)
+	cfg := DefaultStreamConfig()
+	cfg.Placement = Clustered
+	cfg.StreamsPerCluster = 2
+	cat, err := GenerateStats(topo, cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streams 0 and 1 must share a stub domain; 0 and 2 must not.
+	p0, _ := cat.Producer(0)
+	p1, _ := cat.Producer(1)
+	p2, _ := cat.Producer(2)
+	if topo.Node(p0).StubDomain != topo.Node(p1).StubDomain {
+		t.Fatal("clustered streams 0,1 in different domains")
+	}
+	if topo.Node(p0).StubDomain == topo.Node(p2).StubDomain {
+		t.Fatal("streams 0,2 should be in different domains")
+	}
+}
+
+func TestGenerateStatsValidation(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(5))
+	bad := DefaultStreamConfig()
+	bad.NumStreams = 0
+	if _, err := GenerateStats(topo, bad, rng); err == nil {
+		t.Fatal("NumStreams=0 accepted")
+	}
+	bad = DefaultStreamConfig()
+	bad.RateRange = [2]float64{100, 50}
+	if _, err := GenerateStats(topo, bad, rng); err == nil {
+		t.Fatal("descending rate range accepted")
+	}
+	bad = DefaultStreamConfig()
+	bad.SelRange = [2]float64{-1, 2}
+	if _, err := GenerateStats(topo, bad, rng); err == nil {
+		t.Fatal("bad selectivity range accepted")
+	}
+}
+
+func TestGenerateQueriesValid(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(6))
+	cat, err := GenerateStats(topo, DefaultStreamConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultQueryConfig()
+	qs, err := GenerateQueries(topo, cat, cfg, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != cfg.NumQueries {
+		t.Fatalf("queries = %d, want %d", len(qs), cfg.NumQueries)
+	}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %d invalid: %v", i, err)
+		}
+		if int(q.ID) != 100+i {
+			t.Fatalf("query %d has ID %d", i, q.ID)
+		}
+		if len(q.Streams) < cfg.StreamsPerQuery[0] || len(q.Streams) > cfg.StreamsPerQuery[1] {
+			t.Fatalf("query %d width %d out of range", i, len(q.Streams))
+		}
+		if topo.Node(q.Consumer).Kind != topology.Stub {
+			t.Fatalf("query %d consumer not a stub", i)
+		}
+	}
+}
+
+func TestGenerateQueriesTemplateSharing(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(7))
+	cat, err := GenerateStats(topo, DefaultStreamConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultQueryConfig()
+	cfg.NumQueries = 40
+	cfg.Templates = 4
+	cfg.TemplateSkew = 1.5
+	qs, err := GenerateQueries(topo, cat, cfg, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := map[string]int{}
+	for _, q := range qs {
+		key := ""
+		for _, s := range q.Streams {
+			key += string(rune('a' + int(s)))
+		}
+		sets[key]++
+	}
+	if len(sets) > cfg.Templates {
+		t.Fatalf("found %d distinct stream sets, want <= %d templates", len(sets), cfg.Templates)
+	}
+	max := 0
+	for _, c := range sets {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2 {
+		t.Fatal("no sharing generated")
+	}
+}
+
+func TestGenerateQueriesNoTemplates(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(8))
+	cat, err := GenerateStats(topo, DefaultStreamConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultQueryConfig()
+	cfg.Templates = 0
+	cfg.NumQueries = 10
+	qs, err := GenerateQueries(topo, cat, cfg, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 10 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+}
+
+func TestGenerateQueriesValidation(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(9))
+	cat, err := GenerateStats(topo, DefaultStreamConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultQueryConfig()
+	bad.NumQueries = 0
+	if _, err := GenerateQueries(topo, cat, bad, rng, 0); err == nil {
+		t.Fatal("NumQueries=0 accepted")
+	}
+	bad = DefaultQueryConfig()
+	bad.StreamsPerQuery = [2]int{5, 2}
+	if _, err := GenerateQueries(topo, cat, bad, rng, 0); err == nil {
+		t.Fatal("descending width range accepted")
+	}
+	bad = DefaultQueryConfig()
+	bad.StreamsPerQuery = [2]int{1, 1000}
+	if _, err := GenerateQueries(topo, cat, bad, rng, 0); err == nil {
+		t.Fatal("width above stream count accepted")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	topo := testTopo(t)
+	gen := func(seed int64) []query.Query {
+		rng := rand.New(rand.NewSource(seed))
+		cat, err := GenerateStats(topo, DefaultStreamConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := GenerateQueries(topo, cat, DefaultQueryConfig(), rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qs
+	}
+	a, b := gen(42), gen(42)
+	for i := range a {
+		if a[i].Consumer != b[i].Consumer || len(a[i].Streams) != len(b[i].Streams) {
+			t.Fatalf("query %d differs between identical seeds", i)
+		}
+	}
+}
+
+type fakeLoadSetter struct {
+	calls map[topology.NodeID]float64
+}
+
+func (f *fakeLoadSetter) SetBackgroundLoad(n topology.NodeID, l float64) {
+	f.calls[n] = l
+}
+
+func TestApplyChurn(t *testing.T) {
+	topo := testTopo(t)
+	setter := &fakeLoadSetter{calls: map[topology.NodeID]float64{}}
+	rng := rand.New(rand.NewSource(10))
+	before := topo.Latency(0, 50)
+	ApplyChurn(topo, setter, Churn{LoadFraction: 0.2, LoadMax: 0.8, LatencyAmount: 0.3}, rng)
+	if len(setter.calls) == 0 {
+		t.Fatal("no loads changed")
+	}
+	for n, l := range setter.calls {
+		if l < 0 || l > 0.8 {
+			t.Fatalf("node %d load %v out of range", n, l)
+		}
+	}
+	after := topo.Latency(0, 50)
+	if before == after {
+		t.Log("warning: latency unchanged after perturbation (unlikely)")
+	}
+}
+
+func TestApplyChurnZeroIsNoop(t *testing.T) {
+	topo := testTopo(t)
+	setter := &fakeLoadSetter{calls: map[topology.NodeID]float64{}}
+	edges := append([]topology.Edge(nil), topo.Edges()...)
+	ApplyChurn(topo, setter, Churn{}, rand.New(rand.NewSource(11)))
+	if len(setter.calls) != 0 {
+		t.Fatal("loads changed with zero churn")
+	}
+	for i, e := range topo.Edges() {
+		if e != edges[i] {
+			t.Fatal("latencies changed with zero churn")
+		}
+	}
+}

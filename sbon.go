@@ -1,0 +1,258 @@
+// Package sbon is a stream-based overlay network (SBON) simulator with a
+// cost-space query optimizer, reproducing Shneidman et al., "A Cost-Space
+// Approach to Distributed Query Optimization in Stream Based Overlays"
+// (ICDE 2005).
+//
+// A System bundles everything the paper describes: a transit-stub
+// wide-area topology, Vivaldi network coordinates, a cost space (latency
+// plane + weighted CPU-load dimension), a Hilbert-curve-keyed DHT
+// catalog, plan enumeration, spring-relaxation virtual placement with
+// DHT physical mapping, the integrated and two-step optimizers,
+// radius-pruned multi-query optimization, a re-optimization/migration
+// controller, and a goroutine-per-node stream engine that executes
+// circuits with real tuples.
+//
+// Quickstart:
+//
+//	sys, _ := sbon.New(sbon.Options{Seed: 1})
+//	sys.AddStream(0, sys.StubNodes()[0], 100) // 100 KB/s producer
+//	sys.AddStream(1, sys.StubNodes()[9], 150)
+//	res, _ := sys.Optimize(sbon.Query{ID: 1, Consumer: sys.StubNodes()[20],
+//	        Streams: []sbon.StreamID{0, 1}})
+//	fmt.Println(res.Circuit, sys.Usage(res.Circuit))
+package sbon
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/overlay"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/stream"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// Re-exported identifier and model types, so applications only import
+// this package.
+type (
+	// NodeID identifies an overlay node.
+	NodeID = topology.NodeID
+	// StreamID identifies a published source stream.
+	StreamID = query.StreamID
+	// QueryID identifies a continuous query.
+	QueryID = query.QueryID
+	// Query is a continuous query over source streams.
+	Query = query.Query
+	// Circuit is a physically placed query (services bound to nodes).
+	Circuit = optimizer.Circuit
+	// Result is an optimization outcome.
+	Result = optimizer.Result
+	// TopologyConfig parameterizes the transit-stub generator.
+	TopologyConfig = topology.Config
+	// Measurement is a data-plane measurement snapshot.
+	Measurement = stream.Measurement
+)
+
+// Options configures a System.
+type Options struct {
+	// Seed drives all randomness (topology, coordinates, loads).
+	Seed int64
+	// Topology overrides the transit-stub configuration; zero value
+	// means the paper's ~600-node default.
+	Topology TopologyConfig
+	// DefaultJoinSelectivity is the catalog default for stream pairs
+	// without explicit statistics (default 0.8).
+	DefaultJoinSelectivity float64
+	// DisableDHT skips the Chord/Hilbert catalog and maps coordinates
+	// with a centralized oracle instead (faster, less faithful).
+	DisableDHT bool
+	// TimeScale is the engine's wall time per simulated millisecond
+	// (default 50µs). Only used once StartEngine is called.
+	TimeScale time.Duration
+}
+
+// System is a fully assembled SBON.
+type System struct {
+	Topo       *topology.Topology
+	Env        *optimizer.Env
+	Stats      *query.Catalog
+	Registry   *optimizer.Registry
+	Deployment *optimizer.Deployment
+
+	opts   Options
+	net    *overlay.Network
+	engine *stream.Engine
+}
+
+// New builds a System: generates the topology, embeds coordinates,
+// assigns background loads, and (unless disabled) constructs the DHT
+// catalog with every node's cost-space coordinate published.
+func New(opts Options) (*System, error) {
+	topoCfg := opts.Topology
+	if topoCfg.TotalNodes() == 0 {
+		topoCfg = topology.DefaultConfig()
+	}
+	topo, err := topology.Generate(topoCfg, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	defSel := opts.DefaultJoinSelectivity
+	if defSel <= 0 {
+		defSel = 0.8
+	}
+	stats, err := query.NewCatalog(defSel)
+	if err != nil {
+		return nil, err
+	}
+	envCfg := optimizer.DefaultEnvConfig(opts.Seed)
+	envCfg.UseDHT = !opts.DisableDHT
+	env, err := optimizer.NewEnv(topo, stats, envCfg)
+	if err != nil {
+		return nil, err
+	}
+	reg := optimizer.NewRegistry()
+	return &System{
+		Topo:       topo,
+		Env:        env,
+		Stats:      stats,
+		Registry:   reg,
+		Deployment: optimizer.NewDeployment(env, reg),
+		opts:       opts,
+	}, nil
+}
+
+// StubNodes returns the edge (stub) nodes — where producers and
+// consumers typically live.
+func (s *System) StubNodes() []NodeID { return s.Topo.StubNodeIDs() }
+
+// TransitNodes returns the core (transit) nodes.
+func (s *System) TransitNodes() []NodeID { return s.Topo.TransitNodeIDs() }
+
+// AddStream registers a source stream published by producer at rate
+// KB/s.
+func (s *System) AddStream(id StreamID, producer NodeID, rateKBs float64) error {
+	return s.Stats.AddStream(id, producer, rateKBs)
+}
+
+// SetJoinSelectivity sets the pairwise join selectivity between two
+// streams.
+func (s *System) SetJoinSelectivity(a, b StreamID, sel float64) error {
+	return s.Stats.SetPairSelectivity(a, b, sel)
+}
+
+// Optimize runs the paper's integrated optimization: every candidate
+// plan is virtually placed in the cost space and physically mapped; the
+// cheapest resulting circuit is returned (not yet deployed).
+func (s *System) Optimize(q Query) (*Result, error) {
+	return optimizer.NewIntegrated(s.Env).Optimize(q)
+}
+
+// OptimizeTwoStep runs the classical baseline: the statistics-optimal
+// plan is chosen first and only then placed.
+func (s *System) OptimizeTwoStep(q Query) (*Result, error) {
+	return optimizer.NewTwoStep(s.Env).Optimize(q)
+}
+
+// OptimizeShared runs multi-query optimization: plan subtrees may be
+// satisfied by services of already-deployed circuits found within the
+// cost-space radius of their ideal placement coordinates.
+func (s *System) OptimizeShared(q Query, radius float64) (*Result, error) {
+	return optimizer.NewMultiQuery(s.Env, s.Registry, radius).Optimize(q)
+}
+
+// Deploy installs an optimized circuit: loads are charged to hosting
+// nodes and its services become reusable by later queries.
+func (s *System) Deploy(c *Circuit) error { return s.Deployment.Deploy(c) }
+
+// Cancel removes a deployed circuit, releasing services whose last
+// consumer is gone.
+func (s *System) Cancel(id QueryID) error { return s.Deployment.Cancel(id) }
+
+// Usage returns the circuit's network usage Σ rate·latency (KB·ms/s) on
+// the true topology.
+func (s *System) Usage(c *Circuit) float64 {
+	return c.NetworkUsage(optimizer.TrueLatency{Topo: s.Topo})
+}
+
+// Latency returns the circuit's worst producer→consumer path latency in
+// milliseconds on the true topology.
+func (s *System) Latency(c *Circuit) float64 {
+	return c.ConsumerLatency(optimizer.TrueLatency{Topo: s.Topo})
+}
+
+// TotalUsage returns the summed network usage of all deployed circuits
+// (shared links counted once).
+func (s *System) TotalUsage() float64 {
+	return s.Deployment.TotalUsage(optimizer.TrueLatency{Topo: s.Topo})
+}
+
+// SetBackgroundLoad changes a node's background CPU load, moving its
+// cost-space coordinate (and DHT entry).
+func (s *System) SetBackgroundLoad(n NodeID, load float64) {
+	s.Env.SetBackgroundLoad(n, load)
+}
+
+// Reoptimize performs one local re-optimization sweep: deployed services
+// re-run placement and migrate when the cost improvement clears the
+// hysteresis threshold.
+func (s *System) Reoptimize() (optimizer.StepStats, error) {
+	return optimizer.NewReoptimizer(s.Deployment).Step()
+}
+
+// Rewrite performs one plan-rewriting sweep (§3.3 "limited plan
+// re-writing"): deployed circuits explore one-step join reorderings and
+// swap to a cheaper shape when the improvement clears the threshold.
+func (s *System) Rewrite() (optimizer.RewriteStats, error) {
+	return optimizer.NewReoptimizer(s.Deployment).RewriteStep()
+}
+
+// StartEngine launches the goroutine-per-node overlay runtime and the
+// stream engine so circuits can be executed with real tuples.
+func (s *System) StartEngine() error {
+	if s.engine != nil {
+		return fmt.Errorf("sbon: engine already started")
+	}
+	cfg := overlay.DefaultConfig()
+	if s.opts.TimeScale > 0 {
+		cfg.TimeScale = s.opts.TimeScale
+	}
+	s.net = overlay.NewNetwork(s.Topo, cfg)
+	s.net.Start()
+	s.engine = stream.NewEngine(s.net, s.Topo, stream.EngineConfig{
+		Keyspace:    1000,
+		TupleSizeKB: 1.0,
+		Seed:        s.opts.Seed,
+	})
+	return nil
+}
+
+// Run executes a circuit on the engine (StartEngine must have been
+// called) and returns a handle for measurement.
+func (s *System) Run(c *Circuit) (*stream.Running, error) {
+	if s.engine == nil {
+		return nil, fmt.Errorf("sbon: engine not started; call StartEngine first")
+	}
+	return s.engine.Deploy(c)
+}
+
+// StopRun halts an executing circuit.
+func (s *System) StopRun(id QueryID) error {
+	if s.engine == nil {
+		return fmt.Errorf("sbon: engine not started")
+	}
+	return s.engine.Stop(id)
+}
+
+// Close shuts down the engine and overlay runtime if they were started.
+func (s *System) Close() {
+	if s.engine != nil {
+		s.engine.Close()
+		s.engine = nil
+	}
+	if s.net != nil {
+		s.net.Stop()
+		s.net = nil
+	}
+}

@@ -1,0 +1,296 @@
+package sbon
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// smallOpts keeps facade tests fast (~44 nodes).
+func smallOpts(seed int64) Options {
+	return Options{
+		Seed: seed,
+		Topology: TopologyConfig{
+			TransitDomains:      2,
+			TransitNodes:        2,
+			StubsPerTransit:     2,
+			StubNodes:           5,
+			IntraStubLatency:    [2]float64{1, 5},
+			StubUplinkLatency:   [2]float64{2, 10},
+			IntraTransitLatency: [2]float64{8, 20},
+			InterTransitLatency: [2]float64{30, 80},
+			ExtraStubEdgeProb:   0.2,
+		},
+	}
+}
+
+func newSystem(t *testing.T, seed int64) *System {
+	t.Helper()
+	sys, err := New(smallOpts(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	stubs := sys.StubNodes()
+	for i := 0; i < 4; i++ {
+		if err := sys.AddStream(StreamID(i), stubs[i*4], 60+float64(i)*30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := New(Options{Seed: 1, DisableDHT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if got := sys.Topo.NumNodes(); got != 592 {
+		t.Fatalf("default topology has %d nodes, want 592", got)
+	}
+	if len(sys.StubNodes()) != 576 || len(sys.TransitNodes()) != 16 {
+		t.Fatal("node partitions wrong")
+	}
+}
+
+func TestOptimizeAndDeployLifecycle(t *testing.T) {
+	sys := newSystem(t, 2)
+	q := Query{ID: 1, Consumer: sys.StubNodes()[19], Streams: []StreamID{0, 1, 2}}
+	res, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit == nil || res.PlansConsidered == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if u := sys.Usage(res.Circuit); u <= 0 {
+		t.Fatalf("usage = %v", u)
+	}
+	if l := sys.Latency(res.Circuit); l <= 0 {
+		t.Fatalf("latency = %v", l)
+	}
+	if err := sys.Deploy(res.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.TotalUsage(); math.Abs(got-sys.Usage(res.Circuit)) > 1e-9 {
+		t.Fatalf("TotalUsage %v != circuit usage %v", got, sys.Usage(res.Circuit))
+	}
+	if err := sys.Cancel(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	if sys.TotalUsage() != 0 {
+		t.Fatal("usage after cancel nonzero")
+	}
+}
+
+func TestTwoStepNeverBeatsIntegratedHere(t *testing.T) {
+	sys := newSystem(t, 3)
+	q := Query{ID: 2, Consumer: sys.StubNodes()[0], Streams: []StreamID{0, 1, 2, 3}}
+	ri, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sys.OptimizeTwoStep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both select under the coordinate model; compare on that model where
+	// the superset guarantee holds.
+	if ri.EstimatedUsage > rt.EstimatedUsage+1e-9 {
+		t.Fatalf("integrated estimate %v worse than two-step %v", ri.EstimatedUsage, rt.EstimatedUsage)
+	}
+}
+
+func TestOptimizeSharedReuse(t *testing.T) {
+	sys := newSystem(t, 4)
+	q1 := Query{ID: 3, Consumer: sys.StubNodes()[5], Streams: []StreamID{0, 1}}
+	r1, err := sys.OptimizeShared(q1, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deploy(r1.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	q2 := Query{ID: 4, Consumer: sys.StubNodes()[12], Streams: []StreamID{0, 1}}
+	fresh, err := sys.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.OptimizeShared(q2, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ReusedServices == 0 {
+		t.Fatal("identical query found no reusable service")
+	}
+	// Under the selection model, the shared candidate set is a superset
+	// of the fresh one, so reuse can only help.
+	if r2.EstimatedUsage > fresh.EstimatedUsage+1e-9 {
+		t.Fatalf("shared estimate %v worse than fresh %v", r2.EstimatedUsage, fresh.EstimatedUsage)
+	}
+	if err := sys.Deploy(r2.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	// Total usage = first circuit + marginal links of the second only.
+	total := sys.TotalUsage()
+	if total <= sys.Usage(r1.Circuit) {
+		t.Fatal("second circuit added no marginal usage?")
+	}
+}
+
+func TestSetBackgroundLoadAndReoptimize(t *testing.T) {
+	sys := newSystem(t, 5)
+	q := Query{ID: 5, Consumer: sys.StubNodes()[7], Streams: []StreamID{0, 1, 2}}
+	res, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deploy(res.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	victim := res.Circuit.UnpinnedServices()[0].Node
+	sys.SetBackgroundLoad(victim, 0.99)
+	stats, err := sys.Reoptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ServicesEvaluated == 0 {
+		t.Fatal("no services evaluated")
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	opts := smallOpts(6)
+	opts.TimeScale = 10 * time.Microsecond
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.AddStream(0, sys.StubNodes()[2], 50); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{ID: 6, Consumer: sys.StubNodes()[15], Streams: []StreamID{0}}
+	res, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(res.Circuit); err == nil {
+		t.Fatal("Run before StartEngine accepted")
+	}
+	if err := sys.StartEngine(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StartEngine(); err == nil {
+		t.Fatal("double StartEngine accepted")
+	}
+	run, err := sys.Run(res.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(800 * time.Millisecond)
+	m := run.Measure()
+	if m.TuplesOut == 0 {
+		t.Fatal("no tuples delivered through facade")
+	}
+	if err := sys.StopRun(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	sys.Close() // idempotent
+}
+
+func TestStopRunWithoutEngine(t *testing.T) {
+	sys := newSystem(t, 7)
+	if err := sys.StopRun(1); err == nil {
+		t.Fatal("StopRun without engine accepted")
+	}
+}
+
+func TestSetJoinSelectivityFlowsIntoPlans(t *testing.T) {
+	sys := newSystem(t, 8)
+	if err := sys.SetJoinSelectivity(0, 1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{ID: 9, Consumer: sys.StubNodes()[3], Streams: []StreamID{0, 1, 2}}
+	res, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With sel(0,1) tiny, the best plan joins 0⋈1 first.
+	sigs := map[string]bool{}
+	for _, s := range res.Circuit.Services {
+		if s.Plan != nil {
+			sigs[s.Plan.Signature()] = true
+		}
+	}
+	if !sigs["join(s0,s1)"] {
+		t.Fatalf("plan ignored selective pair: %v", res.Circuit.Plan)
+	}
+}
+
+func TestInvalidTopologyOption(t *testing.T) {
+	_, err := New(Options{Topology: TopologyConfig{TransitDomains: -1, TransitNodes: 1}})
+	if err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+var _ = topology.Config{} // keep explicit dependency for the alias check below
+
+func TestTypeAliasesUsable(t *testing.T) {
+	var n NodeID = 5
+	var s StreamID = 2
+	var q QueryID = 1
+	if int(n)+int(s)+int(q) != 8 {
+		t.Fatal("aliases broken")
+	}
+}
+
+// Across random seeds, the integrated optimizer's estimate can never
+// exceed the two-step baseline's: under one selection model it evaluates
+// a strict superset of candidate circuits through the same pipeline.
+func TestIntegratedSupersetGuaranteeAcrossSeeds(t *testing.T) {
+	for seed := int64(100); seed < 108; seed++ {
+		sys := newSystem(t, seed)
+		q := Query{ID: 1, Consumer: sys.StubNodes()[int(seed)%16], Streams: []StreamID{0, 1, 2, 3}}
+		ri, err := sys.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := sys.OptimizeTwoStep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.EstimatedUsage > rt.EstimatedUsage+1e-9 {
+			t.Fatalf("seed %d: integrated estimate %v > two-step %v", seed, ri.EstimatedUsage, rt.EstimatedUsage)
+		}
+	}
+}
+
+// Rewriting through the facade must never increase total usage.
+func TestFacadeRewrite(t *testing.T) {
+	sys := newSystem(t, 9)
+	q := Query{ID: 1, Consumer: sys.StubNodes()[3], Streams: []StreamID{0, 1, 2, 3}}
+	res, err := sys.OptimizeTwoStep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deploy(res.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.TotalUsage()
+	stats, err := sys.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CircuitsEvaluated != 1 {
+		t.Fatalf("evaluated %d circuits", stats.CircuitsEvaluated)
+	}
+	if after := sys.TotalUsage(); after > before+1e-9 {
+		t.Fatalf("rewrite increased usage %v -> %v", before, after)
+	}
+}
