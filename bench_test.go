@@ -207,3 +207,64 @@ func BenchmarkTwoStepOptimize592Nodes4Way(b *testing.B) {
 		}
 	}
 }
+
+// Batch-optimization benchmarks: 1000 queries drawn from overlapping
+// stream sets with varied consumers, so the plan cache sees repeats — the
+// scenario OptimizeBatch is built for. The sequential variant runs the
+// same workload through one-at-a-time Optimize calls for comparison.
+
+func batchWorkload(sys *sbon.System, n int) []sbon.Query {
+	sets := [][]sbon.StreamID{{0, 1}, {1, 2}, {2, 3}, {0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3}}
+	stubs := sys.StubNodes()
+	qs := make([]sbon.Query, n)
+	for i := range qs {
+		qs[i] = sbon.Query{
+			ID:       sbon.QueryID(i + 1),
+			Consumer: stubs[(i*7)%32], // 32 distinct consumers -> repeated cache keys
+			Streams:  sets[i%len(sets)],
+		}
+	}
+	return qs
+}
+
+func BenchmarkOptimizeBatch1k(b *testing.B) {
+	sys := paperScaleSystem(b)
+	qs := batchWorkload(sys, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.OptimizeBatch(qs, sbon.BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(qs) {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+func BenchmarkOptimizeBatch1kNoCache(b *testing.B) {
+	sys := paperScaleSystem(b)
+	qs := batchWorkload(sys, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.OptimizeBatch(qs, sbon.BatchOptions{NoCache: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+func BenchmarkOptimizeSequential1k(b *testing.B) {
+	sys := paperScaleSystem(b)
+	qs := batchWorkload(sys, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if _, err := sys.Optimize(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}

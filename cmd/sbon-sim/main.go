@@ -8,6 +8,13 @@
 //	sbon-sim -queries 20 -optimizer integrated
 //	sbon-sim -optimizer multiquery -radius 50
 //	sbon-sim -optimizer twostep -churn-steps 10
+//
+// With -batch N the command instead runs the concurrent batch-optimization
+// scenario: N queries (drawn from -batch-distinct distinct shapes, so the
+// plan cache is exercised) are optimized by a worker pool over one frozen
+// snapshot, optionally compared against the sequential loop:
+//
+//	sbon-sim -batch 10000 -batch-distinct 250 -workers 8 -batch-compare
 package main
 
 import (
@@ -16,7 +23,9 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/query"
@@ -34,6 +43,12 @@ func main() {
 		radius     = flag.Float64("radius", 50, "multi-query pruning radius (multiquery only; -1 = unpruned)")
 		churnSteps = flag.Int("churn-steps", 0, "load-churn steps with re-optimization after deployment")
 		useDHT     = flag.Bool("dht", true, "use the Hilbert-DHT catalog for physical mapping")
+
+		batchN        = flag.Int("batch", 0, "run the batch scenario with this many queries (0 = classic deploy loop)")
+		batchDistinct = flag.Int("batch-distinct", 250, "distinct query shapes the batch cycles through")
+		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "batch worker goroutines")
+		batchCompare  = flag.Bool("batch-compare", false, "also time the sequential Optimize loop for comparison")
+		batchNoCache  = flag.Bool("batch-no-cache", false, "disable the plan cache in the batch scenario")
 	)
 	flag.Parse()
 
@@ -52,6 +67,9 @@ func main() {
 	}
 	qCfg := workload.DefaultQueryConfig()
 	qCfg.NumQueries = *queries
+	if *batchN > 0 {
+		qCfg.NumQueries = *batchDistinct
+	}
 	qs, err := workload.GenerateQueries(topo, stats, qCfg, rng, 1)
 	if err != nil {
 		fail(err)
@@ -65,6 +83,11 @@ func main() {
 	}
 	fmt.Printf("topology: %s\n", topo.ComputeStats())
 	fmt.Printf("coordinates: %s\n", env.EmbeddingQuality)
+
+	if *batchN > 0 {
+		runBatchScenario(env, qs, *batchN, *workers, *batchCompare, *batchNoCache)
+		return
+	}
 
 	reg := optimizer.NewRegistry()
 	dep := optimizer.NewDeployment(env, reg)
@@ -122,6 +145,64 @@ func main() {
 			fmt.Printf("step %2d: migrations=%2d usage=%9.1f load-penalty=%8.2f\n",
 				step, st.Migrations, dep.TotalUsage(truth), dep.TotalLoadPenalty())
 		}
+	}
+}
+
+// runBatchScenario tiles the distinct query shapes out to n queries and
+// optimizes them all with the concurrent batch path, reporting throughput
+// and plan-cache effectiveness, optionally against the sequential loop.
+func runBatchScenario(env *optimizer.Env, distinct []query.Query, n, workers int, compare, noCache bool) {
+	if len(distinct) == 0 {
+		fail(fmt.Errorf("batch scenario has no distinct queries"))
+	}
+	qs := make([]query.Query, n)
+	for i := range qs {
+		qs[i] = distinct[i%len(distinct)]
+		qs[i].ID = query.QueryID(i + 1)
+	}
+	fmt.Printf("\nbatch scenario: %d queries (%d distinct shapes), %d workers, cache=%v\n",
+		n, len(distinct), workers, !noCache)
+
+	cache := optimizer.NewPlanCache()
+	opts := optimizer.BatchOptions{Workers: workers, Cache: cache, NoCache: noCache}
+	start := time.Now()
+	results, err := optimizer.OptimizeBatch(env, qs, opts)
+	if err != nil {
+		fail(err)
+	}
+	batchDur := time.Since(start)
+
+	var usage float64
+	var plans, cached int
+	for i := range results {
+		usage += results[i].EstimatedUsage
+		plans += results[i].PlansConsidered
+		if results[i].FromCache {
+			cached++
+		}
+	}
+	hits, misses := cache.Stats()
+	fmt.Printf("batch:      %v  (%.0f queries/s)\n", batchDur, float64(n)/batchDur.Seconds())
+	fmt.Printf("estimated usage Σ %.1f, plans considered %d, cache hits %d / misses %d (%.1f%% of queries answered from cache)\n",
+		usage, plans, hits, misses, 100*float64(cached)/float64(n))
+
+	if compare {
+		start = time.Now()
+		var seqUsage float64
+		for _, q := range qs {
+			res, err := optimizer.NewIntegrated(env).Optimize(q)
+			if err != nil {
+				fail(err)
+			}
+			seqUsage += res.EstimatedUsage
+		}
+		seqDur := time.Since(start)
+		fmt.Printf("sequential: %v  (%.0f queries/s)  speedup %.2fx\n",
+			seqDur, float64(n)/seqDur.Seconds(), seqDur.Seconds()/batchDur.Seconds())
+		if math.Abs(seqUsage-usage) > 1e-6*math.Max(1, math.Abs(seqUsage)) {
+			fail(fmt.Errorf("batch usage Σ %.6f diverges from sequential Σ %.6f", usage, seqUsage))
+		}
+		fmt.Printf("batch and sequential agree on Σ estimated usage (%.1f)\n", usage)
 	}
 }
 

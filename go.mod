@@ -1,0 +1,3 @@
+module github.com/hourglass/sbon
+
+go 1.24

@@ -1,0 +1,161 @@
+package optimizer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hourglass/sbon/internal/query"
+)
+
+// BatchOptions configures OptimizeBatch.
+type BatchOptions struct {
+	// Workers is the number of concurrent optimizer goroutines (default
+	// GOMAXPROCS, capped at the number of queries).
+	Workers int
+	// Cache is the plan cache shared by the batch's workers. Nil means a
+	// private cache is created for the batch (so repeated queries within
+	// it still reuse plans) unless NoCache is set.
+	Cache *PlanCache
+	// NoCache disables plan caching entirely: every query runs the full
+	// integrated optimization.
+	NoCache bool
+}
+
+// OptimizeBatch runs the integrated optimizer over many queries
+// concurrently. All workers share one frozen snapshot of the environment
+// (Env.Freeze), so the whole batch is optimized against a single
+// consistent view of coordinates, loads, and the catalog with no
+// locking on the read path, and the live Env remains free to mutate
+// afterwards without invalidating anything the batch computed.
+//
+// Queries whose (consumer, canonical stream set, cost-space Hilbert cell)
+// key hits the plan cache skip plan enumeration: the previously winning
+// logical plan is re-placed under the snapshot's conditions, which yields
+// a circuit identical to the full optimization whenever the key matches
+// exactly (the full path is deterministic for a fixed snapshot). Cache
+// hits report PlansConsidered == 1 and FromCache == true; their Circuit
+// and EstimatedUsage match the sequential Optimize result.
+//
+// Results are returned in query order. The first optimization error
+// aborts the batch and is returned; remaining work is skipped.
+//
+// The live Env must not be mutated (Deploy, Cancel, SetBackgroundLoad,
+// Reoptimize, ReembedCoordinates, statistics-catalog changes) while
+// OptimizeBatch runs: the snapshot copies the coordinate arrays but
+// shares the DHT catalog and statistics catalog with the live
+// environment.
+func OptimizeBatch(env *Env, queries []query.Query, opts BatchOptions) ([]Result, error) {
+	if env == nil {
+		return nil, fmt.Errorf("optimizer: OptimizeBatch on nil env")
+	}
+	results := make([]Result, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	cache := opts.Cache
+	if cache == nil && !opts.NoCache {
+		cache = NewPlanCache()
+	}
+	if opts.NoCache {
+		cache = nil
+	}
+
+	snap := env.Freeze()
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			opt := NewIntegrated(snap)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) || stop.Load() {
+					return
+				}
+				res, err := optimizeOne(snap, opt, cache, queries[i])
+				if err != nil {
+					fail(fmt.Errorf("optimizer: batch query %d (index %d): %w", queries[i].ID, i, err))
+					return
+				}
+				results[i] = *res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// optimizeOne answers one batch query: from the plan cache when the key
+// hits, with the full integrated optimization otherwise (feeding the
+// cache with the winner).
+func optimizeOne(snap *Env, opt *Integrated, cache *PlanCache, q query.Query) (*Result, error) {
+	if cache == nil {
+		return opt.Optimize(q)
+	}
+	key := cache.KeyFor(snap.Snapshot, q)
+	if p := cache.Get(key); p != nil {
+		return placeCachedPlan(snap, q, p)
+	}
+	res, err := opt.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	cache.Put(key, res.Circuit.Plan)
+	return res, nil
+}
+
+// placeCachedPlan skips enumeration and runs only the placement pipeline
+// for a plan that previously won the full optimization of an equivalent
+// query under the same environment epoch. The plan is still re-rated
+// against current statistics and re-placed against the snapshot, so the
+// circuit always reflects the state the batch was frozen over.
+func placeCachedPlan(env *Env, q query.Query, p *query.PlanNode) (*Result, error) {
+	inner := &Integrated{Env: env}
+	_, placer, mapper, model := inner.components()
+	if err := p.ComputeRates(env.Stats); err != nil {
+		return nil, err
+	}
+	b := &Builder{Env: env}
+	circuit, stats, err := buildPlaceMap(b, q, p, placer, mapper)
+	if err != nil {
+		return nil, err
+	}
+	usage := circuit.NetworkUsage(model)
+	if IsUncosted(usage) {
+		return nil, fmt.Errorf("optimizer: cached plan for query %d produced an uncosted circuit", q.ID)
+	}
+	return &Result{
+		Circuit:            circuit,
+		PlansConsidered:    1,
+		CircuitsConsidered: 1,
+		EstimatedUsage:     usage,
+		MapStats:           stats,
+		FromCache:          true,
+	}, nil
+}

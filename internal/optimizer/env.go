@@ -8,6 +8,13 @@
 // truth for measured costs), every node's Vivaldi coordinate and load
 // (combined into its cost-space point), and optionally the Hilbert-keyed
 // DHT catalog for decentralized physical mapping.
+//
+// Env separates the state one optimization *reads* (Snapshot: topology,
+// coordinates, loads, cost-space points, catalog) from the state the
+// deployment life-cycle *mutates* (background loads, the RNG, the
+// republish path). Freeze returns an immutable copy of the read state so
+// any number of concurrent optimizations — see OptimizeBatch — can share
+// one snapshot without locking.
 package optimizer
 
 import (
@@ -60,21 +67,50 @@ func DefaultEnvConfig(seed int64) EnvConfig {
 	}
 }
 
-// Env is the optimizer's view of one SBON deployment.
-type Env struct {
+// Snapshot is the read-only cost-space and topology state that a single
+// optimization reads: the topology, the statistics catalog, every node's
+// vector coordinate, raw load, and combined cost-space point, and the
+// optional DHT catalog. An Env owns a live snapshot and updates it in
+// place; Env.Freeze deep-copies the mutable arrays into a frozen snapshot
+// that concurrent optimizations share without locking.
+//
+// All methods are safe for concurrent use as long as no Env mutator
+// (SetBackgroundLoad, AddServiceLoad, RemoveServiceLoad,
+// ReembedCoordinates, Deploy/Cancel via Deployment) runs on the *owning
+// live* Env at the same time — a frozen snapshot's coordinate arrays are
+// private copies, but the DHT catalog is shared with the live Env because
+// copying the ring is prohibitive and lookups are pure reads.
+type Snapshot struct {
 	Topo  *topology.Topology
 	Stats *query.Catalog
 
 	space *costspace.Space
 	vec   []vivaldi.Coord // per-node vector coordinate
 	load  []float64       // per-node current raw load (background + services)
-	base  []float64       // background load component
 	pts   []costspace.Point
 
 	catalog *dht.Catalog // nil unless UseDHT
 
+	// epoch counts mutations of the owning live Env (load changes,
+	// re-embeddings). A PlanCache flushes when it sees a new epoch, so
+	// plans enumerated under superseded conditions are never served.
+	epoch uint64
+
 	cfg EnvConfig
-	rng *rand.Rand
+}
+
+// Env is the optimizer's view of one SBON deployment: a live Snapshot
+// plus the mutable bookkeeping (background-load components, the RNG) that
+// the deployment life-cycle updates.
+type Env struct {
+	*Snapshot
+
+	base []float64 // background load component
+	rng  *rand.Rand
+
+	// frozen marks an Env produced by Freeze: a shared read-only view
+	// whose mutators panic instead of corrupting concurrent readers.
+	frozen bool
 
 	// EmbeddingQuality records the Vivaldi embedding error measured at
 	// construction time.
@@ -119,15 +155,17 @@ func NewEnv(topo *topology.Topology, stats *query.Catalog, cfg EnvConfig) (*Env,
 
 	n := topo.NumNodes()
 	e := &Env{
-		Topo:  topo,
-		Stats: stats,
-		space: space,
-		vec:   emb.Coords,
-		load:  make([]float64, n),
-		base:  make([]float64, n),
-		pts:   make([]costspace.Point, n),
-		cfg:   cfg,
-		rng:   rng,
+		Snapshot: &Snapshot{
+			Topo:  topo,
+			Stats: stats,
+			space: space,
+			vec:   emb.Coords,
+			load:  make([]float64, n),
+			pts:   make([]costspace.Point, n),
+			cfg:   cfg,
+		},
+		base: make([]float64, n),
+		rng:  rng,
 	}
 	e.EmbeddingQuality = emb.Evaluate(func(i, j int) float64 { return m[i][j] }, 2000, rng)
 	for i := 0; i < n; i++ {
@@ -182,12 +220,65 @@ func (e *Env) buildDHT() error {
 	return nil
 }
 
+// Freeze returns a read-only copy of the environment for concurrent
+// optimization: it shares the immutable topology, statistics, cost space,
+// and DHT catalog, but owns private copies of the per-node coordinate and
+// load arrays, so later mutations of the live Env never reach readers of
+// the frozen one. Mutating methods on a frozen Env panic.
+//
+// The catalog is shared, not copied: its lookups are pure reads, so a
+// frozen Env is race-free provided the live Env is not mutated (deploys,
+// load changes, re-embeddings) while optimizations run against the
+// snapshot.
+func (e *Env) Freeze() *Env {
+	s := &Snapshot{
+		Topo:    e.Topo,
+		Stats:   e.Stats,
+		space:   e.space,
+		vec:     append([]vivaldi.Coord(nil), e.vec...),
+		load:    append([]float64(nil), e.load...),
+		pts:     append([]costspace.Point(nil), e.pts...),
+		catalog: e.catalog,
+		epoch:   e.epoch,
+		cfg:     e.cfg,
+	}
+	return &Env{
+		Snapshot: s,
+		// base is left nil: its only readers are mutators, which panic
+		// on a frozen Env before touching it.
+		rng:              rand.New(rand.NewSource(e.cfg.Seed)),
+		frozen:           true,
+		EmbeddingQuality: e.EmbeddingQuality,
+	}
+}
+
+// Frozen reports whether the Env is a read-only snapshot from Freeze.
+func (e *Env) Frozen() bool { return e.frozen }
+
+// NoteStatsChanged records a mutation of the statistics catalog (new
+// streams, changed selectivities). The catalog changes which plan wins,
+// not where nodes sit, so no point refresh is needed — but the epoch must
+// advance so plan caches stop serving plans enumerated under the old
+// statistics.
+func (e *Env) NoteStatsChanged() {
+	e.mutable("NoteStatsChanged")
+	e.epoch++
+}
+
+// mutable panics if the Env is a frozen snapshot: snapshots are shared by
+// concurrent optimizations, so mutating one is always a bug.
+func (e *Env) mutable(op string) {
+	if e.frozen {
+		panic("optimizer: " + op + " called on a frozen Env snapshot")
+	}
+}
+
 // Space implements placement.NodeSource.
-func (e *Env) Space() *costspace.Space { return e.space }
+func (s *Snapshot) Space() *costspace.Space { return s.space }
 
 // NodeIDs implements placement.NodeSource.
-func (e *Env) NodeIDs() []topology.NodeID {
-	out := make([]topology.NodeID, len(e.pts))
+func (s *Snapshot) NodeIDs() []topology.NodeID {
+	out := make([]topology.NodeID, len(s.pts))
 	for i := range out {
 		out[i] = topology.NodeID(i)
 	}
@@ -195,19 +286,36 @@ func (e *Env) NodeIDs() []topology.NodeID {
 }
 
 // Point implements placement.NodeSource.
-func (e *Env) Point(n topology.NodeID) costspace.Point { return e.pts[n] }
+func (s *Snapshot) Point(n topology.NodeID) costspace.Point { return s.pts[n] }
 
 // VecCoord returns the node's vector (latency) coordinate.
-func (e *Env) VecCoord(n topology.NodeID) vivaldi.Coord { return e.vec[n] }
+func (s *Snapshot) VecCoord(n topology.NodeID) vivaldi.Coord { return s.vec[n] }
 
 // Load returns the node's current raw load.
-func (e *Env) Load(n topology.NodeID) float64 { return e.load[n] }
+func (s *Snapshot) Load(n topology.NodeID) float64 { return s.load[n] }
 
 // Catalog returns the DHT catalog (nil if the env was built without one).
-func (e *Env) Catalog() *dht.Catalog { return e.catalog }
+func (s *Snapshot) Catalog() *dht.Catalog { return s.catalog }
 
 // Config returns the construction configuration.
-func (e *Env) Config() EnvConfig { return e.cfg }
+func (s *Snapshot) Config() EnvConfig { return s.cfg }
+
+// Epoch returns the mutation epoch: how many times the owning live Env
+// had its state changed (load accounting, background loads,
+// re-embedding) when this snapshot's view was taken.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// CellKey returns the Hilbert-cell identifier of the node's current
+// cost-space point — the discretized "network conditions" bucket used to
+// key the plan cache. With a DHT catalog the key is the node's scaled
+// Hilbert key (identical coordinates and loads land in identical cells);
+// without one the point is quantized onto a fixed grid and hashed.
+func (s *Snapshot) CellKey(n topology.NodeID) uint64 {
+	if s.catalog != nil {
+		return uint64(s.catalog.KeyOf(s.pts[n]))
+	}
+	return gridCellKey(s.pts[n])
+}
 
 // Rand returns the environment's RNG (deterministic per seed).
 func (e *Env) Rand() *rand.Rand { return e.rng }
@@ -215,6 +323,8 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 // SetBackgroundLoad replaces the node's background load component and
 // refreshes its cost-space point (and DHT entry).
 func (e *Env) SetBackgroundLoad(n topology.NodeID, l float64) {
+	e.mutable("SetBackgroundLoad")
+	e.epoch++
 	if l < 0 {
 		l = 0
 	}
@@ -227,12 +337,16 @@ func (e *Env) SetBackgroundLoad(n topology.NodeID, l float64) {
 // AddServiceLoad charges a hosted service processing `inputRate` KB/s to
 // the node's load.
 func (e *Env) AddServiceLoad(n topology.NodeID, inputRate float64) {
+	e.mutable("AddServiceLoad")
+	e.epoch++
 	e.load[n] += inputRate * e.cfg.LoadPerRate
 	e.refreshPoint(n)
 }
 
 // RemoveServiceLoad reverses AddServiceLoad.
 func (e *Env) RemoveServiceLoad(n topology.NodeID, inputRate float64) {
+	e.mutable("RemoveServiceLoad")
+	e.epoch++
 	e.load[n] -= inputRate * e.cfg.LoadPerRate
 	if e.load[n] < e.base[n] {
 		e.load[n] = e.base[n]
@@ -255,6 +369,8 @@ func (e *Env) refreshPoint(n topology.NodeID) {
 // ReembedCoordinates reruns Vivaldi against the topology's current
 // latencies (after PerturbLatencies) and refreshes all points.
 func (e *Env) ReembedCoordinates() error {
+	e.mutable("ReembedCoordinates")
+	e.epoch++
 	m := e.Topo.LatencyMatrix()
 	emb, err := vivaldi.EmbedMatrix(m, vivaldi.DefaultConfig(), e.cfg.VivaldiRounds, e.cfg.VivaldiSamples, e.rng)
 	if err != nil {

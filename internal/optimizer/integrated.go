@@ -27,6 +27,9 @@ type Result struct {
 	// InstancesExamined counts registry/DHT entries inspected during
 	// reuse search (the §3.4 pruning work metric).
 	InstancesExamined int
+	// FromCache marks results answered from a PlanCache hit (batch
+	// optimization): plan enumeration was skipped and only placement ran.
+	FromCache bool
 }
 
 // Integrated is the paper's optimizer (§3.3): every candidate plan is

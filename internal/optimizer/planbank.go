@@ -4,11 +4,27 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 
+	"github.com/hourglass/sbon/internal/costspace"
 	"github.com/hourglass/sbon/internal/placement"
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/topology"
 )
+
+// UncostedUsage is the sentinel EstimatedUsage of a Result that has not
+// costed any circuit yet. It is +Inf (declared as a variable because Go
+// has no untyped infinite constant); always test with IsUncosted rather
+// than comparing against a literal math.Inf(1), so a cache or bank hit
+// can never mistake an uncosted entry for a real estimate.
+var UncostedUsage = math.Inf(1)
+
+// IsUncosted reports whether an EstimatedUsage value is the UncostedUsage
+// sentinel rather than a real circuit estimate.
+func IsUncosted(usage float64) bool { return math.IsInf(usage, 1) }
 
 // PlanBank implements the dynamic-plans alternative the paper contrasts
 // integration with (§2.3, citing Graefe & Ward [13]): "pre-calculate and
@@ -128,7 +144,7 @@ func (pb *PlanBank) Optimize(q query.Query) (*Result, error) {
 	placer, mapper, model := pb.components()
 	b := &Builder{Env: pb.Env}
 	res := &Result{PlansConsidered: len(banked)}
-	res.EstimatedUsage = math.Inf(1)
+	res.EstimatedUsage = UncostedUsage
 	for _, p := range banked {
 		// Re-derive rates: statistics may have drifted since compile.
 		cp := p.Clone()
@@ -146,5 +162,168 @@ func (pb *PlanBank) Optimize(q query.Query) (*Result, error) {
 			res.MapStats = stats
 		}
 	}
+	if IsUncosted(res.EstimatedUsage) {
+		return nil, fmt.Errorf("optimizer: query %d produced no costed circuit from %d banked plans", q.ID, len(banked))
+	}
 	return res, nil
+}
+
+// PlanCacheKey identifies one cached optimization outcome: the query's
+// consumer node, the canonical encoding of its stream set (including
+// per-stream filters and the aggregate fraction, which change the plan
+// space), and the Hilbert cell of the consumer's cost-space point at
+// optimization time. The cell ties the entry to the network conditions
+// it was computed under: within one environment epoch it is implied by
+// the consumer, but it makes entries from a different environment (or a
+// cache mistakenly shared across Envs) unable to collide with live
+// lookups, since a different topology or load state puts the same
+// consumer in a different cell.
+type PlanCacheKey struct {
+	Consumer topology.NodeID
+	Streams  string
+	Cell     uint64
+}
+
+// CanonicalStreams encodes the parts of a query that determine its plan
+// space — sorted stream IDs with filter selectivities, plus the aggregate
+// fraction — so queries listing the same streams in different orders share
+// a cache key.
+func CanonicalStreams(q query.Query) string {
+	ids := append([]query.StreamID(nil), q.Streams...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for i, s := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+		if sel, ok := q.FilterSel[s]; ok {
+			fmt.Fprintf(&b, "[%.6g]", sel)
+		}
+	}
+	if q.AggregateFraction > 0 {
+		fmt.Fprintf(&b, "|agg=%.6g", q.AggregateFraction)
+	}
+	return b.String()
+}
+
+// gridCellKey hashes a cost-space point quantized onto a fixed grid —
+// the cell key fallback for environments built without a DHT catalog
+// (no Hilbert curve or bounds exist there). Ordering along the curve is
+// irrelevant for a hash key; only the cell partition matters.
+func gridCellKey(p costspace.Point) uint64 {
+	// 4 coordinate units (≈4 ms) per cell: comparable to the resolution
+	// of the default 16-bit Hilbert grid over a wide-area latency range.
+	const cellSize = 4.0
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, c := range p {
+		cell := int64(math.Floor(c / cellSize))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(cell) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// PlanCache memoizes winning logical plans across optimizations. Unlike
+// PlanBank — which speculatively precompiles plans for hypothetical
+// futures — the cache records the plan that actually won a full
+// integrated optimization, keyed by PlanCacheKey, and answers later
+// lookups for the same (consumer, stream set, network-conditions cell)
+// with that plan so only placement has to be re-run.
+//
+// The cache is pinned to one environment's mutation epoch: KeyFor
+// flushes every entry when the snapshot's Epoch differs from the one the
+// entries were populated under. A plan enumerated under superseded
+// conditions (any load change, deploy, or re-embedding bumps the epoch)
+// is therefore never served — which keeps batch results identical to
+// what sequential Optimize would produce on the current state — and the
+// cache's size stays bounded by the distinct keys of the current epoch
+// instead of accumulating dead cells forever. Use one cache per Env.
+//
+// All methods are safe for concurrent use; OptimizeBatch workers share
+// one cache.
+type PlanCache struct {
+	mu    sync.RWMutex
+	epoch uint64
+	plans map[PlanCacheKey]*query.PlanNode
+
+	hits atomic.Int64
+	miss atomic.Int64
+}
+
+// NewPlanCache returns an empty concurrent plan cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: make(map[PlanCacheKey]*query.PlanNode)}
+}
+
+// KeyFor builds the cache key for the query under the snapshot's current
+// conditions, flushing the cache first if the environment was mutated
+// since the entries were stored.
+func (pc *PlanCache) KeyFor(s *Snapshot, q query.Query) PlanCacheKey {
+	pc.syncEpoch(s.epoch)
+	return PlanCacheKey{
+		Consumer: q.Consumer,
+		Streams:  CanonicalStreams(q),
+		Cell:     s.CellKey(q.Consumer),
+	}
+}
+
+// syncEpoch discards all entries when the environment's mutation epoch
+// has moved past the one they were populated under.
+func (pc *PlanCache) syncEpoch(epoch uint64) {
+	pc.mu.RLock()
+	same := pc.epoch == epoch
+	pc.mu.RUnlock()
+	if same {
+		return
+	}
+	pc.mu.Lock()
+	if pc.epoch != epoch {
+		pc.epoch = epoch
+		pc.plans = make(map[PlanCacheKey]*query.PlanNode)
+	}
+	pc.mu.Unlock()
+}
+
+// Get returns a private clone of the cached plan for the key, or nil on a
+// miss. Lookups take only the read lock (counters are atomic) and the
+// clone is taken outside it (stored plans are immutable once Put), so
+// concurrent hits neither serialize on the map nor on tree copying.
+func (pc *PlanCache) Get(k PlanCacheKey) *query.PlanNode {
+	pc.mu.RLock()
+	p, ok := pc.plans[k]
+	pc.mu.RUnlock()
+	if !ok {
+		pc.miss.Add(1)
+		return nil
+	}
+	pc.hits.Add(1)
+	return p.Clone()
+}
+
+// Put stores a clone of the winning plan under the key. Existing entries
+// are overwritten (last winner wins; entries for the same key are
+// equivalent by construction).
+func (pc *PlanCache) Put(k PlanCacheKey, p *query.PlanNode) {
+	if p == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.plans[k] = p.Clone()
+}
+
+// Len returns the number of cached plans.
+func (pc *PlanCache) Len() int {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	return len(pc.plans)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (pc *PlanCache) Stats() (hits, misses int) {
+	return int(pc.hits.Load()), int(pc.miss.Load())
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package optimizer
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package optimizer
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation overhead makes wall-clock speedup
+// assertions meaningless.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package placement
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -451,4 +452,60 @@ func BenchmarkRelaxation4WayStar(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Placers must be re-entrant: one placer value solving many Problems from
+// concurrent goroutines (the batch optimizer's worker pool) must produce
+// the same coordinates as solving them sequentially. Run with -race.
+func TestPlacersReentrant(t *testing.T) {
+	placers := []VirtualPlacer{Relaxation{}, Weiszfeld{}, Centroid{}, GradientDescent{}}
+	rng := rand.New(rand.NewSource(42))
+	problems := make([]*Problem, 16)
+	for i := range problems {
+		coords := make([]vivaldi.Coord, 3+i%3)
+		rates := make([]float64, len(coords))
+		for j := range coords {
+			coords[j] = vivaldi.Coord{rng.Float64() * 100, rng.Float64() * 100}
+			rates[j] = 1 + rng.Float64()*9
+		}
+		problems[i] = starProblem(coords, rates)
+	}
+	for _, placer := range placers {
+		want := make([]vivaldi.Coord, len(problems))
+		for i, p := range problems {
+			cp := cloneProblem(p)
+			if err := placer.PlaceVirtual(cp); err != nil {
+				t.Fatalf("%s: %v", placer.Name(), err)
+			}
+			want[i] = cp.Vertices[0].Coord
+		}
+		got := make([]vivaldi.Coord, len(problems))
+		var wg sync.WaitGroup
+		for i, p := range problems {
+			wg.Add(1)
+			go func(i int, cp *Problem) {
+				defer wg.Done()
+				if err := placer.PlaceVirtual(cp); err != nil {
+					t.Errorf("%s concurrent: %v", placer.Name(), err)
+					return
+				}
+				got[i] = cp.Vertices[0].Coord
+			}(i, cloneProblem(p))
+		}
+		wg.Wait()
+		for i := range problems {
+			if got[i].Distance(want[i]) != 0 {
+				t.Fatalf("%s problem %d: concurrent solution %v != sequential %v",
+					placer.Name(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func cloneProblem(p *Problem) *Problem {
+	cp := &Problem{Links: append([]Link(nil), p.Links...)}
+	for _, v := range p.Vertices {
+		cp.Vertices = append(cp.Vertices, Vertex{Pinned: v.Pinned, Coord: v.Coord.Clone()})
+	}
+	return cp
 }

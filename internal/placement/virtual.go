@@ -14,6 +14,12 @@
 //     paper's mechanism is a Hilbert-keyed DHT lookup (DHTMapper); an
 //     exhaustive OracleMapper provides ground truth for measuring mapping
 //     error.
+//
+// All placers and mappers are re-entrant: they keep no state between
+// calls and mutate only the Problem (or return values) they are given, so
+// one placer value may solve many Problems from concurrent goroutines —
+// the property the batch optimizer's shared-snapshot worker pool relies
+// on. Implementations must preserve this.
 package placement
 
 import (

@@ -53,6 +53,10 @@ type (
 	TopologyConfig = topology.Config
 	// Measurement is a data-plane measurement snapshot.
 	Measurement = stream.Measurement
+	// BatchOptions configures OptimizeBatch.
+	BatchOptions = optimizer.BatchOptions
+	// PlanCache memoizes winning logical plans across optimizations.
+	PlanCache = optimizer.PlanCache
 )
 
 // Options configures a System.
@@ -81,9 +85,10 @@ type System struct {
 	Registry   *optimizer.Registry
 	Deployment *optimizer.Deployment
 
-	opts   Options
-	net    *overlay.Network
-	engine *stream.Engine
+	opts      Options
+	net       *overlay.Network
+	engine    *stream.Engine
+	planCache *optimizer.PlanCache
 }
 
 // New builds a System: generates the topology, embeds coordinates,
@@ -120,6 +125,7 @@ func New(opts Options) (*System, error) {
 		Registry:   reg,
 		Deployment: optimizer.NewDeployment(env, reg),
 		opts:       opts,
+		planCache:  optimizer.NewPlanCache(),
 	}, nil
 }
 
@@ -131,15 +137,25 @@ func (s *System) StubNodes() []NodeID { return s.Topo.StubNodeIDs() }
 func (s *System) TransitNodes() []NodeID { return s.Topo.TransitNodeIDs() }
 
 // AddStream registers a source stream published by producer at rate
-// KB/s.
+// KB/s. Statistics changes advance the environment epoch so plan caches
+// drop plans enumerated under the old catalog.
 func (s *System) AddStream(id StreamID, producer NodeID, rateKBs float64) error {
-	return s.Stats.AddStream(id, producer, rateKBs)
+	if err := s.Stats.AddStream(id, producer, rateKBs); err != nil {
+		return err
+	}
+	s.Env.NoteStatsChanged()
+	return nil
 }
 
 // SetJoinSelectivity sets the pairwise join selectivity between two
-// streams.
+// streams. Statistics changes advance the environment epoch so plan
+// caches drop plans enumerated under the old catalog.
 func (s *System) SetJoinSelectivity(a, b StreamID, sel float64) error {
-	return s.Stats.SetPairSelectivity(a, b, sel)
+	if err := s.Stats.SetPairSelectivity(a, b, sel); err != nil {
+		return err
+	}
+	s.Env.NoteStatsChanged()
+	return nil
 }
 
 // Optimize runs the paper's integrated optimization: every candidate
@@ -147,6 +163,32 @@ func (s *System) SetJoinSelectivity(a, b StreamID, sel float64) error {
 // cheapest resulting circuit is returned (not yet deployed).
 func (s *System) Optimize(q Query) (*Result, error) {
 	return optimizer.NewIntegrated(s.Env).Optimize(q)
+}
+
+// OptimizeBatch optimizes many queries concurrently over one frozen
+// snapshot of the environment: a worker pool shares the snapshot without
+// locking, and a plan cache keyed by (consumer, canonical stream set,
+// cost-space Hilbert cell) lets repeated queries skip plan
+// enumeration and re-run only placement. Results are in query order.
+//
+// Unless opts.Cache is set or opts.NoCache is true, the System's
+// persistent plan cache is used, so later batches benefit from earlier
+// ones; any mutation of the System (Deploy, Cancel, SetBackgroundLoad,
+// Reoptimize, AddStream, SetJoinSelectivity) bumps the environment's
+// epoch and flushes the cache, so stale plans are never served. The
+// System must not be mutated while a batch is running.
+func (s *System) OptimizeBatch(queries []Query, opts BatchOptions) ([]Result, error) {
+	if opts.Cache == nil && !opts.NoCache {
+		opts.Cache = s.planCache
+	}
+	return optimizer.OptimizeBatch(s.Env, queries, opts)
+}
+
+// PlanCacheStats returns the cumulative hit/miss counts and current size
+// of the System's persistent plan cache.
+func (s *System) PlanCacheStats() (hits, misses, entries int) {
+	hits, misses = s.planCache.Stats()
+	return hits, misses, s.planCache.Len()
 }
 
 // OptimizeTwoStep runs the classical baseline: the statistics-optimal

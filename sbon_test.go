@@ -271,6 +271,93 @@ func TestIntegratedSupersetGuaranteeAcrossSeeds(t *testing.T) {
 	}
 }
 
+// Batch optimization through the facade must agree with the sequential
+// path per query, use the System's persistent plan cache across batches,
+// and leave the live environment untouched. Run with -race.
+func TestFacadeOptimizeBatch(t *testing.T) {
+	sys := newSystem(t, 10)
+	sets := [][]StreamID{{0, 1}, {1, 2}, {0, 1, 2}, {0, 1, 2, 3}}
+	var qs []Query
+	for i := 0; i < 24; i++ {
+		qs = append(qs, Query{
+			ID:       QueryID(i + 1),
+			Consumer: sys.StubNodes()[(i*5)%len(sys.StubNodes())],
+			Streams:  sets[i%len(sets)],
+		})
+	}
+	seq := make([]*Result, len(qs))
+	for i, q := range qs {
+		res, err := sys.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = res
+	}
+	batch, err := sys.OptimizeBatch(qs, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if got, want := batch[i].Circuit.Plan.Signature(), seq[i].Circuit.Plan.Signature(); got != want {
+			t.Fatalf("query %d: batch plan %s != sequential %s", i, got, want)
+		}
+		for s := range batch[i].Circuit.Services {
+			if batch[i].Circuit.Services[s].Node != seq[i].Circuit.Services[s].Node {
+				t.Fatalf("query %d service %d: batch node %d != sequential %d",
+					i, s, batch[i].Circuit.Services[s].Node, seq[i].Circuit.Services[s].Node)
+			}
+		}
+		if batch[i].EstimatedUsage != seq[i].EstimatedUsage {
+			t.Fatalf("query %d: batch usage %v != sequential %v",
+				i, batch[i].EstimatedUsage, seq[i].EstimatedUsage)
+		}
+	}
+	// The second identical batch should be answered mostly from the
+	// System's persistent cache.
+	if _, err := sys.OptimizeBatch(qs, BatchOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	hits, _, entries := sys.PlanCacheStats()
+	if hits == 0 || entries == 0 {
+		t.Fatalf("persistent plan cache unused: hits=%d entries=%d", hits, entries)
+	}
+}
+
+// Changing catalog statistics between batches must flush the plan
+// cache: the old winning plan shape may no longer be optimal.
+func TestFacadeBatchStatsChangeFlushesCache(t *testing.T) {
+	sys := newSystem(t, 11)
+	q := Query{ID: 1, Consumer: sys.StubNodes()[3], Streams: []StreamID{0, 1, 2}}
+	qs := []Query{q, q, q, q}
+	if _, err := sys.OptimizeBatch(qs, BatchOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetJoinSelectivity(0, 1, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := sys.OptimizeBatch(qs, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0].FromCache {
+		t.Fatal("first query after a statistics change was served from the stale cache")
+	}
+	for i := range batch {
+		if batch[i].Circuit.Plan.Signature() != seq.Circuit.Plan.Signature() {
+			t.Fatalf("query %d: batch plan %s != fresh sequential %s",
+				i, batch[i].Circuit.Plan.Signature(), seq.Circuit.Plan.Signature())
+		}
+		if batch[i].EstimatedUsage != seq.EstimatedUsage {
+			t.Fatalf("query %d: batch usage %v != fresh sequential %v",
+				i, batch[i].EstimatedUsage, seq.EstimatedUsage)
+		}
+	}
+}
+
 // Rewriting through the facade must never increase total usage.
 func TestFacadeRewrite(t *testing.T) {
 	sys := newSystem(t, 9)

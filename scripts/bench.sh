@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench.sh — run the paper-artifact and batch benchmark suites and emit a
+# JSON baseline for the bench trajectory.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_0.json)
+#
+# Each benchmark runs once (-benchtime 1x): the suites are end-to-end
+# experiment regenerations, so a single iteration is already seconds of
+# work and the numbers are for trajectory tracking, not microbenchmarking.
+set -eu
+
+out=${1:-BENCH_0.json}
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFig|BenchmarkX|BenchmarkIntegrated|BenchmarkTwoStep|BenchmarkOptimize' \
+  -benchtime 1x -timeout 30m . | tee "$tmp"
+
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+  name = $1; iters = $2; ns = $3
+  sub(/-[0-9]+$/, "", name)
+  metrics = ""
+  for (i = 5; i + 1 <= NF; i += 2) {
+    gsub(/"/, "", $(i+1))
+    metrics = metrics sprintf("%s\"%s\": %s", (metrics == "" ? "" : ", "), $(i+1), $i)
+  }
+  if (!first) print ","
+  first = 0
+  printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+  if (metrics != "") printf ", %s", metrics
+  printf "}"
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
