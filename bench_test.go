@@ -255,6 +255,32 @@ func BenchmarkOptimizeBatch1kNoCache(b *testing.B) {
 	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
+// BenchmarkOptimizeBatch1kNoCacheOracle runs the uncached batch with
+// the DHT disabled, so every physical mapping goes through the
+// snapshot's k-d tree index (oracle mapper) instead of the ring walk —
+// the pure spatial-index hot path.
+func BenchmarkOptimizeBatch1kNoCacheOracle(b *testing.B) {
+	sys, err := sbon.New(sbon.Options{Seed: 1, DisableDHT: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	stubs := sys.StubNodes()
+	for i := 0; i < 4; i++ {
+		if err := sys.AddStream(sbon.StreamID(i), stubs[i*140], 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	qs := batchWorkload(sys, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.OptimizeBatch(qs, sbon.BatchOptions{NoCache: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
 func BenchmarkOptimizeSequential1k(b *testing.B) {
 	sys := paperScaleSystem(b)
 	qs := batchWorkload(sys, 1000)

@@ -162,6 +162,9 @@ func runBatchScenario(env *optimizer.Env, distinct []query.Query, n, workers int
 	}
 	fmt.Printf("\nbatch scenario: %d queries (%d distinct shapes), %d workers, cache=%v\n",
 		n, len(distinct), workers, !noCache)
+	ix := env.CostIndex()
+	fmt.Printf("cost index: %d points, epoch %d (shared lock-free by batch workers)\n",
+		ix.Len(), ix.Version())
 
 	cache := optimizer.NewPlanCache()
 	opts := optimizer.BatchOptions{Workers: workers, Cache: cache, NoCache: noCache}

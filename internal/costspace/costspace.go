@@ -206,7 +206,27 @@ func (s *Space) NewPoint(vec vivaldi.Coord, rawScalars []float64) Point {
 // IdealPoint returns the point at the given vector coordinate with all
 // scalar components zero — the target of physical mapping.
 func (s *Space) IdealPoint(vec vivaldi.Coord) Point {
-	return s.NewPoint(vec, make([]float64, len(s.Scalars)))
+	return s.AppendIdealPoint(nil, vec)
+}
+
+// AppendIdealPoint is IdealPoint writing into dst's backing array (dst's
+// length is ignored) — the allocation-free variant for hot mapping
+// paths that reuse a scratch point. The scalar components pass raw zero
+// through the weighting functions, exactly like IdealPoint, so the two
+// produce bitwise-identical points.
+func (s *Space) AppendIdealPoint(dst Point, vec vivaldi.Coord) Point {
+	if len(vec) != s.VectorDims {
+		panic(fmt.Sprintf("costspace: vector has %d dims, space has %d", len(vec), s.VectorDims))
+	}
+	dst = append(dst[:0], vec...)
+	for i := range s.Scalars {
+		w := s.Scalars[i].Weight.Weight(0)
+		if w < 0 {
+			w = 0 // weighting functions are non-negative by contract
+		}
+		dst = append(dst, w)
+	}
+	return dst
 }
 
 // Vector returns the vector-subspace portion of p.
@@ -289,12 +309,19 @@ func ComputeBounds(pts []Point, margin float64) (Bounds, error) {
 // Quantize maps p onto a grid with 2^bits cells per dimension inside the
 // bounds, clamping out-of-range values to the grid edge.
 func (b Bounds) Quantize(p Point, bits uint) []uint32 {
+	return b.QuantizeInto(nil, p, bits)
+}
+
+// QuantizeInto is Quantize writing into dst's backing array (dst's
+// length is ignored) — the allocation-free variant for hot lookup paths
+// that reuse a scratch cell buffer.
+func (b Bounds) QuantizeInto(dst []uint32, p Point, bits uint) []uint32 {
 	cells := uint64(1) << bits
-	out := make([]uint32, len(p))
+	out := dst[:0]
 	for i, v := range p {
 		span := b.Max[i] - b.Min[i]
 		if span <= 0 {
-			out[i] = 0
+			out = append(out, 0)
 			continue
 		}
 		f := (v - b.Min[i]) / span
@@ -304,7 +331,7 @@ func (b Bounds) Quantize(p Point, bits uint) []uint32 {
 		if f >= 1 {
 			f = math.Nextafter(1, 0)
 		}
-		out[i] = uint32(f * float64(cells))
+		out = append(out, uint32(f*float64(cells)))
 	}
 	return out
 }

@@ -3,7 +3,10 @@ package dht
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"github.com/hourglass/sbon/internal/costindex"
 	"github.com/hourglass/sbon/internal/costspace"
 	"github.com/hourglass/sbon/internal/hilbert"
 	"github.com/hourglass/sbon/internal/topology"
@@ -21,6 +24,10 @@ type Entry struct {
 // Nodes publish their coordinate; queries find the nodes nearest to a
 // target coordinate, or all nodes within a cost-space radius, by walking
 // the ring arcs around the target's Hilbert key.
+//
+// Query methods are safe for concurrent use with each other (they are
+// pure reads); publishes and ring membership changes must not run
+// concurrently with queries.
 type Catalog struct {
 	ring   *Ring
 	space  *costspace.Space
@@ -28,6 +35,22 @@ type Catalog struct {
 	bounds costspace.Bounds
 
 	published map[topology.NodeID]Entry
+
+	// version counts published-set mutations; the exact-query k-NN
+	// index is stamped with it and lazily rebuilt (or patched, for
+	// coordinate moves of an unchanged node set) when it falls behind —
+	// the same invalidation discipline as the optimizer snapshot index.
+	version uint64
+	exact   atomic.Pointer[exactIndex]
+}
+
+// exactIndex is the lazily built spatial index behind ExactNearest /
+// ExactWithinRadius: an exact k-NN tree over the published points plus
+// the id→node mapping (ids are positions in the node-sorted published
+// set, so (distance, id) ordering equals (distance, node) ordering).
+type exactIndex struct {
+	ix    *costindex.Index
+	nodes []topology.NodeID
 }
 
 // NewCatalog builds a catalog over the ring for the given cost space.
@@ -56,12 +79,22 @@ func (c *Catalog) Ring() *Ring { return c.ring }
 // Space returns the cost space the catalog indexes.
 func (c *Catalog) Space() *costspace.Space { return c.space }
 
+// cellsPool recycles quantization buffers: KeyOf runs per publish, per
+// query, and per plan-cache key derivation, and must not allocate.
+var cellsPool = sync.Pool{New: func() any {
+	s := make([]uint32, 0, 8)
+	return &s
+}}
+
 // KeyOf returns the scaled Hilbert key for a cost-space point. Hilbert
 // keys occupy the top curve.KeyBits() bits of the 64-bit identifier
 // circle so that Hilbert ordering is preserved under ring ordering.
 func (c *Catalog) KeyOf(p costspace.Point) ID {
-	cells := c.bounds.Quantize(p, c.curve.Bits())
-	k := c.curve.MustEncode(cells)
+	cb := cellsPool.Get().(*[]uint32)
+	cells := c.bounds.QuantizeInto(*cb, p, c.curve.Bits())
+	k := c.curve.MustEncodeInPlace(cells)
+	*cb = cells
+	cellsPool.Put(cb)
 	return ID(k << (64 - c.curve.KeyBits()))
 }
 
@@ -85,14 +118,49 @@ func (c *Catalog) Publish(node topology.NodeID, p costspace.Point) (ID, error) {
 	if c.ring.NumPeers() == 0 {
 		return 0, fmt.Errorf("dht: publish on empty ring")
 	}
-	if old, ok := c.published[node]; ok {
-		c.removeStored(old)
+	_, republish := c.published[node]
+	if republish {
+		c.removeStored(c.published[node])
 	}
 	e := Entry{Key: c.KeyOf(p), Node: node, Point: p.Clone()}
 	owner := c.ring.Owner(e.Key)
-	owner.store[e.Key] = append(owner.store[e.Key], e)
+	owner.storeAdd(e)
 	c.published[node] = e
+	c.version++
+	c.patchExact(node, e.Point, republish)
 	return e.Key, nil
+}
+
+// patchExact keeps an already-built exact index valid across a
+// republish that moved one node's coordinate; any other mutation drops
+// it for a lazy rebuild.
+func (c *Catalog) patchExact(node topology.NodeID, p costspace.Point, republish bool) {
+	ex := c.exact.Load()
+	if ex == nil {
+		return
+	}
+	if !republish || ex.ix.Version() != c.version-1 {
+		c.exact.Store(nil)
+		return
+	}
+	i := sort.Search(len(ex.nodes), func(j int) bool { return ex.nodes[j] >= node })
+	if i >= len(ex.nodes) || ex.nodes[i] != node {
+		c.exact.Store(nil)
+		return
+	}
+	if nx, ok := ex.ix.WithPoint(int32(i), p, c.version); ok {
+		c.exact.Store(&exactIndex{ix: nx, nodes: ex.nodes})
+	} else {
+		c.exact.Store(nil)
+	}
+}
+
+// InvalidateExactIndex drops the exact-query index so the next exact
+// query rebuilds it from scratch. Callers about to republish many (or
+// all) coordinates should invalidate first: it spares the per-publish
+// patch bookkeeping for an index that is doomed anyway.
+func (c *Catalog) InvalidateExactIndex() {
+	c.exact.Store(nil)
 }
 
 // Unpublish removes the node's catalog entry if present.
@@ -100,6 +168,8 @@ func (c *Catalog) Unpublish(node topology.NodeID) {
 	if old, ok := c.published[node]; ok {
 		c.removeStored(old)
 		delete(c.published, node)
+		c.version++
+		c.exact.Store(nil)
 	}
 }
 
@@ -109,18 +179,8 @@ func (c *Catalog) Unpublish(node topology.NodeID) {
 // peers in practice).
 func (c *Catalog) removeStored(e Entry) {
 	for _, p := range c.ring.peers {
-		entries, ok := p.store[e.Key]
-		if !ok {
-			continue
-		}
-		for i, se := range entries {
-			if se.Node == e.Node {
-				p.store[e.Key] = append(entries[:i], entries[i+1:]...)
-				if len(p.store[e.Key]) == 0 {
-					delete(p.store, e.Key)
-				}
-				return
-			}
+		if p.storeRemove(e.Key, e.Node) {
+			return
 		}
 	}
 }
@@ -142,6 +202,49 @@ type QueryResult struct {
 	PeersWalked int // ring peers visited while collecting entries
 }
 
+// rankedEntry pairs an entry with its precomputed distance to the query
+// target, so ranking sorts on a key instead of re-deriving distances
+// inside the comparator.
+type rankedEntry struct {
+	dist float64
+	e    Entry
+}
+
+// nearCand is one candidate in the bounded nearest-n selection: the
+// precomputed sort key plus a pointer to the stored entry, so selection
+// shifts 24-byte keys instead of copying entries.
+type nearCand struct {
+	dist float64
+	node topology.NodeID
+	e    *Entry
+}
+
+// queryScratch holds the reusable buffers of one catalog query.
+type queryScratch struct {
+	entries []Entry
+	ranked  []rankedEntry
+	cands   []nearCand
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+// rankByDistance sorts entries by (distance to target, node id),
+// computing each distance once.
+func (c *Catalog) rankByDistance(sc *queryScratch, target costspace.Point, entries []Entry) []rankedEntry {
+	ranked := sc.ranked[:0]
+	for _, e := range entries {
+		ranked = append(ranked, rankedEntry{dist: c.space.Distance(target, e.Point), e: e})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].dist != ranked[j].dist {
+			return ranked[i].dist < ranked[j].dist
+		}
+		return ranked[i].e.Node < ranked[j].e.Node
+	})
+	sc.ranked = ranked
+	return ranked
+}
+
 // NearestNodes returns up to n published entries nearest to target in
 // full cost-space distance. The search starts with a DHT lookup of the
 // target's Hilbert key from startNode and then walks ring arcs outward in
@@ -149,6 +252,18 @@ type QueryResult struct {
 // ranking by true distance. This mirrors the paper's "look up the closest
 // n nodes" primitive.
 func (c *Catalog) NearestNodes(startNode topology.NodeID, target costspace.Point, n, maxScan int) (QueryResult, error) {
+	return c.NearestNodesAppend(startNode, target, n, maxScan, nil)
+}
+
+// NearestNodesAppend is NearestNodes writing the result entries into
+// dst's backing array (dst's length is ignored) — the allocation-free
+// variant for mapping hot paths that reuse a candidate buffer.
+//
+// Ranking is a bounded insertion over precomputed (distance, node) keys
+// — the n best of the oversample maintained in order as the walk visits
+// entries — which selects exactly the prefix a full sort would, without
+// materializing or sorting the oversample.
+func (c *Catalog) NearestNodesAppend(startNode topology.NodeID, target costspace.Point, n, maxScan int, dst []Entry) (QueryResult, error) {
 	if n < 1 {
 		return QueryResult{}, fmt.Errorf("dht: NearestNodes n = %d, need >= 1", n)
 	}
@@ -156,24 +271,44 @@ func (c *Catalog) NearestNodes(startNode topology.NodeID, target costspace.Point
 	if want < 16 {
 		want = 16
 	}
-	res, err := c.collect(startNode, target, maxScan, func(collected []Entry) bool {
-		return len(collected) >= want
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	top := sc.cands[:0]
+	seen := 0
+	hops, walked, err := c.walkArcs(startNode, target, maxScan, func(p *Peer) bool {
+		for i := range p.flat {
+			e := &p.flat[i]
+			d := c.space.Distance(target, e.Point)
+			if len(top) == n {
+				worst := top[len(top)-1]
+				if d > worst.dist || (d == worst.dist && e.Node >= worst.node) {
+					continue
+				}
+			}
+			j := len(top)
+			if len(top) < n {
+				top = append(top, nearCand{})
+			} else {
+				j--
+			}
+			for j > 0 && (top[j-1].dist > d || (top[j-1].dist == d && top[j-1].node > e.Node)) {
+				top[j] = top[j-1]
+				j--
+			}
+			top[j] = nearCand{dist: d, node: e.Node, e: e}
+		}
+		seen += len(p.flat)
+		return seen >= want
 	})
+	sc.cands = top[:0]
 	if err != nil {
 		return QueryResult{}, err
 	}
-	sort.Slice(res.Entries, func(i, j int) bool {
-		di := c.space.Distance(target, res.Entries[i].Point)
-		dj := c.space.Distance(target, res.Entries[j].Point)
-		if di != dj {
-			return di < dj
-		}
-		return res.Entries[i].Node < res.Entries[j].Node
-	})
-	if len(res.Entries) > n {
-		res.Entries = res.Entries[:n]
+	out := dst[:0]
+	for _, cand := range top {
+		out = append(out, *cand.e)
 	}
-	return res, nil
+	return QueryResult{Entries: out, LookupHops: hops, PeersWalked: walked}, nil
 }
 
 // WithinRadius returns all published entries within cost-space distance r
@@ -185,36 +320,50 @@ func (c *Catalog) WithinRadius(startNode topology.NodeID, target costspace.Point
 	if r < 0 {
 		return QueryResult{}, fmt.Errorf("dht: WithinRadius r = %v, need >= 0", r)
 	}
-	res, err := c.collect(startNode, target, maxScan, func([]Entry) bool { return false })
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	res, err := c.collect(startNode, target, maxScan, sc.entries[:0], func([]Entry) bool { return false })
 	if err != nil {
 		return QueryResult{}, err
 	}
+	sc.entries = res.Entries[:0]
+	ranked := c.rankByDistance(sc, target, res.Entries)
 	var within []Entry
-	for _, e := range res.Entries {
-		if c.space.Distance(target, e.Point) <= r {
-			within = append(within, e)
+	for _, re := range ranked {
+		if re.dist > r {
+			break // ranked ascending: nothing farther qualifies
 		}
+		within = append(within, re.e)
 	}
-	sort.Slice(within, func(i, j int) bool {
-		di := c.space.Distance(target, within[i].Point)
-		dj := c.space.Distance(target, within[j].Point)
-		if di != dj {
-			return di < dj
-		}
-		return within[i].Node < within[j].Node
-	})
 	res.Entries = within
 	return res, nil
 }
 
 // collect performs the key lookup and bidirectional ring walk, gathering
-// entries until `enough` reports true or maxScan peers were visited.
-func (c *Catalog) collect(startNode topology.NodeID, target costspace.Point, maxScan int, enough func([]Entry) bool) (QueryResult, error) {
+// entries into buf until `enough` reports true or maxScan peers were
+// visited.
+func (c *Catalog) collect(startNode topology.NodeID, target costspace.Point, maxScan int, buf []Entry, enough func([]Entry) bool) (QueryResult, error) {
+	out := buf[:0]
+	hops, walked, err := c.walkArcs(startNode, target, maxScan, func(p *Peer) bool {
+		out = append(out, p.flat...)
+		return enough(out)
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Entries: out, LookupHops: hops, PeersWalked: walked}, nil
+}
+
+// walkArcs performs the key lookup and bidirectional ring walk around
+// the target's Hilbert key, calling visit for each peer until visit
+// reports it has enough or maxScan peers were visited. It returns the
+// lookup hop count and the number of peers visited.
+func (c *Catalog) walkArcs(startNode topology.NodeID, target costspace.Point, maxScan int, visit func(*Peer) bool) (lookupHops, walked int, err error) {
 	if len(target) != c.space.Dims() {
-		return QueryResult{}, fmt.Errorf("dht: query %d-dim point in %d-dim space", len(target), c.space.Dims())
+		return 0, 0, fmt.Errorf("dht: query %d-dim point in %d-dim space", len(target), c.space.Dims())
 	}
 	if c.ring.NumPeers() == 0 {
-		return QueryResult{}, fmt.Errorf("dht: query on empty ring")
+		return 0, 0, fmt.Errorf("dht: query on empty ring")
 	}
 	if maxScan < 1 {
 		maxScan = 1
@@ -222,75 +371,78 @@ func (c *Catalog) collect(startNode topology.NodeID, target costspace.Point, max
 	key := c.KeyOf(target)
 	owner, hops, err := c.ring.Lookup(startNode, key)
 	if err != nil {
-		return QueryResult{}, err
+		return 0, 0, err
 	}
-	var out []Entry
-	appendStore := func(p *Peer) {
-		for _, entries := range p.store {
-			out = append(out, entries...)
-		}
-	}
-	appendStore(owner)
-	walked := 1
+	done := visit(owner)
+	walked = 1
 	fwd, back := owner, owner
-	for walked < maxScan && walked < c.ring.NumPeers() && !enough(out) {
+	for walked < maxScan && walked < c.ring.NumPeers() && !done {
 		fwd = c.ring.successorAfter(fwd)
 		if fwd == back {
 			break
 		}
-		appendStore(fwd)
+		done = visit(fwd)
 		walked++
-		if walked >= maxScan || walked >= c.ring.NumPeers() || enough(out) {
+		if walked >= maxScan || walked >= c.ring.NumPeers() || done {
 			break
 		}
 		back = c.ring.predecessorOf(back)
 		if back == fwd {
 			break
 		}
-		appendStore(back)
+		done = visit(back)
 		walked++
 	}
-	return QueryResult{Entries: out, LookupHops: hops, PeersWalked: walked}, nil
+	return hops, walked, nil
 }
 
-// ExactNearest scans every published entry and returns the n nearest to
-// target — the oracle against which the DHT walk's mapping error is
-// measured (Figure 3 / experiment X3).
+// exactIdx returns the version-current exact index, rebuilding lazily
+// after mutations.
+func (c *Catalog) exactIdx() *exactIndex {
+	ex := c.exact.Load()
+	if ex != nil && ex.ix.Version() == c.version {
+		return ex
+	}
+	nodes := make([]topology.NodeID, 0, len(c.published))
+	for n := range c.published {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	pts := make([]costspace.Point, len(nodes))
+	for i, n := range nodes {
+		pts[i] = c.published[n].Point
+	}
+	ex = &exactIndex{ix: costindex.Build(c.space, pts, c.version), nodes: nodes}
+	c.exact.Store(ex)
+	return ex
+}
+
+// ExactNearest returns the n published entries nearest to target — the
+// oracle against which the DHT walk's mapping error is measured (Figure
+// 3 / experiment X3). It answers from the catalog's exact k-NN index
+// rather than scanning every entry; results are identical to ranking a
+// full scan by (distance, node).
 func (c *Catalog) ExactNearest(target costspace.Point, n int) []Entry {
-	all := make([]Entry, 0, len(c.published))
-	for _, e := range c.published {
-		all = append(all, e)
+	ex := c.exactIdx()
+	nbs := ex.ix.KNearest(target, n, nil, nil)
+	out := make([]Entry, len(nbs))
+	for i, nb := range nbs {
+		out[i] = c.published[ex.nodes[nb.ID]]
 	}
-	sort.Slice(all, func(i, j int) bool {
-		di := c.space.Distance(target, all[i].Point)
-		dj := c.space.Distance(target, all[j].Point)
-		if di != dj {
-			return di < dj
-		}
-		return all[i].Node < all[j].Node
-	})
-	if len(all) > n {
-		all = all[:n]
-	}
-	return all
+	return out
 }
 
-// ExactWithinRadius scans every published entry and returns all within r
-// of target, nearest first.
+// ExactWithinRadius returns all published entries within r of target,
+// nearest first, from the exact k-NN index.
 func (c *Catalog) ExactWithinRadius(target costspace.Point, r float64) []Entry {
-	var out []Entry
-	for _, e := range c.published {
-		if c.space.Distance(target, e.Point) <= r {
-			out = append(out, e)
-		}
+	ex := c.exactIdx()
+	nbs := ex.ix.WithinRadius(target, r, nil, nil)
+	if len(nbs) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool {
-		di := c.space.Distance(target, out[i].Point)
-		dj := c.space.Distance(target, out[j].Point)
-		if di != dj {
-			return di < dj
-		}
-		return out[i].Node < out[j].Node
-	})
+	out := make([]Entry, len(nbs))
+	for i, nb := range nbs {
+		out[i] = c.published[ex.nodes[nb.ID]]
+	}
 	return out
 }

@@ -1,0 +1,365 @@
+package dht
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/hourglass/sbon/internal/costspace"
+	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/vivaldi"
+)
+
+// checkFingerInvariant asserts every peer's finger table equals the
+// fully stabilized state: fingers[i] owns id + 2^i.
+func checkFingerInvariant(t *testing.T, r *Ring, when string) {
+	t.Helper()
+	for _, p := range r.peers {
+		for i := 0; i < 64; i++ {
+			want := r.successor(p.id + 1<<uint(i))
+			if p.fingers[i] != want {
+				t.Fatalf("%s: peer %d finger[%d] = peer %d, want %d",
+					when, p.node, i, p.fingers[i].node, want.node)
+			}
+		}
+	}
+}
+
+// checkIdxInvariant asserts the cached slice positions match reality.
+func checkIdxInvariant(t *testing.T, r *Ring, when string) {
+	t.Helper()
+	for i, p := range r.peers {
+		if p.idx != i {
+			t.Fatalf("%s: peer %d cached idx %d, want %d", when, p.node, p.idx, i)
+		}
+	}
+}
+
+// TestIncrementalFingersMatchFullStabilization drives a random join/
+// leave sequence and checks after every membership change that the
+// incrementally maintained finger tables and slice positions equal what
+// a full rebuild would produce.
+func TestIncrementalFingersMatchFullStabilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	r := NewRing()
+	present := map[topology.NodeID]bool{}
+	next := topology.NodeID(0)
+	for step := 0; step < 200; step++ {
+		if len(present) == 0 || rng.Intn(3) != 0 {
+			if _, err := r.AddPeer(next); err != nil {
+				t.Fatalf("step %d AddPeer(%d): %v", step, next, err)
+			}
+			present[next] = true
+			next++
+		} else {
+			var ids []topology.NodeID
+			for id := range present {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			victim := ids[rng.Intn(len(ids))]
+			if err := r.RemovePeer(victim); err != nil {
+				t.Fatalf("step %d RemovePeer(%d): %v", step, victim, err)
+			}
+			delete(present, victim)
+		}
+		checkIdxInvariant(t, r, "after change")
+		if len(r.peers) > 0 {
+			checkFingerInvariant(t, r, "after change")
+		}
+	}
+}
+
+// flatMatchesStore asserts a peer's flat mirror holds exactly the
+// entries of its keyed store.
+func flatMatchesStore(t *testing.T, p *Peer, when string) {
+	t.Helper()
+	var fromStore, fromFlat []Entry
+	for _, entries := range p.store {
+		fromStore = append(fromStore, entries...)
+	}
+	fromFlat = append(fromFlat, p.flat...)
+	key := func(e Entry) uint64 { return uint64(e.Key) ^ uint64(e.Node)<<1 }
+	sort.Slice(fromStore, func(i, j int) bool { return key(fromStore[i]) < key(fromStore[j]) })
+	sort.Slice(fromFlat, func(i, j int) bool { return key(fromFlat[i]) < key(fromFlat[j]) })
+	if len(fromStore) != len(fromFlat) {
+		t.Fatalf("%s: peer %d flat has %d entries, store has %d", when, p.node, len(fromFlat), len(fromStore))
+	}
+	for i := range fromStore {
+		if fromStore[i].Key != fromFlat[i].Key || fromStore[i].Node != fromFlat[i].Node {
+			t.Fatalf("%s: peer %d flat/store mismatch at %d", when, p.node, i)
+		}
+	}
+}
+
+// TestFlatStoreMirrorUnderChurn interleaves publishes, republish moves,
+// unpublishes, and peer joins/leaves, checking the flat mirrors stay
+// consistent with the keyed stores throughout.
+func TestFlatStoreMirrorUnderChurn(t *testing.T) {
+	env := newTestEnv(t, 24, 5)
+	rng := rand.New(rand.NewSource(6))
+	nextPeer := topology.NodeID(24)
+	for step := 0; step < 150; step++ {
+		switch rng.Intn(5) {
+		case 0: // republish: move a node's coordinate
+			id := topology.NodeID(rng.Intn(24))
+			p := env.space.NewPoint(
+				vivaldi.Coord{rng.Float64() * 200, rng.Float64() * 200},
+				[]float64{rng.Float64()},
+			)
+			if _, err := env.catalog.Publish(id, p); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // unpublish, then republish at the old point
+			id := topology.NodeID(rng.Intn(24))
+			if e, ok := env.catalog.PublishedEntry(id); ok {
+				env.catalog.Unpublish(id)
+				if _, err := env.catalog.Publish(id, e.Point); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 2: // join a fresh peer (entries migrate)
+			if _, err := env.ring.AddPeer(nextPeer); err != nil {
+				t.Fatal(err)
+			}
+			nextPeer++
+		case 3: // leave, if we have spares (entries transfer)
+			if env.ring.NumPeers() > 24 {
+				victim := env.ring.peers[rng.Intn(env.ring.NumPeers())].node
+				if err := env.ring.RemovePeer(victim); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, p := range env.ring.peers {
+			flatMatchesStore(t, p, "after churn step")
+		}
+	}
+	// Every published entry must still be reachable by a walk.
+	total := 0
+	for _, p := range env.ring.peers {
+		total += len(p.flat)
+	}
+	if total != env.catalog.NumPublished() {
+		t.Fatalf("stores hold %d entries, %d published", total, env.catalog.NumPublished())
+	}
+}
+
+// bruteExactNearest is the scan ExactNearest replaced, kept as the
+// reference for the identity check.
+func bruteExactNearest(c *Catalog, target costspace.Point, n int) []Entry {
+	all := make([]Entry, 0, len(c.published))
+	for _, e := range c.published {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		di := c.space.Distance(target, all[i].Point)
+		dj := c.space.Distance(target, all[j].Point)
+		if di != dj {
+			return di < dj
+		}
+		return all[i].Node < all[j].Node
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+func bruteExactWithin(c *Catalog, target costspace.Point, r float64) []Entry {
+	var out []Entry
+	for _, e := range c.published {
+		if c.space.Distance(target, e.Point) <= r {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := c.space.Distance(target, out[i].Point)
+		dj := c.space.Distance(target, out[j].Point)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+func entriesEqual(t *testing.T, what string, got, want []Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Node != want[i].Node || got[i].Key != want[i].Key {
+			t.Fatalf("%s: entry %d = node %d key %#x, want node %d key %#x",
+				what, i, got[i].Node, uint64(got[i].Key), want[i].Node, uint64(want[i].Key))
+		}
+	}
+}
+
+// TestExactQueriesMatchBruteForceUnderChurn checks that the catalog's
+// index-backed exact queries stay identical to full scans across
+// version churn: republish moves (which patch the index), unpublishes
+// and fresh publishes (which invalidate it).
+func TestExactQueriesMatchBruteForceUnderChurn(t *testing.T) {
+	env := newTestEnv(t, 32, 8)
+	rng := rand.New(rand.NewSource(9))
+	c := env.catalog
+	for step := 0; step < 120; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // republish move — the patch path
+			id := topology.NodeID(rng.Intn(32))
+			p := env.space.NewPoint(
+				vivaldi.Coord{rng.Float64() * 200, rng.Float64() * 200},
+				[]float64{rng.Float64()},
+			)
+			if _, err := c.Publish(id, p); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // unpublish — node-set change, full invalidation
+			c.Unpublish(topology.NodeID(rng.Intn(32)))
+		case 3: // publish back anything missing
+			for i := 0; i < 32; i++ {
+				id := topology.NodeID(i)
+				if _, ok := c.PublishedEntry(id); !ok {
+					if _, err := c.Publish(id, env.points[id]); err != nil {
+						t.Fatal(err)
+					}
+					break
+				}
+			}
+		}
+		target := env.space.IdealPoint(vivaldi.Coord{rng.Float64() * 220, rng.Float64() * 220})
+		n := 1 + rng.Intn(6)
+		entriesEqual(t, "ExactNearest", c.ExactNearest(target, n), bruteExactNearest(c, target, n))
+		r := rng.Float64() * 120
+		entriesEqual(t, "ExactWithinRadius", c.ExactWithinRadius(target, r), bruteExactWithin(c, target, r))
+	}
+}
+
+// TestNearestNodesMatchesCollectAndSort checks the bounded-selection
+// ranking against the algorithm it replaced: collect the full
+// oversample, sort every entry by (distance, node), truncate to n. Walk
+// statistics must match too, since both paths stop at the same
+// oversample threshold.
+func TestNearestNodesMatchesCollectAndSort(t *testing.T) {
+	env := newTestEnv(t, 48, 12)
+	rng := rand.New(rand.NewSource(13))
+	c := env.catalog
+	buf := make([]Entry, 0, 16)
+	for trial := 0; trial < 40; trial++ {
+		target := env.space.IdealPoint(vivaldi.Coord{rng.Float64() * 220, rng.Float64() * 220})
+		start := topology.NodeID(rng.Intn(48))
+		n := 1 + rng.Intn(10)
+		scan := 1 + rng.Intn(20)
+
+		want := n * 4
+		if want < 16 {
+			want = 16
+		}
+		ref, err := c.collect(start, target, scan, nil, func(collected []Entry) bool {
+			return len(collected) >= want
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(ref.Entries, func(i, j int) bool {
+			di := c.space.Distance(target, ref.Entries[i].Point)
+			dj := c.space.Distance(target, ref.Entries[j].Point)
+			if di != dj {
+				return di < dj
+			}
+			return ref.Entries[i].Node < ref.Entries[j].Node
+		})
+		if len(ref.Entries) > n {
+			ref.Entries = ref.Entries[:n]
+		}
+
+		got, err := c.NearestNodesAppend(start, target, n, scan, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.LookupHops != ref.LookupHops || got.PeersWalked != ref.PeersWalked {
+			t.Fatalf("trial %d: walk stats (%d,%d), want (%d,%d)", trial,
+				got.LookupHops, got.PeersWalked, ref.LookupHops, ref.PeersWalked)
+		}
+		entriesEqual(t, "NearestNodesAppend", got.Entries, ref.Entries)
+		buf = got.Entries[:0]
+	}
+}
+
+// TestConcurrentCatalogQueries exercises the catalog's documented
+// concurrency contract under the race detector: many goroutines run
+// NearestNodesAppend, WithinRadius, and the exact-index queries (racing
+// its first lazy build) against a static catalog, and every result must
+// equal the sequential answer. Publishes must not run concurrently with
+// queries — that side of the contract is unchanged.
+func TestConcurrentCatalogQueries(t *testing.T) {
+	env := newTestEnv(t, 40, 15)
+	c := env.catalog
+	rng := rand.New(rand.NewSource(16))
+	type q struct {
+		target costspace.Point
+		start  topology.NodeID
+		n      int
+		radius float64
+	}
+	qs := make([]q, 32)
+	for i := range qs {
+		qs[i] = q{
+			target: env.space.IdealPoint(vivaldi.Coord{rng.Float64() * 220, rng.Float64() * 220}),
+			start:  topology.NodeID(rng.Intn(40)),
+			n:      1 + rng.Intn(8),
+			radius: rng.Float64() * 120,
+		}
+	}
+	wantNear := make([][]Entry, len(qs))
+	wantExact := make([][]Entry, len(qs))
+	for i, qq := range qs {
+		res, err := c.NearestNodes(qq.start, qq.target, qq.n, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNear[i] = res.Entries
+		wantExact[i] = bruteExactNearest(c, qq.target, qq.n)
+	}
+	// Drop the exact index so goroutines race its lazy rebuild.
+	c.InvalidateExactIndex()
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			var buf []Entry
+			for i, qq := range qs {
+				res, err := c.NearestNodesAppend(qq.start, qq.target, qq.n, 16, buf[:0])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range res.Entries {
+					if res.Entries[j].Node != wantNear[i][j].Node {
+						t.Errorf("query %d: concurrent NearestNodes diverged", i)
+						return
+					}
+				}
+				buf = res.Entries
+				exact := c.ExactNearest(qq.target, qq.n)
+				for j := range exact {
+					if exact[j].Node != wantExact[i][j].Node {
+						t.Errorf("query %d: concurrent ExactNearest diverged", i)
+						return
+					}
+				}
+				if _, err := c.WithinRadius(qq.start, qq.target, qq.radius, 16); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

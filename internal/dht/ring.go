@@ -28,13 +28,71 @@ type ID uint64
 type Peer struct {
 	id   ID
 	node topology.NodeID
+	// idx is the peer's position in the ring's id-sorted peer slice,
+	// maintained on join/leave so ring-walk neighbor steps are O(1)
+	// instead of a binary search per step.
+	idx int
 	// fingers[i] points at the peer owning id + 2^i (fully stabilized
 	// Chord finger table).
 	fingers []*Peer
 	// store holds the catalog entries this peer owns, keyed by scaled
 	// Hilbert key.
 	store map[ID][]Entry
+	// flat mirrors store as one slice, kept in sync by the store*
+	// mutators: ring walks enumerate a peer's entries far more often
+	// than publishes change them, and appending a slice beats iterating
+	// a map on that hot path.
+	flat []Entry
 }
+
+// storeAdd records e in the peer's store and flat mirror.
+func (p *Peer) storeAdd(e Entry) {
+	p.store[e.Key] = append(p.store[e.Key], e)
+	p.flat = append(p.flat, e)
+}
+
+// storeAddAll records a batch of entries under one key (migration).
+func (p *Peer) storeAddAll(k ID, entries []Entry) {
+	p.store[k] = append(p.store[k], entries...)
+	p.flat = append(p.flat, entries...)
+}
+
+// storeRemove deletes the entry for (key, node), reporting whether it
+// was present.
+func (p *Peer) storeRemove(key ID, node topology.NodeID) bool {
+	entries, ok := p.store[key]
+	if !ok {
+		return false
+	}
+	for i, se := range entries {
+		if se.Node == node {
+			p.store[key] = append(entries[:i], entries[i+1:]...)
+			if len(p.store[key]) == 0 {
+				delete(p.store, key)
+			}
+			for j := range p.flat {
+				if p.flat[j].Node == node && p.flat[j].Key == key {
+					p.flat = append(p.flat[:j], p.flat[j+1:]...)
+					break
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildFlat reconstitutes the flat mirror from the store.
+func (p *Peer) rebuildFlat() {
+	p.flat = p.flat[:0]
+	for _, entries := range p.store {
+		p.flat = append(p.flat, entries...)
+	}
+}
+
+// Entries returns the peer's stored entries as one slice. The caller
+// must not modify it.
+func (p *Peer) Entries() []Entry { return p.flat }
 
 // ID returns the peer's ring identifier.
 func (p *Peer) ID() ID { return p.id }
@@ -68,9 +126,12 @@ func NewRing() *Ring {
 	return &Ring{byNode: make(map[topology.NodeID]*Peer)}
 }
 
-// AddPeer joins the overlay node to the ring and rebuilds routing state.
-// It returns an error if the node is already present or its hashed ID
-// collides with an existing peer.
+// AddPeer joins the overlay node to the ring and updates routing state.
+// Finger tables are maintained incrementally — only fingers the new
+// peer takes over are rewritten, O(log N) arcs instead of a full
+// O(N·log N) rebuild per join — and land in the same fully stabilized
+// state rebuildFingers computes. It returns an error if the node is
+// already present or its hashed ID collides with an existing peer.
 func (r *Ring) AddPeer(n topology.NodeID) (*Peer, error) {
 	if _, ok := r.byNode[n]; ok {
 		return nil, fmt.Errorf("dht: node %d already joined", n)
@@ -85,30 +146,44 @@ func (r *Ring) AddPeer(n topology.NodeID) (*Peer, error) {
 	copy(r.peers[i+1:], r.peers[i:])
 	r.peers[i] = p
 	r.byNode[n] = p
+	r.reindexFrom(i)
 	r.migrateOnJoin(p)
-	r.rebuildFingers()
+	r.updateFingersOnJoin(p)
 	return p, nil
 }
 
 // RemovePeer removes the overlay node from the ring, transferring its
-// stored entries to the new owner, and rebuilds routing state.
+// stored entries to the new owner, and updates routing state (fingers
+// that pointed at the departed peer move to its successor).
 func (r *Ring) RemovePeer(n topology.NodeID) error {
 	p, ok := r.byNode[n]
 	if !ok {
 		return fmt.Errorf("dht: node %d not in ring", n)
 	}
-	i := r.search(p.id)
+	var pred *Peer
+	if len(r.peers) > 1 {
+		pred = r.predecessorOf(p)
+	}
+	i := p.idx
 	r.peers = append(r.peers[:i], r.peers[i+1:]...)
 	delete(r.byNode, n)
+	r.reindexFrom(i)
 	if len(r.peers) > 0 {
 		// The departing peer's keys now belong to its successor.
 		succ := r.successor(p.id)
 		for k, entries := range p.store {
-			succ.store[k] = append(succ.store[k], entries...)
+			succ.storeAddAll(k, entries)
 		}
+		r.updateFingersOnLeave(p, pred, succ)
 	}
-	r.rebuildFingers()
 	return nil
+}
+
+// reindexFrom refreshes the cached slice positions of peers[i:].
+func (r *Ring) reindexFrom(i int) {
+	for ; i < len(r.peers); i++ {
+		r.peers[i].idx = i
+	}
 }
 
 // migrateOnJoin moves entries the new peer now owns from its successor.
@@ -117,10 +192,87 @@ func (r *Ring) migrateOnJoin(p *Peer) {
 		return
 	}
 	next := r.successorAfter(p)
+	moved := false
 	for k, entries := range next.store {
 		if r.successor(k) == p {
-			p.store[k] = append(p.store[k], entries...)
+			p.storeAddAll(k, entries)
 			delete(next.store, k)
+			moved = true
+		}
+	}
+	if moved {
+		next.rebuildFlat()
+	}
+}
+
+// updateFingersOnJoin gives the new peer its finger table and redirects
+// the fingers it now terminates. A finger q.fingers[i] must point at p
+// exactly when q.id + 2^i lies in (pred.id, p.id] — i.e. q lies in that
+// interval shifted back by 2^i — so for each level only one short arc
+// of peers is rewritten.
+func (r *Ring) updateFingersOnJoin(p *Peer) {
+	p.fingers = make([]*Peer, 64)
+	if len(r.peers) == 1 {
+		for i := range p.fingers {
+			p.fingers[i] = p
+		}
+		return
+	}
+	for i := 0; i < 64; i++ {
+		p.fingers[i] = r.successor(p.id + 1<<uint(i))
+	}
+	pred := r.predecessorOf(p)
+	for i := 0; i < 64; i++ {
+		step := ID(1) << uint(i)
+		r.forEachInArc(pred.id-step, p.id-step, func(q *Peer) {
+			q.fingers[i] = p
+		})
+	}
+}
+
+// updateFingersOnLeave redirects fingers that pointed at the departed
+// peer p to its successor. Exactly the peers whose finger targets lay
+// in (pred.id, p.id] pointed at p; the == p check guards the arc
+// endpoints.
+func (r *Ring) updateFingersOnLeave(p, pred, succ *Peer) {
+	if pred == nil || pred == p {
+		return
+	}
+	for i := 0; i < 64; i++ {
+		step := ID(1) << uint(i)
+		r.forEachInArc(pred.id-step, p.id-step, func(q *Peer) {
+			if q.fingers[i] == p {
+				q.fingers[i] = succ
+			}
+		})
+	}
+}
+
+// forEachInArc calls fn for every peer whose id lies in the half-open
+// circle interval (a, b].
+func (r *Ring) forEachInArc(a, b ID, fn func(*Peer)) {
+	if len(r.peers) == 0 {
+		return
+	}
+	if a == b {
+		for _, p := range r.peers {
+			fn(p)
+		}
+		return
+	}
+	i := r.search(a + 1) // first peer with id > a (a+1 wraps to 0 at the origin)
+	if i == len(r.peers) {
+		i = 0
+	}
+	for cnt := 0; cnt < len(r.peers); cnt++ {
+		p := r.peers[i]
+		if !inHalfOpenInterval(a, b, p.id) {
+			return
+		}
+		fn(p)
+		i++
+		if i == len(r.peers) {
+			i = 0
 		}
 	}
 }
@@ -156,28 +308,30 @@ func (r *Ring) successor(k ID) *Peer {
 	return r.peers[i]
 }
 
-// successorAfter returns the peer immediately following p on the circle.
+// successorAfter returns the peer immediately following p on the circle
+// in O(1) via the maintained slice position.
 func (r *Ring) successorAfter(p *Peer) *Peer {
-	i := r.search(p.id)
-	i++
+	i := p.idx + 1
 	if i >= len(r.peers) {
 		i = 0
 	}
 	return r.peers[i]
 }
 
-// predecessorOf returns the peer immediately preceding p on the circle.
+// predecessorOf returns the peer immediately preceding p on the circle
+// in O(1) via the maintained slice position.
 func (r *Ring) predecessorOf(p *Peer) *Peer {
-	i := r.search(p.id)
-	i--
+	i := p.idx - 1
 	if i < 0 {
 		i = len(r.peers) - 1
 	}
 	return r.peers[i]
 }
 
-// rebuildFingers recomputes every peer's finger table against the current
-// membership (the fully stabilized state Chord converges to).
+// rebuildFingers recomputes every peer's finger table against the
+// current membership (the fully stabilized state Chord converges to).
+// Joins and leaves maintain fingers incrementally; this full rebuild is
+// the reference the incremental path is tested against.
 func (r *Ring) rebuildFingers() {
 	for _, p := range r.peers {
 		if p.fingers == nil {

@@ -86,6 +86,23 @@ func (c Curve) MustEncode(coords []uint32) uint64 {
 	return k
 }
 
+// MustEncodeInPlace is MustEncode using coords itself as scratch — the
+// transpose transform overwrites it — for hot paths that reuse a cell
+// buffer and would otherwise pay Encode's defensive copy per call.
+func (c Curve) MustEncodeInPlace(coords []uint32) uint64 {
+	if uint(len(coords)) != c.dims {
+		panic(fmt.Sprintf("hilbert: got %d coords for %d-dim curve", len(coords), c.dims))
+	}
+	max := c.MaxCoord()
+	for i, v := range coords {
+		if v > max {
+			panic(fmt.Sprintf("hilbert: coord %d = %d exceeds max %d", i, v, max))
+		}
+	}
+	c.axesToTranspose(coords)
+	return c.packTranspose(coords)
+}
+
 // Decode maps a Hilbert index back to grid coordinates. Keys with bits
 // set above KeyBits are rejected.
 func (c Curve) Decode(key uint64) ([]uint32, error) {

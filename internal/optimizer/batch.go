@@ -72,6 +72,10 @@ func OptimizeBatch(env *Env, queries []query.Query, opts BatchOptions) ([]Result
 	}
 
 	snap := env.Freeze()
+	// Build the snapshot's k-NN index up front: workers then share one
+	// immutable index lock-free instead of racing to build duplicates on
+	// first use.
+	snap.CostIndex()
 
 	var (
 		next     atomic.Int64

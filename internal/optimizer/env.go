@@ -20,7 +20,9 @@ package optimizer
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
+	"github.com/hourglass/sbon/internal/costindex"
 	"github.com/hourglass/sbon/internal/costspace"
 	"github.com/hourglass/sbon/internal/dht"
 	"github.com/hourglass/sbon/internal/hilbert"
@@ -96,6 +98,19 @@ type Snapshot struct {
 	// plans enumerated under superseded conditions are never served.
 	epoch uint64
 
+	// nodeIDs is the identity slice 0..n-1, built once at construction
+	// and shared by every snapshot — NodeIDs is on the mapping hot path
+	// and must not allocate. Callers must not mutate it.
+	nodeIDs []topology.NodeID
+
+	// idx caches the cost-space k-NN index over pts, versioned by epoch
+	// (the PlanCache invalidation discipline): any mutation of the
+	// owning live Env bumps the epoch, marking the index dirty, and the
+	// next CostIndex call rebuilds — or patches, for single-point moves
+	// — lazily. Frozen snapshots never mutate, so their index, built at
+	// most once, is shared lock-free by concurrent optimizations.
+	idx atomic.Pointer[costindex.Index]
+
 	cfg EnvConfig
 }
 
@@ -156,13 +171,14 @@ func NewEnv(topo *topology.Topology, stats *query.Catalog, cfg EnvConfig) (*Env,
 	n := topo.NumNodes()
 	e := &Env{
 		Snapshot: &Snapshot{
-			Topo:  topo,
-			Stats: stats,
-			space: space,
-			vec:   emb.Coords,
-			load:  make([]float64, n),
-			pts:   make([]costspace.Point, n),
-			cfg:   cfg,
+			Topo:    topo,
+			Stats:   stats,
+			space:   space,
+			vec:     emb.Coords,
+			load:    make([]float64, n),
+			pts:     make([]costspace.Point, n),
+			nodeIDs: makeNodeIDs(n),
+			cfg:     cfg,
 		},
 		base: make([]float64, n),
 		rng:  rng,
@@ -240,7 +256,15 @@ func (e *Env) Freeze() *Env {
 		pts:     append([]costspace.Point(nil), e.pts...),
 		catalog: e.catalog,
 		epoch:   e.epoch,
+		nodeIDs: e.nodeIDs,
 		cfg:     e.cfg,
+	}
+	// The k-NN index is immutable: when the live one is epoch-current it
+	// is shared with the frozen snapshot rather than rebuilt. A patched
+	// index is not carried: snapshots serve whole batches, which
+	// amortize one clean rebuild better than per-query patch scans.
+	if ix := e.idx.Load(); ix != nil && ix.Version() == e.epoch && ix.NumPatched() == 0 {
+		s.idx.Store(ix)
 	}
 	return &Env{
 		Snapshot: s,
@@ -263,6 +287,11 @@ func (e *Env) Frozen() bool { return e.frozen }
 func (e *Env) NoteStatsChanged() {
 	e.mutable("NoteStatsChanged")
 	e.epoch++
+	// Statistics move no points: re-stamp the index instead of letting
+	// the epoch bump force a rebuild.
+	if ix := e.idx.Load(); ix != nil && ix.Version() == e.epoch-1 {
+		e.idx.Store(ix.WithVersion(e.epoch))
+	}
 }
 
 // mutable panics if the Env is a frozen snapshot: snapshots are shared by
@@ -276,13 +305,56 @@ func (e *Env) mutable(op string) {
 // Space implements placement.NodeSource.
 func (s *Snapshot) Space() *costspace.Space { return s.space }
 
-// NodeIDs implements placement.NodeSource.
-func (s *Snapshot) NodeIDs() []topology.NodeID {
-	out := make([]topology.NodeID, len(s.pts))
+// NodeIDs implements placement.NodeSource. The returned slice is built
+// once at construction and shared by every snapshot; callers must not
+// mutate it.
+func (s *Snapshot) NodeIDs() []topology.NodeID { return s.nodeIDs }
+
+func makeNodeIDs(n int) []topology.NodeID {
+	out := make([]topology.NodeID, n)
 	for i := range out {
 		out[i] = topology.NodeID(i)
 	}
 	return out
+}
+
+// CostIndex implements placement.IndexedSource: it returns the exact
+// k-NN index over the snapshot's node cost-space points, rebuilding (or
+// patching) lazily when the environment was mutated since the index was
+// built. On a frozen snapshot the epoch never moves, so the index is
+// built at most once and shared lock-free by concurrent optimizations
+// (OptimizeBatch workers); on the live Env the epoch-version comparison
+// is the dirty flag, exactly like PlanCache invalidation.
+func (s *Snapshot) CostIndex() *costindex.Index {
+	if ix := s.idx.Load(); ix != nil && ix.Version() == s.epoch {
+		return ix
+	}
+	ix := costindex.Build(s.space, s.pts, s.epoch)
+	s.idx.Store(ix)
+	return ix
+}
+
+// patchIndex keeps an already-built index valid across a single-point
+// move without a rebuild. Called by mutators after bumping the epoch;
+// when the patch overlay's budget is exhausted the cached index is
+// dropped and CostIndex rebuilds on next use.
+func (s *Snapshot) patchIndex(n topology.NodeID) {
+	ix := s.idx.Load()
+	if ix == nil {
+		return
+	}
+	if ix.Version() != s.epoch && ix.Version() != s.epoch-1 {
+		// The index was already stale before this mutation; let it
+		// rebuild wholesale on next use. (Version == epoch happens when
+		// one mutation refreshes several points, e.g. re-embedding.)
+		s.idx.Store(nil)
+		return
+	}
+	if next, ok := ix.WithPoint(int32(n), s.pts[n], s.epoch); ok {
+		s.idx.Store(next)
+	} else {
+		s.idx.Store(nil)
+	}
 }
 
 // Point implements placement.NodeSource.
@@ -356,6 +428,7 @@ func (e *Env) RemoveServiceLoad(n topology.NodeID, inputRate float64) {
 
 func (e *Env) refreshPoint(n topology.NodeID) {
 	e.pts[n] = e.space.NewPoint(e.vec[n], []float64{e.load[n]})
+	e.patchIndex(n)
 	if e.catalog != nil {
 		// Republish; the catalog replaces the old entry.
 		if _, err := e.catalog.Publish(n, e.pts[n]); err != nil {
@@ -378,6 +451,13 @@ func (e *Env) ReembedCoordinates() error {
 	}
 	e.vec = emb.Coords
 	e.EmbeddingQuality = emb.Evaluate(func(i, j int) float64 { return m[i][j] }, 2000, e.rng)
+	// Every point moves: drop the indexes up front rather than letting
+	// the per-point refresh loop churn their patch overlays to the
+	// budget limit before they are discarded anyway.
+	e.idx.Store(nil)
+	if e.catalog != nil {
+		e.catalog.InvalidateExactIndex()
+	}
 	for i := range e.pts {
 		e.refreshPoint(topology.NodeID(i))
 	}

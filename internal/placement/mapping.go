@@ -2,7 +2,9 @@ package placement
 
 import (
 	"fmt"
+	"sync"
 
+	"github.com/hourglass/sbon/internal/costindex"
 	"github.com/hourglass/sbon/internal/costspace"
 	"github.com/hourglass/sbon/internal/dht"
 	"github.com/hourglass/sbon/internal/topology"
@@ -14,10 +16,21 @@ import (
 type NodeSource interface {
 	// Space returns the cost space the coordinates live in.
 	Space() *costspace.Space
-	// NodeIDs returns all candidate host nodes.
+	// NodeIDs returns all candidate host nodes. The slice is shared:
+	// callers must not mutate it.
 	NodeIDs() []topology.NodeID
 	// Point returns the node's current full cost-space coordinate.
 	Point(topology.NodeID) costspace.Point
+}
+
+// IndexedSource is implemented by NodeSources that maintain an exact
+// cost-space k-NN index over their nodes (optimizer.Snapshot). Mappers
+// use the index instead of a linear scan when available; results are
+// identical by the costindex exactness contract.
+type IndexedSource interface {
+	NodeSource
+	// CostIndex returns the current index; node ids are index ids.
+	CostIndex() *costindex.Index
 }
 
 // MapStats records the routing/search cost of one physical mapping.
@@ -43,9 +56,56 @@ type Mapper interface {
 	Name() string
 }
 
-// OracleMapper scans every node and returns the one whose coordinate is
-// nearest in full-space distance — exact, centralised, and therefore the
-// ground truth mapping-error baseline.
+// pointPool recycles scratch cost-space points for ideal-coordinate
+// targets, so the mapping hot path does not allocate per call. Mappers
+// are stateless by the package re-entrancy contract, hence a pool rather
+// than per-mapper scratch.
+var pointPool = sync.Pool{New: func() any {
+	p := make(costspace.Point, 0, 8)
+	return &p
+}}
+
+// idealTarget assembles the ideal point for vec in a pooled buffer,
+// returning the point and its pool handle. Callers must putIdeal the
+// handle when done and not use the point afterwards. (A plain handle
+// rather than a release closure: a closure would heap-allocate per
+// call, defeating the pool.)
+func idealTarget(space *costspace.Space, vec vivaldi.Coord) (costspace.Point, *costspace.Point) {
+	pb := pointPool.Get().(*costspace.Point)
+	target := space.AppendIdealPoint(*pb, vec)
+	*pb = target
+	return target, pb
+}
+
+// putIdeal returns an idealTarget buffer to the pool.
+func putIdeal(pb *costspace.Point) { pointPool.Put(pb) }
+
+// excludeFunc adapts a node exclusion set to the index callback form.
+// A nil/empty set maps to a nil callback (the index's fast path).
+func excludeFunc(exclude map[topology.NodeID]bool) func(int32) bool {
+	if len(exclude) == 0 {
+		return nil
+	}
+	return func(id int32) bool { return exclude[topology.NodeID(id)] }
+}
+
+// admissible counts the non-excluded candidates among n nodes — the
+// Candidates statistic a linear scan would report.
+func admissible(n int, exclude map[topology.NodeID]bool) int {
+	out := n
+	for id, ex := range exclude {
+		if ex && int(id) >= 0 && int(id) < n {
+			out--
+		}
+	}
+	return out
+}
+
+// OracleMapper returns the node whose coordinate is nearest in
+// full-space distance — exact, centralised, and therefore the ground
+// truth mapping-error baseline. Indexed sources answer through their
+// k-NN index in O(log N); plain sources fall back to scanning every
+// node. Both paths return identical results.
 type OracleMapper struct {
 	Source NodeSource
 }
@@ -56,9 +116,21 @@ func (OracleMapper) Name() string { return "oracle" }
 // MapCoord implements Mapper.
 func (m OracleMapper) MapCoord(_ topology.NodeID, vec vivaldi.Coord, exclude map[topology.NodeID]bool) (topology.NodeID, MapStats, error) {
 	space := m.Source.Space()
-	target := space.IdealPoint(vec)
-	best := topology.NodeID(-1)
+	target, pb := idealTarget(space, vec)
+	defer putIdeal(pb)
+
+	if src, ok := m.Source.(IndexedSource); ok {
+		ix := src.CostIndex()
+		id, dist, found := ix.Nearest(target, excludeFunc(exclude))
+		if !found {
+			return 0, MapStats{}, fmt.Errorf("placement: no candidate nodes (all excluded)")
+		}
+		return topology.NodeID(id), MapStats{Candidates: admissible(ix.Len(), exclude), Error: dist}, nil
+	}
+
+	var best topology.NodeID
 	bestDist := 0.0
+	found := false
 	n := 0
 	for _, id := range m.Source.NodeIDs() {
 		if exclude[id] {
@@ -66,11 +138,11 @@ func (m OracleMapper) MapCoord(_ topology.NodeID, vec vivaldi.Coord, exclude map
 		}
 		n++
 		d := space.Distance(target, m.Source.Point(id))
-		if best < 0 || d < bestDist {
-			best, bestDist = id, d
+		if !found || d < bestDist {
+			best, bestDist, found = id, d, true
 		}
 	}
-	if best < 0 {
+	if !found {
 		return 0, MapStats{}, fmt.Errorf("placement: no candidate nodes (all excluded)")
 	}
 	return best, MapStats{Candidates: n, Error: bestDist}, nil
@@ -91,6 +163,14 @@ type DHTMapper struct {
 // Name implements Mapper.
 func (DHTMapper) Name() string { return "hilbert-dht" }
 
+// entryPool recycles candidate-entry buffers across MapCoord calls: the
+// ranked entries never escape the mapper, so the backing array is
+// reusable.
+var entryPool = sync.Pool{New: func() any {
+	s := make([]dht.Entry, 0, 32)
+	return &s
+}}
+
 // MapCoord implements Mapper.
 func (m DHTMapper) MapCoord(start topology.NodeID, vec vivaldi.Coord, exclude map[topology.NodeID]bool) (topology.NodeID, MapStats, error) {
 	if m.Catalog == nil {
@@ -105,12 +185,19 @@ func (m DHTMapper) MapCoord(start topology.NodeID, vec vivaldi.Coord, exclude ma
 		scan = 32
 	}
 	space := m.Catalog.Space()
-	target := space.IdealPoint(vec)
+	target, pb := idealTarget(space, vec)
+	defer putIdeal(pb)
 	// Ask for extra candidates to survive exclusions.
 	want := cands + len(exclude)
-	res, err := m.Catalog.NearestNodes(start, target, want, scan)
+
+	eb := entryPool.Get().(*[]dht.Entry)
+	defer entryPool.Put(eb)
+	res, err := m.Catalog.NearestNodesAppend(start, target, want, scan, (*eb)[:0])
 	if err != nil {
 		return 0, MapStats{}, err
+	}
+	if cap(res.Entries) > cap(*eb) {
+		*eb = res.Entries[:0] // keep the grown backing array
 	}
 	stats := MapStats{
 		LookupHops:  res.LookupHops,
@@ -140,9 +227,24 @@ func (VectorOnlyMapper) Name() string { return "vector-only" }
 // MapCoord implements Mapper.
 func (m VectorOnlyMapper) MapCoord(_ topology.NodeID, vec vivaldi.Coord, exclude map[topology.NodeID]bool) (topology.NodeID, MapStats, error) {
 	space := m.Source.Space()
-	target := space.IdealPoint(vec)
-	best := topology.NodeID(-1)
+	target, pb := idealTarget(space, vec)
+	defer putIdeal(pb)
+
+	if src, ok := m.Source.(IndexedSource); ok {
+		ix := src.CostIndex()
+		id, _, found := ix.NearestVector(target, excludeFunc(exclude))
+		if !found {
+			return 0, MapStats{}, fmt.Errorf("placement: no candidate nodes (all excluded)")
+		}
+		return topology.NodeID(id), MapStats{
+			Candidates: admissible(ix.Len(), exclude),
+			Error:      ix.Distance(id, target),
+		}, nil
+	}
+
+	var best topology.NodeID
 	bestDist := 0.0
+	found := false
 	n := 0
 	for _, id := range m.Source.NodeIDs() {
 		if exclude[id] {
@@ -150,11 +252,11 @@ func (m VectorOnlyMapper) MapCoord(_ topology.NodeID, vec vivaldi.Coord, exclude
 		}
 		n++
 		d := space.VectorDistance(target, m.Source.Point(id))
-		if best < 0 || d < bestDist {
-			best, bestDist = id, d
+		if !found || d < bestDist {
+			best, bestDist, found = id, d, true
 		}
 	}
-	if best < 0 {
+	if !found {
 		return 0, MapStats{}, fmt.Errorf("placement: no candidate nodes (all excluded)")
 	}
 	fullErr := space.Distance(target, m.Source.Point(best))

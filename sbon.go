@@ -12,6 +12,15 @@
 // controller, and a goroutine-per-node stream engine that executes
 // circuits with real tuples.
 //
+// Physical mapping — projecting ideal virtual coordinates onto nearest
+// physical nodes in full cost-space distance, the per-query hot path —
+// is served by an epoch-versioned exact k-NN index over node cost-space
+// points (internal/costindex): environment mutations mark it dirty, it
+// rebuilds (or patches, for single-point load moves) lazily, and frozen
+// snapshots share one immutable index lock-free across OptimizeBatch
+// workers. Results are identical to exhaustive scans; see the README's
+// Performance section for the measured effect.
+//
 // Quickstart:
 //
 //	sys, _ := sbon.New(sbon.Options{Seed: 1})
@@ -166,10 +175,11 @@ func (s *System) Optimize(q Query) (*Result, error) {
 }
 
 // OptimizeBatch optimizes many queries concurrently over one frozen
-// snapshot of the environment: a worker pool shares the snapshot without
-// locking, and a plan cache keyed by (consumer, canonical stream set,
-// cost-space Hilbert cell) lets repeated queries skip plan
-// enumeration and re-run only placement. Results are in query order.
+// snapshot of the environment: a worker pool shares the snapshot — and
+// its cost-space k-NN index, built once per snapshot — without locking,
+// and a plan cache keyed by (consumer, canonical stream set, cost-space
+// Hilbert cell) lets repeated queries skip plan enumeration and re-run
+// only placement. Results are in query order.
 //
 // Unless opts.Cache is set or opts.NoCache is true, the System's
 // persistent plan cache is used, so later batches benefit from earlier
