@@ -160,12 +160,41 @@ func BenchmarkX10_PlanBank(b *testing.B) {
 	}
 }
 
+// BenchmarkX8_EngineValidation regenerates the data-plane validation on
+// the virtual-time engine: the same 40-simulated-second window per
+// circuit that the wall-clock variant spends 1.2s of real time on.
 func BenchmarkX8_EngineValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.X8(exp.X8Params{Seed: 18, RunFor: 400 * time.Millisecond, Virtual: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX8_EngineValidationWallClock keeps the wall-clock engine's
+// cost on record as the baseline the virtual kernel is measured against.
+func BenchmarkX8_EngineValidationWallClock(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.X8(exp.X8Params{Seed: 18, RunFor: 400 * time.Millisecond}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkX11_ThousandNodeVirtual runs the 1024-node, 200-circuit
+// scenario — infeasible on the wall clock (≈27 minutes of real time at
+// the X8 time scale) and a sub-second regeneration under virtual time.
+func BenchmarkX11_ThousandNodeVirtual(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.X11(exp.DefaultX11Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(colMean(b, last, 6), "rate-ratio")
+	b.ReportMetric(colMean(b, last, 7), "usage-ratio")
 }
 
 // Facade-level benchmarks: optimization cost on the paper-scale overlay.

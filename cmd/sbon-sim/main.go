@@ -15,9 +15,17 @@
 // snapshot, optionally compared against the sequential loop:
 //
 //	sbon-sim -batch 10000 -batch-distinct 250 -workers 8 -batch-compare
+//
+// With -execute the optimized circuits are additionally deployed on the
+// stream engine and run for -sim-seconds of simulated time; -virtual-time
+// runs them on the deterministic discrete-event clock, so even large
+// overlays and long windows complete in (reproducible) milliseconds:
+//
+//	sbon-sim -queries 100 -execute -virtual-time -sim-seconds 30
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -28,7 +36,10 @@ import (
 	"time"
 
 	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/simtime"
+	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
 	"github.com/hourglass/sbon/internal/workload"
 )
@@ -49,6 +60,11 @@ func main() {
 		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "batch worker goroutines")
 		batchCompare  = flag.Bool("batch-compare", false, "also time the sequential Optimize loop for comparison")
 		batchNoCache  = flag.Bool("batch-no-cache", false, "disable the plan cache in the batch scenario")
+
+		execute     = flag.Bool("execute", false, "deploy the optimized circuits on the stream engine and measure the dataflow")
+		virtualTime = flag.Bool("virtual-time", false, "run the engine on the deterministic virtual clock (instant, reproducible)")
+		simSeconds  = flag.Float64("sim-seconds", 10, "simulated measurement window for -execute")
+		heartbeatMs = flag.Float64("heartbeat-ms", 500, "per-node heartbeat period in simulated ms for -execute (0 = off)")
 	)
 	flag.Parse()
 
@@ -111,6 +127,7 @@ func main() {
 	}
 
 	var totalPlans, totalReuse, totalExamined int
+	var circuits []*optimizer.Circuit
 	for _, q := range qs {
 		res, err := optimize(q)
 		if err != nil {
@@ -119,6 +136,7 @@ func main() {
 		if err := dep.Deploy(res.Circuit); err != nil {
 			fail(err)
 		}
+		circuits = append(circuits, res.Circuit)
 		totalPlans += res.PlansConsidered
 		totalReuse += res.ReusedServices
 		totalExamined += res.InstancesExamined
@@ -130,6 +148,10 @@ func main() {
 		dep.NumDeployed(), dep.TotalUsage(truth), dep.TotalLoadPenalty())
 	fmt.Printf("plans considered %d, services reused %d, registry instances examined %d, registered services %d\n",
 		totalPlans, totalReuse, totalExamined, reg.Len())
+
+	if *execute {
+		runDataPlane(topo, circuits, truth, *virtualTime, *simSeconds, *heartbeatMs, *seed)
+	}
 
 	if *churnSteps > 0 {
 		fmt.Printf("\nchurn + re-optimization (%d steps):\n", *churnSteps)
@@ -146,6 +168,87 @@ func main() {
 				step, st.Migrations, dep.TotalUsage(truth), dep.TotalLoadPenalty())
 		}
 	}
+}
+
+// runDataPlane deploys the circuits on the stream engine and measures
+// the executing dataflow against the analytic model. With virtual time
+// the whole window is a deterministic discrete-event run that finishes
+// in milliseconds regardless of the simulated duration.
+func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth optimizer.TrueLatency,
+	virtual bool, simSeconds, heartbeatMs float64, seed int64) {
+	netCfg := overlay.Config{TimeScale: 50 * time.Microsecond, InboxSize: 8192}
+	var clk simtime.Clock = simtime.Real()
+	if virtual {
+		vclk := simtime.NewVirtual()
+		defer vclk.Drive()()
+		clk = vclk
+		netCfg = overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: vclk}
+	}
+	net := overlay.NewNetwork(topo, netCfg)
+	net.Start()
+	defer net.Stop()
+	ecfg := stream.DefaultEngineConfig()
+	ecfg.Seed = seed
+	engine := stream.NewEngine(net, topo, ecfg)
+	defer engine.Close()
+
+	mode := "wall-clock"
+	if virtual {
+		mode = "virtual-time"
+	}
+	fmt.Printf("\nexecuting %d circuits on the %s engine for %.1f simulated seconds...\n",
+		len(circuits), mode, simSeconds)
+
+	var analyticUsage, analyticRate float64
+	type deployed struct {
+		c   *optimizer.Circuit
+		run *stream.Running
+	}
+	var runs []deployed
+	skipped := 0
+	for _, c := range circuits {
+		run, err := engine.Deploy(c)
+		if errors.Is(err, stream.ErrReusedServices) {
+			// Multi-query circuits with reused services cannot execute
+			// standalone; they are measured through their owning circuit.
+			skipped++
+			continue
+		}
+		if err != nil {
+			fail(err)
+		}
+		runs = append(runs, deployed{c: c, run: run})
+		analyticUsage += c.NetworkUsage(truth)
+		analyticRate += c.Plan.OutRate
+	}
+	if skipped > 0 {
+		fmt.Printf("(%d circuits with reused services skipped)\n", skipped)
+	}
+	var hb *overlay.Heartbeats
+	if heartbeatMs > 0 {
+		hb = net.StartHeartbeats(time.Duration(heartbeatMs*float64(netCfg.TimeScale)), 0.05)
+	}
+	wallStart := time.Now()
+	clk.Sleep(time.Duration(simSeconds * 1000 * float64(netCfg.TimeScale)))
+	wall := time.Since(wallStart)
+
+	var measuredUsage, measuredRate float64
+	tuples := 0
+	for _, d := range runs {
+		m := d.run.Measure()
+		measuredUsage += m.NetworkUsage
+		measuredRate += m.OutRateKBs
+		tuples += m.TuplesOut
+	}
+	if hb != nil {
+		hb.Stop()
+	}
+	fmt.Printf("delivered %d tuples, %.0f overlay messages, %.0f heartbeats in %v of wall time\n",
+		tuples, net.Metrics.Counter("msgs.sent").Value(), net.Metrics.Counter("hb.recv").Value(), wall.Round(time.Millisecond))
+	fmt.Printf("aggregate rate:  analytic %9.1f KB/s    measured %9.1f KB/s  (ratio %.3f)\n",
+		analyticRate, measuredRate, measuredRate/analyticRate)
+	fmt.Printf("aggregate usage: analytic %9.1f KB·ms/s measured %9.1f KB·ms/s (ratio %.3f)\n",
+		analyticUsage, measuredUsage, measuredUsage/analyticUsage)
 }
 
 // runBatchScenario tiles the distinct query shapes out to n queries and

@@ -35,6 +35,12 @@ type Catalog struct {
 	bounds costspace.Bounds
 
 	published map[topology.NodeID]Entry
+	// storedAt remembers which peer holds each node's entry, making the
+	// republish removal O(1) instead of a scan over all peers. Ring
+	// churn can migrate entries without the catalog seeing it, so
+	// removal falls back to the key's current owner (where migrations
+	// deposit entries) and finally a full scan.
+	storedAt map[topology.NodeID]*Peer
 
 	// version counts published-set mutations; the exact-query k-NN
 	// index is stamped with it and lazily rebuilt (or patched, for
@@ -70,6 +76,7 @@ func NewCatalog(ring *Ring, space *costspace.Space, curve hilbert.Curve, bounds 
 		curve:     curve,
 		bounds:    bounds,
 		published: make(map[topology.NodeID]Entry),
+		storedAt:  make(map[topology.NodeID]*Peer),
 	}, nil
 }
 
@@ -126,6 +133,7 @@ func (c *Catalog) Publish(node topology.NodeID, p costspace.Point) (ID, error) {
 	owner := c.ring.Owner(e.Key)
 	owner.storeAdd(e)
 	c.published[node] = e
+	c.storedAt[node] = owner
 	c.version++
 	c.patchExact(node, e.Point, republish)
 	return e.Key, nil
@@ -168,16 +176,24 @@ func (c *Catalog) Unpublish(node topology.NodeID) {
 	if old, ok := c.published[node]; ok {
 		c.removeStored(old)
 		delete(c.published, node)
+		delete(c.storedAt, node)
 		c.version++
 		c.exact.Store(nil)
 	}
 }
 
-// removeStored deletes the stored copy of e from whichever peer holds it.
-// Entries may have moved between peers due to churn, so all peers' stores
-// for the key are checked (the key pins the search to at most a couple of
-// peers in practice).
+// removeStored deletes the stored copy of e from the peer holding it:
+// the recorded storing peer in O(1), or — when ring churn migrated the
+// entry behind the catalog's back — the key's current owner (join/leave
+// migrations always deposit entries on the new owner). The full scan
+// remains as a defensive last resort.
 func (c *Catalog) removeStored(e Entry) {
+	if p, ok := c.storedAt[e.Node]; ok && p.storeRemove(e.Key, e.Node) {
+		return
+	}
+	if c.ring.NumPeers() > 0 && c.ring.Owner(e.Key).storeRemove(e.Key, e.Node) {
+		return
+	}
 	for _, p := range c.ring.peers {
 		if p.storeRemove(e.Key, e.Node) {
 			return

@@ -570,3 +570,114 @@ func BenchmarkLookup512(b *testing.B) {
 		}
 	}
 }
+
+// storedCopies counts live stored entries for a node across all peers.
+func storedCopies(r *Ring, node topology.NodeID) int {
+	count := 0
+	for _, p := range r.peers {
+		for _, entries := range p.store {
+			for _, e := range entries {
+				if e.Node == node {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// TestRepublishAfterChurnLeavesOneCopy drives the O(1)-republish
+// bookkeeping through ring churn: joins and leaves migrate entries
+// behind the catalog's back, and republishes must still remove exactly
+// the stale copy.
+func TestRepublishAfterChurnLeavesOneCopy(t *testing.T) {
+	env := newTestEnv(t, 32, 21)
+	rng := rand.New(rand.NewSource(22))
+	next := topology.NodeID(100)
+	for round := 0; round < 30; round++ {
+		switch rng.Intn(3) {
+		case 0: // join (migrates entries off the successor)
+			if _, err := env.ring.AddPeer(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		case 1: // leave (migrates entries to the successor)
+			peers := env.ring.Peers()
+			if len(peers) > 8 {
+				victim := peers[rng.Intn(len(peers))].Node()
+				if err := env.ring.RemovePeer(victim); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 2: // republish a random published node at a new coordinate
+			n := topology.NodeID(rng.Intn(32))
+			p := env.space.NewPoint(
+				vivaldi.Coord{rng.Float64() * 200, rng.Float64() * 200},
+				[]float64{rng.Float64()},
+			)
+			if _, err := env.catalog.Publish(n, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Invariant: exactly one stored copy per published node.
+		for i := 0; i < 32; i++ {
+			if got := storedCopies(env.ring, topology.NodeID(i)); got != 1 {
+				t.Fatalf("round %d: node %d has %d stored copies, want 1", round, i, got)
+			}
+		}
+	}
+}
+
+// TestRepublishUsesStoredPeerDirectly verifies the O(1) fast path: with
+// no churn, the removal must succeed on the recorded storing peer (the
+// catalog cache must stay in sync across repeated republishes).
+func TestRepublishUsesStoredPeerDirectly(t *testing.T) {
+	env := newTestEnv(t, 16, 23)
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 50; i++ {
+		n := topology.NodeID(rng.Intn(16))
+		p := env.space.NewPoint(
+			vivaldi.Coord{rng.Float64() * 200, rng.Float64() * 200},
+			[]float64{rng.Float64()},
+		)
+		if _, err := env.catalog.Publish(n, p); err != nil {
+			t.Fatal(err)
+		}
+		e, _ := env.catalog.PublishedEntry(n)
+		sp, ok := env.catalog.storedAt[n]
+		if !ok {
+			t.Fatalf("no storing peer recorded for node %d", n)
+		}
+		if sp != env.ring.Owner(e.Key) {
+			t.Fatalf("storing peer %v is not the key owner", sp.Node())
+		}
+		if got := storedCopies(env.ring, n); got != 1 {
+			t.Fatalf("node %d has %d stored copies, want 1", n, got)
+		}
+	}
+}
+
+// TestUnpublishAfterPeerLeaveRemovesCopy covers the stale-pointer path:
+// the storing peer departs (entries migrate to its successor), then the
+// node unpublishes.
+func TestUnpublishAfterPeerLeaveRemovesCopy(t *testing.T) {
+	env := newTestEnv(t, 16, 25)
+	e, _ := env.catalog.PublishedEntry(7)
+	holder := env.ring.Owner(e.Key)
+	if err := env.ring.RemovePeer(holder.Node()); err != nil {
+		t.Fatal(err)
+	}
+	env.catalog.Unpublish(7)
+	if got := storedCopies(env.ring, 7); got != 0 {
+		t.Fatalf("node 7 still has %d stored copies after Unpublish", got)
+	}
+	// The rest are intact and reachable.
+	for i := 0; i < 16; i++ {
+		if i == 7 || topology.NodeID(i) == holder.Node() {
+			continue
+		}
+		if got := storedCopies(env.ring, topology.NodeID(i)); got != 1 {
+			t.Fatalf("node %d has %d copies", i, got)
+		}
+	}
+}

@@ -176,6 +176,10 @@ func (r *Ring) RemovePeer(n topology.NodeID) error {
 		}
 		r.updateFingersOnLeave(p, pred, succ)
 	}
+	// Clear the departed peer's store so stale references to it (the
+	// catalog's storing-peer cache) cannot find the dead copies.
+	p.store = make(map[ID][]Entry)
+	p.flat = nil
 	return nil
 }
 

@@ -259,10 +259,8 @@ func TestX7SmallShape(t *testing.T) {
 }
 
 func TestX8Quick(t *testing.T) {
-	if testing.Short() {
-		t.Skip("wall-clock experiment")
-	}
-	tb, err := X8(X8Params{Seed: 18, RunFor: 600 * time.Millisecond})
+	// Virtual time: a 60-simulated-second window per circuit, instant.
+	tb, err := X8(X8Params{Seed: 18, RunFor: 600 * time.Millisecond, Virtual: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,6 +272,111 @@ func TestX8Quick(t *testing.T) {
 		ratio := cell(t, tb, i, 3)
 		if ratio < 0.4 || ratio > 2.0 {
 			t.Fatalf("row %d usage ratio %v far from 1", i, ratio)
+		}
+	}
+}
+
+// TestX8WallClockMatchesVirtual runs the wall-clock engine and checks
+// its measurements agree with the analytic model within the same
+// tolerances the virtual engine meets — the cross-validation that the
+// discrete-event kernel did not change what is being measured.
+func TestX8WallClockMatchesVirtual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	wall, err := X8(X8Params{Seed: 18, RunFor: 600 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt, err := X8(X8Params{Seed: 18, RunFor: 600 * time.Millisecond, Virtual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // relay + filter rows; joins are noisy
+		for _, col := range []int{3, 6} { // usage ratio, rate ratio
+			w := cell(t, wall, i, col)
+			v := cell(t, virt, i, col)
+			if w < 0.4 || w > 2.0 {
+				t.Fatalf("row %d col %d: wall-clock ratio %v far from 1", i, col, w)
+			}
+			if v < 0.4 || v > 2.0 {
+				t.Fatalf("row %d col %d: virtual ratio %v far from 1", i, col, v)
+			}
+			if diff := w/v - 1; diff < -0.5 || diff > 0.5 {
+				t.Fatalf("row %d col %d: wall %v vs virtual %v disagree", i, col, w, v)
+			}
+		}
+	}
+}
+
+// TestX8VirtualDeterministic demands bit-identical tables from two
+// same-seed virtual runs — the reproducibility acceptance criterion.
+func TestX8VirtualDeterministic(t *testing.T) {
+	run := func() *Table {
+		tb, err := X8(X8Params{Seed: 18, RunFor: 400 * time.Millisecond, Virtual: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	a, b := run(), run()
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("same-seed virtual X8 diverged at row %d col %d: %q vs %q",
+					i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestX11SmallShape(t *testing.T) {
+	p := X11Params{Seed: 19, StubNodes: 5, Streams: 8, Queries: 25, SimSeconds: 2,
+		HeartbeatEvery: 500 * time.Millisecond, TupleSizeKB: 4}
+	tb, err := X11(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if nodes := cell(t, tb, 0, 0); nodes != 256 {
+		t.Fatalf("nodes = %v, want 256", nodes)
+	}
+	if circuits := cell(t, tb, 0, 1); circuits != 25 {
+		t.Fatalf("circuits = %v, want 25", circuits)
+	}
+	if tuples := cell(t, tb, 0, 3); tuples <= 0 {
+		t.Fatal("no tuples delivered")
+	}
+	if beats := cell(t, tb, 0, 5); beats <= 0 {
+		t.Fatal("no heartbeats delivered")
+	}
+	// Aggregate rate tracks the model; joins make usage noisier.
+	if r := cell(t, tb, 0, 6); r < 0.4 || r > 2 {
+		t.Fatalf("aggregate rate ratio %v far from 1", r)
+	}
+	if r := cell(t, tb, 0, 7); r < 0.3 || r > 2.5 {
+		t.Fatalf("aggregate usage ratio %v far from 1", r)
+	}
+}
+
+// TestX11Deterministic checks same-seed reproducibility of the scenario
+// measurements (all columns except the wall-time stopwatch).
+func TestX11Deterministic(t *testing.T) {
+	p := X11Params{Seed: 19, StubNodes: 5, Streams: 8, Queries: 15, SimSeconds: 1,
+		HeartbeatEvery: 500 * time.Millisecond, TupleSizeKB: 4}
+	run := func() []string {
+		tb, err := X11(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Rows[0][:8] // drop the wall-ms column
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed X11 diverged at col %d: %q vs %q", i, a[i], b[i])
 		}
 	}
 }
@@ -313,8 +416,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("bogus"); ok {
 		t.Fatal("bogus found")
 	}
-	if len(All()) != 14 {
-		t.Fatalf("All() = %d experiments, want 14", len(All()))
+	if len(All()) != 15 {
+		t.Fatalf("All() = %d experiments, want 15", len(All()))
 	}
 }
 

@@ -44,6 +44,15 @@ func All() []Experiment {
 			}
 			return X8(p)
 		}},
+		{"x11", func(s Scale) (*Table, error) {
+			p := DefaultX11Params()
+			if s == Small {
+				p.StubNodes = 5 // 256 nodes
+				p.Queries = 30
+				p.SimSeconds = 2
+			}
+			return X11(p)
+		}},
 		{"x9", func(s Scale) (*Table, error) {
 			p := DefaultX9Params()
 			p.Scale = s

@@ -7,30 +7,45 @@ import (
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
 )
 
+// x8WallTimeScale is the wall-clock engine's time scale; RunFor windows
+// are expressed at this scale so the virtual engine can reproduce the
+// same simulated window exactly.
+const x8WallTimeScale = 10 * time.Microsecond
+
 // X8Params configures the data-plane validation run.
 type X8Params struct {
 	Seed int64
-	// RunFor is the wall-clock measurement window per circuit.
+	// RunFor is the measurement window per circuit, expressed as wall
+	// time at the wall-clock engine's 10µs/sim-ms scale (so 2s ≡ 200
+	// simulated seconds). The virtual engine runs the same simulated
+	// window instantly.
 	RunFor time.Duration
+	// Virtual executes the circuits on the deterministic virtual-time
+	// engine instead of the wall-clock goroutine runtime.
+	Virtual bool
 }
 
-// DefaultX8Params returns the full configuration.
-func DefaultX8Params() X8Params { return X8Params{Seed: 18, RunFor: 2 * time.Second} }
+// DefaultX8Params returns the full configuration: virtual time, so the
+// artifact regenerates in milliseconds and is bit-reproducible.
+func DefaultX8Params() X8Params { return X8Params{Seed: 18, RunFor: 2 * time.Second, Virtual: true} }
 
 // X8 validates the analytic cost model against the executing data plane:
-// circuits are optimized, deployed on the goroutine overlay, and run with
+// circuits are optimized, deployed on the overlay runtime, and run with
 // real tuples; measured delivery rate and network usage are compared to
 // the model's predictions. This closes the loop between the optimizer's
-// arithmetic and an actual dataflow.
+// arithmetic and an actual dataflow. With Virtual set the dataflow runs
+// on the discrete-event clock — same simulated window, milliseconds of
+// wall time, bit-identical tables for a fixed seed.
 func X8(p X8Params) (*Table, error) {
 	if p.RunFor <= 0 {
 		p.RunFor = 2 * time.Second
 	}
-	// The engine runs in wall-clock time, so use a small topology
+	// The wall-clock engine runs in real time, so use a small topology
 	// regardless of scale.
 	cfg := topology.Config{
 		TransitDomains:      2,
@@ -60,7 +75,20 @@ func X8(p X8Params) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: 10 * time.Microsecond, InboxSize: 8192})
+
+	netCfg := overlay.Config{TimeScale: x8WallTimeScale, InboxSize: 8192}
+	var clk simtime.Clock = simtime.Real()
+	if p.Virtual {
+		vclk := simtime.NewVirtual()
+		defer vclk.Drive()()
+		clk = vclk
+		netCfg = overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: vclk}
+	}
+	// The same simulated window on either clock.
+	simMs := float64(p.RunFor) / float64(x8WallTimeScale)
+	window := time.Duration(simMs * float64(netCfg.TimeScale))
+
+	net := overlay.NewNetwork(topo, netCfg)
 	net.Start()
 	defer net.Stop()
 	engine := stream.NewEngine(net, topo, stream.DefaultEngineConfig())
@@ -90,7 +118,7 @@ func X8(p X8Params) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		time.Sleep(p.RunFor)
+		clk.Sleep(window)
 		m := run.Measure()
 		if err := engine.Stop(tc.q.ID); err != nil {
 			return nil, err
@@ -99,5 +127,10 @@ func X8(p X8Params) (*Table, error) {
 			analyticRate, m.OutRateKBs, m.OutRateKBs/analyticRate)
 	}
 	t.AddNote("expected shape: ratios ≈ 1 for relay/filter; join rate noisier (window fill-up, key collisions) but same order of magnitude")
+	if p.Virtual {
+		t.AddNote("engine: virtual time (deterministic; %v simulated per circuit)", time.Duration(simMs)*time.Millisecond)
+	} else {
+		t.AddNote("engine: wall clock (%v per circuit at %v/sim-ms)", p.RunFor, x8WallTimeScale)
+	}
 	return t, nil
 }

@@ -1,14 +1,24 @@
-// Package overlay is the SBON runtime: every overlay node is a goroutine
-// with an inbox channel, and message delivery between nodes is delayed by
-// the topology's shortest-path latency scaled to wall-clock time. The
-// stream engine (package stream) deploys circuits onto it; examples and
-// integration tests run real dataflows through it.
+// Package overlay is the SBON runtime. Under the real clock every
+// overlay node is a goroutine with an inbox channel, and message
+// delivery between nodes is delayed by the topology's shortest-path
+// latency scaled to wall-clock time. Under a virtual clock (package
+// simtime) the runtime switches to discrete-event dispatch: deliveries
+// are events on the clock's heap, handlers run serially on the
+// scheduler goroutine at exact simulated timestamps, and a fixed seed
+// reproduces the run bit for bit. The stream engine (package stream)
+// deploys circuits onto it; examples and integration tests run real
+// dataflows through it.
 //
-// Concurrency model: each node processes its inbox serially on its own
-// goroutine, so handlers on one node never race with each other (share
-// memory by communicating). Senders never block: delivery is scheduled on
-// timer goroutines that either enqueue into the destination inbox or drop
-// when the network is shut down.
+// Concurrency model (real clock): each node processes its inbox
+// serially on its own goroutine, so handlers on one node never race
+// with each other (share memory by communicating). Senders never block:
+// delivery is scheduled on timer goroutines that either enqueue into
+// the destination inbox or drop when the network is shut down.
+//
+// Concurrency model (virtual clock): all handlers run on the clock's
+// single scheduler goroutine — a global serialization that subsumes the
+// per-node guarantee. Messages between the same pair of instants are
+// delivered in send order (FIFO event tie-breaking).
 package overlay
 
 import (
@@ -17,6 +27,7 @@ import (
 	"time"
 
 	"github.com/hourglass/sbon/internal/metrics"
+	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
 )
 
@@ -29,44 +40,60 @@ type Message struct {
 	SizeKB float64
 	// Payload is the application data (e.g. a stream tuple).
 	Payload any
-	// SentAt is the wall-clock send time.
+	// SentAt is the clock's send time (wall or virtual).
 	SentAt time.Time
 }
 
 // Handler processes messages delivered to a port. Handlers run on the
-// owning node's goroutine.
+// owning node's goroutine (real clock) or the scheduler goroutine
+// (virtual clock).
 type Handler func(Message)
 
 // Config tunes the runtime.
 type Config struct {
 	// TimeScale is the wall duration representing one simulated
 	// millisecond of network latency (default 50µs: simulation runs 20×
-	// faster than real time).
+	// faster than real time). Under a virtual clock the conventional
+	// choice is time.Millisecond — one virtual millisecond per simulated
+	// millisecond — since virtual time is free.
 	TimeScale time.Duration
-	// InboxSize is the per-node inbox buffer (default 4096).
+	// InboxSize is the per-node inbox buffer (default 4096). Unused
+	// under a virtual clock.
 	InboxSize int
+	// Clock drives message delivery and timestamps. Nil means the real
+	// (wall) clock. Passing a *simtime.VirtualClock switches the
+	// runtime to deterministic discrete-event dispatch.
+	Clock simtime.Clock
 }
 
-// DefaultConfig returns the runtime defaults.
+// DefaultConfig returns the runtime defaults (real clock).
 func DefaultConfig() Config {
 	return Config{TimeScale: 50 * time.Microsecond, InboxSize: 4096}
 }
 
-// Network hosts one goroutine per overlay node and routes messages
-// between them with latency.
+// VirtualConfig returns a runtime configuration on a fresh virtual
+// clock at the 1 virtual ms = 1 simulated ms scale.
+func VirtualConfig() Config {
+	return Config{TimeScale: time.Millisecond, InboxSize: 4096, Clock: simtime.NewVirtual()}
+}
+
+// Network hosts the overlay nodes and routes messages between them with
+// latency.
 type Network struct {
-	topo *topology.Topology
-	cfg  Config
+	topo    *topology.Topology
+	cfg     Config
+	clock   simtime.Clock
+	virtual bool
 
 	nodes []*Node
 	quit  chan struct{}
-	wg    sync.WaitGroup // node loops + in-flight deliveries
+	wg    sync.WaitGroup // node loops + in-flight deliveries (real clock)
 
 	stopOnce sync.Once
 
 	// Metrics is the runtime's registry: counters msgs.sent, msgs.dropped,
-	// kb.sent, and usage.kbms (Σ sizeKB × latencyMs, the integral of
-	// data-in-transit).
+	// kb.sent, usage.kbms (Σ sizeKB × latencyMs, the integral of
+	// data-in-transit), and hb.sent/hb.recv once heartbeats start.
 	Metrics *metrics.Registry
 }
 
@@ -78,12 +105,17 @@ func NewNetwork(topo *topology.Topology, cfg Config) *Network {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = 4096
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.Real()
+	}
 	// Force the all-pairs latency cache now: Topology computes it lazily
 	// and concurrent Sends must only read it.
 	topo.LatencyMatrix()
 	n := &Network{
 		topo:    topo,
 		cfg:     cfg,
+		clock:   cfg.Clock,
+		virtual: simtime.IsVirtual(cfg.Clock),
 		quit:    make(chan struct{}),
 		Metrics: metrics.NewRegistry(),
 	}
@@ -92,25 +124,34 @@ func NewNetwork(topo *topology.Topology, cfg Config) *Network {
 		n.nodes[i] = &Node{
 			id:       topology.NodeID(i),
 			net:      n,
-			inbox:    make(chan Message, cfg.InboxSize),
 			handlers: make(map[string]Handler),
+		}
+		if !n.virtual {
+			n.nodes[i].inbox = make(chan Message, cfg.InboxSize)
 		}
 	}
 	return n
 }
 
-// Start launches every node goroutine. It must be called once before any
-// Send.
+// Start launches the node goroutines (real clock). Under a virtual
+// clock there are no node goroutines — dispatch rides the event
+// scheduler — so Start only marks the runtime live. It must be called
+// once before any Send.
 func (n *Network) Start() {
+	if n.virtual {
+		return
+	}
 	for _, nd := range n.nodes {
 		n.wg.Add(1)
 		go nd.loop()
 	}
 }
 
-// Stop shuts the runtime down: future sends are dropped, node loops
-// exit, and Stop blocks until all goroutines (including in-flight
-// deliveries) finish. Safe to call more than once.
+// Stop shuts the runtime down: future sends are dropped and, under the
+// real clock, Stop blocks until node loops and in-flight deliveries
+// finish. Under a virtual clock pending delivery events are abandoned
+// (they count msgs.dropped if the clock ever fires them). Safe to call
+// more than once.
 func (n *Network) Stop() {
 	n.stopOnce.Do(func() { close(n.quit) })
 	n.wg.Wait()
@@ -122,14 +163,20 @@ func (n *Network) Node(id topology.NodeID) *Node { return n.nodes[id] }
 // Config returns the runtime configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// SimMillis converts an elapsed wall duration into simulated
+// Clock returns the clock driving the runtime.
+func (n *Network) Clock() simtime.Clock { return n.clock }
+
+// Virtual reports whether the runtime dispatches on a virtual clock.
+func (n *Network) Virtual() bool { return n.virtual }
+
+// SimMillis converts an elapsed clock duration into simulated
 // milliseconds under the runtime's time scale.
 func (n *Network) SimMillis(wall time.Duration) float64 {
 	return float64(wall) / float64(n.cfg.TimeScale)
 }
 
-// Node is one overlay participant: an inbox, a handler table, and
-// counters.
+// Node is one overlay participant: a handler table, counters, and —
+// under the real clock — an inbox goroutine.
 type Node struct {
 	id    topology.NodeID
 	net   *Network
@@ -163,21 +210,35 @@ func (nd *Node) Send(to topology.NodeID, port string, sizeKB float64, payload an
 	if int(to) < 0 || int(to) >= len(nd.net.nodes) {
 		return fmt.Errorf("overlay: destination %d out of range", to)
 	}
+	n := nd.net
 	msg := Message{
 		From:    nd.id,
 		To:      to,
 		Port:    port,
 		SizeKB:  sizeKB,
 		Payload: payload,
-		SentAt:  time.Now(),
+		SentAt:  n.clock.Now(),
 	}
-	latMs := nd.net.topo.Latency(nd.id, to)
-	delay := time.Duration(latMs * float64(nd.net.cfg.TimeScale))
+	latMs := n.topo.Latency(nd.id, to)
+	delay := time.Duration(latMs * float64(n.cfg.TimeScale))
 
-	n := nd.net
 	n.Metrics.Counter("msgs.sent").Inc()
 	n.Metrics.Counter("kb.sent").Add(sizeKB)
 	n.Metrics.Counter("usage.kbms").Add(sizeKB * latMs)
+
+	if n.virtual {
+		// Discrete-event path: the delivery is a clock event that
+		// dispatches the handler directly at the arrival instant.
+		n.clock.AfterFunc(delay, func() {
+			select {
+			case <-n.quit:
+				n.Metrics.Counter("msgs.dropped").Inc()
+			default:
+				n.nodes[msg.To].dispatch(msg)
+			}
+		})
+		return nil
+	}
 
 	n.wg.Add(1)
 	if delay <= 0 {
@@ -188,7 +249,8 @@ func (nd *Node) Send(to topology.NodeID, port string, sizeKB float64, payload an
 	return nil
 }
 
-// deliver enqueues the message unless the runtime is stopping.
+// deliver enqueues the message unless the runtime is stopping (real
+// clock only).
 func (n *Network) deliver(msg Message) {
 	defer n.wg.Done()
 	dst := n.nodes[msg.To]
@@ -199,7 +261,8 @@ func (n *Network) deliver(msg Message) {
 	}
 }
 
-// loop is the node goroutine: dispatch until shutdown.
+// loop is the node goroutine: dispatch until shutdown (real clock
+// only).
 func (nd *Node) loop() {
 	defer nd.net.wg.Done()
 	for {
@@ -221,4 +284,89 @@ func (nd *Node) dispatch(msg Message) {
 		return
 	}
 	h(msg)
+}
+
+// HeartbeatPort is the reserved port heartbeat pings arrive on.
+const HeartbeatPort = "overlay.hb"
+
+// Heartbeats is a running liveness-ping schedule; Stop cancels it.
+type Heartbeats struct {
+	net *Network
+
+	mu      sync.Mutex
+	stopped bool
+	timers  []simtime.Timer
+	// inflight counts beat callbacks past their stopped-check; Add only
+	// happens under mu with stopped == false, so Stop's Wait can never
+	// race an Add (the WaitGroup misuse Send-vs-Network.Stop would
+	// otherwise hit).
+	inflight sync.WaitGroup
+}
+
+// StartHeartbeats begins periodic liveness traffic: every `every` of
+// clock time, each node sends a sizeKB ping to the node after it in id
+// order (wrapping), clock-driven so heartbeats are free under virtual
+// time. Beats are counted in the hb.sent and hb.recv counters and
+// charged to the usual traffic metrics. The first round fires after one
+// full interval.
+func (n *Network) StartHeartbeats(every time.Duration, sizeKB float64) *Heartbeats {
+	hb := &Heartbeats{net: n}
+	recv := n.Metrics.Counter("hb.recv")
+	sent := n.Metrics.Counter("hb.sent")
+	for _, nd := range n.nodes {
+		nd.Register(HeartbeatPort, func(Message) { recv.Inc() })
+	}
+	hb.timers = make([]simtime.Timer, len(n.nodes))
+	hb.mu.Lock()
+	defer hb.mu.Unlock() // early real-clock fires block until setup completes
+	for i, nd := range n.nodes {
+		i, nd := i, nd
+		to := topology.NodeID((i + 1) % len(n.nodes))
+		var beat func()
+		beat = func() {
+			hb.mu.Lock()
+			if hb.stopped {
+				hb.mu.Unlock()
+				return
+			}
+			select {
+			case <-n.quit:
+				hb.mu.Unlock()
+				return
+			default:
+			}
+			hb.inflight.Add(1)
+			hb.mu.Unlock()
+			sent.Inc()
+			_ = nd.Send(to, HeartbeatPort, sizeKB, nil)
+			hb.inflight.Done()
+			hb.mu.Lock()
+			if !hb.stopped {
+				hb.timers[i] = n.clock.AfterFunc(every, beat)
+			}
+			hb.mu.Unlock()
+		}
+		hb.timers[i] = n.clock.AfterFunc(every, beat)
+	}
+	return hb
+}
+
+// Stop halts the heartbeat schedule and waits out any beat already past
+// its stopped-check, so `hb.Stop(); net.Stop()` is always safe — no
+// beat can call Send (and bump the network's delivery WaitGroup) after
+// Stop returns.
+func (hb *Heartbeats) Stop() {
+	hb.mu.Lock()
+	if hb.stopped {
+		hb.mu.Unlock()
+		return
+	}
+	hb.stopped = true
+	for _, t := range hb.timers {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	hb.mu.Unlock()
+	hb.inflight.Wait()
 }

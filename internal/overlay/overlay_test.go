@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
 )
 
@@ -24,70 +25,231 @@ func lineTopo(t *testing.T) *topology.Topology {
 	return topology.MustGenerate(cfg, rand.New(rand.NewSource(1)))
 }
 
-func TestSendDeliversToHandler(t *testing.T) {
-	net := NewNetwork(lineTopo(t), DefaultConfig())
+// virtualNet builds a started virtual-clock network with the test
+// goroutine registered as the driving actor: sleeping on the returned
+// clock advances simulated time instantly and deterministically.
+func virtualNet(t *testing.T) (*Network, *simtime.VirtualClock) {
+	t.Helper()
+	cfg := VirtualConfig()
+	clk := cfg.Clock.(*simtime.VirtualClock)
+	clk.Register()
+	net := NewNetwork(lineTopo(t), cfg)
 	net.Start()
-	defer net.Stop()
+	t.Cleanup(func() {
+		net.Stop()
+		clk.Unregister()
+		clk.Stop()
+	})
+	return net, clk
+}
 
-	got := make(chan Message, 1)
-	net.Node(1).Register("test", func(m Message) { got <- m })
+// settle sleeps past every latency in the (small) test topology so all
+// in-flight deliveries have dispatched.
+func settle(clk *simtime.VirtualClock) { clk.Sleep(time.Second) }
+
+func TestSendDeliversToHandler(t *testing.T) {
+	net, clk := virtualNet(t)
+
+	var got []Message
+	net.Node(1).Register("test", func(m Message) { got = append(got, m) })
 	if err := net.Node(0).Send(1, "test", 2.5, "hello"); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case m := <-got:
-		if m.From != 0 || m.To != 1 || m.Payload.(string) != "hello" || m.SizeKB != 2.5 {
-			t.Fatalf("message = %+v", m)
+	settle(clk)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	m := got[0]
+	if m.From != 0 || m.To != 1 || m.Payload.(string) != "hello" || m.SizeKB != 2.5 {
+		t.Fatalf("message = %+v", m)
+	}
+}
+
+func TestVirtualDeliveryAtExactLatency(t *testing.T) {
+	net, clk := virtualNet(t)
+	topo := net.topo
+
+	// Farthest pair gives the largest delay to verify.
+	var a, b topology.NodeID
+	worst := 0.0
+	for i := 0; i < topo.NumNodes(); i++ {
+		for j := 0; j < topo.NumNodes(); j++ {
+			if l := topo.Latency(topology.NodeID(i), topology.NodeID(j)); l > worst {
+				worst, a, b = l, topology.NodeID(i), topology.NodeID(j)
+			}
 		}
-	case <-time.After(2 * time.Second):
+	}
+	var arrived time.Time
+	var sent time.Time
+	net.Node(b).Register("lat", func(m Message) {
+		arrived = clk.Now()
+		sent = m.SentAt
+	})
+	if err := net.Node(a).Send(b, "lat", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	settle(clk)
+	if arrived.IsZero() {
 		t.Fatal("message not delivered")
+	}
+	want := time.Duration(worst * float64(net.Config().TimeScale))
+	if got := arrived.Sub(sent); got != want {
+		t.Fatalf("virtual delivery took %v, want exactly %v (latency %.1f ms)", got, want, worst)
 	}
 }
 
 func TestSendToSelf(t *testing.T) {
-	net := NewNetwork(lineTopo(t), DefaultConfig())
-	net.Start()
-	defer net.Stop()
-
-	got := make(chan struct{}, 1)
-	net.Node(3).Register("self", func(Message) { got <- struct{}{} })
+	net, clk := virtualNet(t)
+	delivered := 0
+	net.Node(3).Register("self", func(Message) { delivered++ })
 	if err := net.Node(3).Send(3, "self", 1, nil); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case <-got:
-	case <-time.After(2 * time.Second):
-		t.Fatal("self message not delivered")
+	settle(clk)
+	if delivered != 1 {
+		t.Fatalf("self message delivered %d times", delivered)
 	}
 }
 
 func TestSendInvalidDestination(t *testing.T) {
-	net := NewNetwork(lineTopo(t), DefaultConfig())
-	net.Start()
-	defer net.Stop()
+	net, _ := virtualNet(t)
 	if err := net.Node(0).Send(99, "x", 1, nil); err == nil {
 		t.Fatal("out-of-range destination accepted")
 	}
 }
 
 func TestUnroutedMessageCounted(t *testing.T) {
-	net := NewNetwork(lineTopo(t), DefaultConfig())
-	net.Start()
+	net, clk := virtualNet(t)
 	if err := net.Node(0).Send(1, "nobody-home", 1, nil); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.After(2 * time.Second)
-	for net.Metrics.Counter("msgs.unrouted").Value() < 1 {
-		select {
-		case <-deadline:
-			t.Fatal("unrouted counter never incremented")
-		case <-time.After(time.Millisecond):
-		}
+	settle(clk)
+	if got := net.Metrics.Counter("msgs.unrouted").Value(); got != 1 {
+		t.Fatalf("msgs.unrouted = %v, want 1", got)
 	}
-	net.Stop()
 }
 
-func TestDeliveryLatencyScales(t *testing.T) {
+func TestMetricsAccounting(t *testing.T) {
+	net, clk := virtualNet(t)
+	topo := net.topo
+	delivered := 0
+	net.Node(2).Register("m", func(Message) { delivered++ })
+	const sends = 5
+	for i := 0; i < sends; i++ {
+		if err := net.Node(0).Send(2, "m", 2, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(clk)
+	if delivered != sends {
+		t.Fatalf("delivered %d, want %d", delivered, sends)
+	}
+	if got := net.Metrics.Counter("msgs.sent").Value(); got != sends {
+		t.Fatalf("msgs.sent = %v, want %v", got, sends)
+	}
+	if got := net.Metrics.Counter("kb.sent").Value(); got != 2*sends {
+		t.Fatalf("kb.sent = %v, want %v", got, 2*sends)
+	}
+	wantUsage := 2.0 * sends * topo.Latency(0, 2)
+	if got := net.Metrics.Counter("usage.kbms").Value(); got != wantUsage {
+		t.Fatalf("usage.kbms = %v, want %v", got, wantUsage)
+	}
+}
+
+func TestVirtualSendOrderIsFIFO(t *testing.T) {
+	net, clk := virtualNet(t)
+	var order []int
+	net.Node(1).Register("fifo", func(m Message) { order = append(order, m.Payload.(int)) })
+	// Same source, same destination, same latency: arrival order must be
+	// send order.
+	for i := 0; i < 20; i++ {
+		if err := net.Node(0).Send(1, "fifo", 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(clk)
+	if len(order) != 20 {
+		t.Fatalf("delivered %d/20", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("delivery order %v not FIFO", order)
+		}
+	}
+}
+
+func TestVirtualStopDropsPending(t *testing.T) {
+	net, clk := virtualNet(t)
+	delivered := 0
+	net.Node(1).Register("x", func(Message) { delivered++ })
+	for i := 0; i < 10; i++ {
+		if err := net.Node(0).Send(1, "x", 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Stop() // before any latency elapses
+	net.Stop() // idempotent
+	settle(clk)
+	if delivered != 0 {
+		t.Fatalf("%d messages delivered after Stop", delivered)
+	}
+	if got := net.Metrics.Counter("msgs.dropped").Value(); got != 10 {
+		t.Fatalf("msgs.dropped = %v, want 10", got)
+	}
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	net, clk := virtualNet(t)
+	delivered := 0
+	net.Node(1).Register("p", func(Message) { delivered++ })
+	_ = net.Node(0).Send(1, "p", 1, nil)
+	settle(clk)
+	if delivered != 1 {
+		t.Fatal("first message lost")
+	}
+	net.Node(1).Unregister("p")
+	_ = net.Node(0).Send(1, "p", 1, nil)
+	settle(clk)
+	if delivered != 1 {
+		t.Fatal("message delivered after Unregister")
+	}
+	if got := net.Metrics.Counter("msgs.unrouted").Value(); got != 1 {
+		t.Fatalf("msgs.unrouted = %v, want 1", got)
+	}
+}
+
+func TestHeartbeats(t *testing.T) {
+	net, clk := virtualNet(t)
+	hb := net.StartHeartbeats(100*time.Millisecond, 0.01)
+	clk.Sleep(1050 * time.Millisecond) // 10 full intervals
+	hb.Stop()
+	sent := net.Metrics.Counter("hb.sent").Value()
+	nodes := float64(net.topo.NumNodes())
+	if want := 10 * nodes; sent != want {
+		t.Fatalf("hb.sent = %v, want %v (10 rounds × %v nodes)", sent, want, nodes)
+	}
+	// All beats eventually arrive (latency ≤ settle window).
+	settle(clk)
+	if recv := net.Metrics.Counter("hb.recv").Value(); recv != sent {
+		t.Fatalf("hb.recv = %v, want %v", recv, sent)
+	}
+	// No further beats after Stop.
+	clk.Sleep(time.Second)
+	if got := net.Metrics.Counter("hb.sent").Value(); got != sent {
+		t.Fatalf("heartbeats continued after Stop: %v -> %v", sent, got)
+	}
+}
+
+func TestSimMillis(t *testing.T) {
+	net := NewNetwork(lineTopo(t), Config{TimeScale: 100 * time.Microsecond})
+	if got := net.SimMillis(time.Millisecond); got != 10 {
+		t.Fatalf("SimMillis(1ms) = %v, want 10", got)
+	}
+}
+
+// --- real-clock coverage: the goroutine-per-node path stays exercised ---
+
+func TestRealClockDeliveryLatencyScales(t *testing.T) {
 	topo := lineTopo(t)
 	cfg := Config{TimeScale: 200 * time.Microsecond, InboxSize: 64}
 	net := NewNetwork(topo, cfg)
@@ -123,39 +285,7 @@ func TestDeliveryLatencyScales(t *testing.T) {
 	}
 }
 
-func TestMetricsAccounting(t *testing.T) {
-	topo := lineTopo(t)
-	net := NewNetwork(topo, DefaultConfig())
-	net.Start()
-	done := make(chan struct{}, 10)
-	net.Node(2).Register("m", func(Message) { done <- struct{}{} })
-	const sends = 5
-	for i := 0; i < sends; i++ {
-		if err := net.Node(0).Send(2, "m", 2, nil); err != nil {
-			t.Fatal(err)
-		}
-	}
-	for i := 0; i < sends; i++ {
-		select {
-		case <-done:
-		case <-time.After(2 * time.Second):
-			t.Fatal("messages lost")
-		}
-	}
-	if got := net.Metrics.Counter("msgs.sent").Value(); got != sends {
-		t.Fatalf("msgs.sent = %v, want %v", got, sends)
-	}
-	if got := net.Metrics.Counter("kb.sent").Value(); got != 2*sends {
-		t.Fatalf("kb.sent = %v, want %v", got, 2*sends)
-	}
-	wantUsage := 2.0 * sends * topo.Latency(0, 2)
-	if got := net.Metrics.Counter("usage.kbms").Value(); got != wantUsage {
-		t.Fatalf("usage.kbms = %v, want %v", got, wantUsage)
-	}
-	net.Stop()
-}
-
-func TestStopIsIdempotentAndWaits(t *testing.T) {
+func TestRealClockStopIsIdempotentAndWaits(t *testing.T) {
 	net := NewNetwork(lineTopo(t), DefaultConfig())
 	net.Start()
 	var handled atomic.Int64
@@ -174,7 +304,7 @@ func TestStopIsIdempotentAndWaits(t *testing.T) {
 	}
 }
 
-func TestHandlersSerializedPerNode(t *testing.T) {
+func TestRealClockHandlersSerializedPerNode(t *testing.T) {
 	net := NewNetwork(lineTopo(t), DefaultConfig())
 	net.Start()
 	defer net.Stop()
@@ -214,33 +344,35 @@ func TestHandlersSerializedPerNode(t *testing.T) {
 	}
 }
 
-func TestRegisterUnregister(t *testing.T) {
+func TestRealClockHeartbeatsStop(t *testing.T) {
 	net := NewNetwork(lineTopo(t), DefaultConfig())
 	net.Start()
-	got := make(chan struct{}, 2)
-	net.Node(1).Register("p", func(Message) { got <- struct{}{} })
-	_ = net.Node(0).Send(1, "p", 1, nil)
-	select {
-	case <-got:
-	case <-time.After(2 * time.Second):
-		t.Fatal("first message lost")
-	}
-	net.Node(1).Unregister("p")
-	_ = net.Node(0).Send(1, "p", 1, nil)
-	deadline := time.After(2 * time.Second)
-	for net.Metrics.Counter("msgs.unrouted").Value() < 1 {
+	defer net.Stop()
+	hb := net.StartHeartbeats(2*time.Millisecond, 0.01)
+	deadline := time.After(5 * time.Second)
+	for net.Metrics.Counter("hb.recv").Value() < 5 {
 		select {
 		case <-deadline:
-			t.Fatal("message after Unregister was not counted unrouted")
+			t.Fatal("no heartbeats received")
 		case <-time.After(time.Millisecond):
 		}
 	}
-	net.Stop()
+	hb.Stop()
 }
 
-func TestSimMillis(t *testing.T) {
-	net := NewNetwork(lineTopo(t), Config{TimeScale: 100 * time.Microsecond})
-	if got := net.SimMillis(time.Millisecond); got != 10 {
-		t.Fatalf("SimMillis(1ms) = %v, want 10", got)
+// TestRealClockHeartbeatsAggressiveStop hammers the start/stop window
+// with a period so short that beats fire during setup and teardown —
+// under -race this pins down the timer-slice synchronization and the
+// guarantee that no beat Sends after Stop returns (which would race
+// Network.Stop's WaitGroup).
+func TestRealClockHeartbeatsAggressiveStop(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		net := NewNetwork(lineTopo(t), DefaultConfig())
+		net.Start()
+		hb := net.StartHeartbeats(50*time.Microsecond, 0.01)
+		time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+		hb.Stop()
+		hb.Stop() // idempotent
+		net.Stop()
 	}
 }

@@ -509,3 +509,62 @@ func cloneProblem(p *Problem) *Problem {
 	}
 	return cp
 }
+
+// TestRelaxationDoesNotMutateCallerCoords pins the copy-on-entry
+// contract of the in-place sweep: a caller-provided initial guess for
+// an unpinned vertex must survive PlaceVirtual untouched.
+func TestRelaxationDoesNotMutateCallerCoords(t *testing.T) {
+	guess := vivaldi.Coord{42, 42}
+	p := starProblem([]vivaldi.Coord{{0, 0}, {10, 0}, {0, 10}}, []float64{1, 1, 1})
+	p.Vertices[0].Coord = guess
+	if err := (Relaxation{}).PlaceVirtual(p); err != nil {
+		t.Fatal(err)
+	}
+	if guess[0] != 42 || guess[1] != 42 {
+		t.Fatalf("caller's guess slice mutated to %v", guess)
+	}
+	if p.Vertices[0].Coord.Distance(guess) == 0 {
+		t.Fatal("placement did not move off the guess")
+	}
+}
+
+// TestRelaxationAllocsDoNotScaleWithSweeps verifies the per-sweep
+// scratch reuse: more iterations must not mean more allocations.
+func TestRelaxationAllocsDoNotScaleWithSweeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	base := randomTreeProblem(rng, 12)
+	clone := func() *Problem {
+		q := &Problem{Links: base.Links}
+		q.Vertices = append([]Vertex(nil), base.Vertices...)
+		return q
+	}
+	measure := func(iters int) float64 {
+		r := Relaxation{MaxIter: iters, Tolerance: 1e-300}
+		return testing.AllocsPerRun(20, func() {
+			if err := r.PlaceVirtual(clone()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	few, many := measure(2), measure(100)
+	// Identical setup cost; the 98 extra sweeps must be free. (The
+	// clone itself allocates, hence comparing rather than a fixed cap.)
+	if many > few {
+		t.Fatalf("allocations grew with sweep count: %v (2 iters) -> %v (100 iters)", few, many)
+	}
+}
+
+func BenchmarkRelaxationPlace(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	base := randomTreeProblem(rng, 8)
+	vertices := make([]Vertex, len(base.Vertices))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(vertices, base.Vertices)
+		p := &Problem{Vertices: vertices, Links: base.Links}
+		if err := (Relaxation{}).PlaceVirtual(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -176,6 +176,12 @@ type Relaxation struct {
 func (r Relaxation) Name() string { return "relaxation" }
 
 // PlaceVirtual implements VirtualPlacer.
+//
+// The sweep loop is allocation-free: every unpinned vertex gets an
+// owned coordinate slice carved from one arena up front (so caller-
+// provided initial guesses are never mutated in place), and a single
+// scratch accumulator is reused across vertices and sweeps. The
+// arithmetic matches the textbook num.Scale(1/den) update bit for bit.
 func (r Relaxation) PlaceVirtual(p *Problem) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -191,6 +197,29 @@ func (r Relaxation) PlaceVirtual(p *Problem) error {
 	seedUnpinned(p)
 	adj := buildAdjacency(p)
 	d := p.dims()
+
+	// Give each active unpinned vertex an owned backing slice from one
+	// arena, carrying over its current (seed or caller-guess) position.
+	active := 0
+	for vi := range p.Vertices {
+		if !p.Vertices[vi].Pinned && len(adj[vi]) > 0 {
+			active++
+		}
+	}
+	arena := make([]float64, 0, d*active)
+	for vi := range p.Vertices {
+		v := &p.Vertices[vi]
+		if v.Pinned || len(adj[vi]) == 0 {
+			continue
+		}
+		arena = append(arena, v.Coord...)
+		// Full slice expression: the result must not share spare
+		// capacity with the next vertex's arena region, or a later
+		// caller-side append could silently overwrite it.
+		v.Coord = vivaldi.Coord(arena[len(arena)-d : len(arena) : len(arena)])
+	}
+
+	num := make(vivaldi.Coord, d)
 	for iter := 0; iter < maxIter; iter++ {
 		maxMove := 0.0
 		for vi := range p.Vertices {
@@ -198,7 +227,9 @@ func (r Relaxation) PlaceVirtual(p *Problem) error {
 			if v.Pinned || len(adj[vi]) == 0 {
 				continue
 			}
-			num := make(vivaldi.Coord, d)
+			for k := range num {
+				num[k] = 0
+			}
 			var den float64
 			for _, e := range adj[vi] {
 				o := p.Vertices[e.other].Coord
@@ -207,11 +238,17 @@ func (r Relaxation) PlaceVirtual(p *Problem) error {
 				}
 				den += e.rate
 			}
-			next := num.Scale(1 / den)
-			if move := next.Distance(v.Coord); move > maxMove {
+			inv := 1 / den
+			var ss float64
+			for k := range num {
+				num[k] *= inv
+				delta := num[k] - v.Coord[k]
+				ss += delta * delta
+			}
+			if move := math.Sqrt(ss); move > maxMove {
 				maxMove = move
 			}
-			v.Coord = next
+			copy(v.Coord, num)
 		}
 		if maxMove < tol {
 			return nil

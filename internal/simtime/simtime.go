@@ -1,0 +1,95 @@
+// Package simtime is the discrete-event simulation kernel behind the
+// overlay runtime: a Clock abstraction with two implementations — the
+// real (wall) clock, and a deterministic virtual clock backed by an
+// event-heap scheduler.
+//
+// Under the virtual clock, time is a number, not a resource. Timers and
+// delayed callbacks become events on a heap ordered by (timestamp,
+// schedule sequence); the scheduler pops and runs them one at a time,
+// jumping the clock forward instantly. Events scheduled for the same
+// virtual instant fire in FIFO schedule order, so a fixed seed yields a
+// bit-identical event sequence on every run — the reproducibility the
+// large-scale SBON evaluation scenarios rely on. A ten-second simulated
+// measurement window completes in however long its events take to
+// process, typically milliseconds.
+//
+// # Quiescence and registered goroutines
+//
+// The virtual scheduler must never advance time while application code
+// is still running at the current instant, or the run would depend on
+// OS scheduling. It therefore tracks a set of registered goroutines
+// ("actors") and only fires events when every actor is blocked in a
+// clock wait (Sleep). The contract:
+//
+//   - Every goroutine that drives a virtual clock (a test body, an
+//     experiment harness) must call Register before its first blocking
+//     call and Unregister when done, or be spawned via Go.
+//   - Registered goroutines must block only in clock primitives. Waiting
+//     on channels or WaitGroups filled by events deadlocks the scheduler,
+//     because it cannot see that wait.
+//   - Event callbacks (AfterFunc functions) run sequentially on the
+//     scheduler goroutine and must not block; they may schedule further
+//     events and wake sleepers.
+//
+// While any registered actor is runnable the scheduler is parked, so
+// actor code may freely mutate simulation state (deploy circuits,
+// register handlers, read metrics) without racing event callbacks.
+// With no registered actors the scheduler is also parked: virtual time
+// only moves while someone is sleeping through it.
+package simtime
+
+import "time"
+
+// Clock abstracts the passage of time for the simulation runtime. The
+// real clock delegates to package time; the virtual clock advances a
+// simulated timeline deterministically.
+type Clock interface {
+	// Now returns the current (wall or virtual) time.
+	Now() time.Time
+	// Since returns the elapsed time from t to Now.
+	Since(t time.Time) time.Duration
+	// Sleep pauses the caller for d. On a virtual clock the caller must
+	// be a registered actor; the simulated timeline jumps forward
+	// without consuming wall time.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock time after d.
+	// On a virtual clock, receiving from the channel is NOT a tracked
+	// wait: only unregistered goroutines may block on it, and only
+	// while registered actors elsewhere keep time moving.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules fn to run after d and returns a handle that
+	// can cancel it. On a virtual clock fn runs on the scheduler
+	// goroutine and must not block.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable pending callback or expiry.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// realClock implements Clock on package time.
+type realClock struct{}
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (realClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// IsVirtual reports whether c is a virtual clock.
+func IsVirtual(c Clock) bool {
+	_, ok := c.(*VirtualClock)
+	return ok
+}

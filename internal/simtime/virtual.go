@@ -1,0 +1,264 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// virtualEpoch is the fixed origin of every virtual timeline: runs are
+// reproducible because Now() depends only on the event history, never
+// on when the process started.
+var virtualEpoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// event is one scheduled callback on the virtual timeline.
+type event struct {
+	at  time.Duration // virtual offset from the epoch
+	seq uint64        // schedule order; breaks ties at equal timestamps
+	fn  func()
+	idx int // position in the heap; -1 once fired or stopped
+}
+
+// eventHeap orders events by (at, seq): earliest first, FIFO within one
+// virtual instant.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// VirtualClock is the deterministic discrete-event implementation of
+// Clock. See the package documentation for the actor contract.
+type VirtualClock struct {
+	mu   sync.Mutex
+	cond *sync.Cond // wakes the scheduler on any state change
+
+	now    time.Duration // virtual offset from virtualEpoch
+	seq    uint64
+	events eventHeap
+
+	actors   int // registered goroutines
+	runnable int // registered goroutines not blocked in a clock wait
+	stopped  bool
+}
+
+// NewVirtual creates a virtual clock at the epoch and starts its
+// scheduler goroutine. Call Stop when done with the clock to release
+// the scheduler.
+func NewVirtual() *VirtualClock {
+	c := &VirtualClock{}
+	c.cond = sync.NewCond(&c.mu)
+	go c.run()
+	return c
+}
+
+// run is the scheduler loop: whenever at least one actor is registered,
+// all actors are blocked, and an event is pending, pop the earliest
+// event, jump the clock to its timestamp, and fire it.
+func (c *VirtualClock) run() {
+	c.mu.Lock()
+	for {
+		for !c.stopped && !(c.actors > 0 && c.runnable == 0 && len(c.events) > 0) {
+			c.cond.Wait()
+		}
+		if c.stopped {
+			c.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&c.events).(*event)
+		if ev.at > c.now {
+			c.now = ev.at
+		}
+		c.mu.Unlock()
+		ev.fn()
+		c.mu.Lock()
+	}
+}
+
+// Stop shuts the scheduler down. Pending events never fire and blocked
+// sleepers are never woken, so stop only once every registered actor
+// has unregistered (tests typically defer Stop alongside Unregister).
+func (c *VirtualClock) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Register adds the calling goroutine to the actor set. Time cannot
+// advance while any registered actor is runnable.
+func (c *VirtualClock) Register() {
+	c.mu.Lock()
+	c.actors++
+	c.runnable++
+	c.mu.Unlock()
+}
+
+// Unregister removes the calling goroutine from the actor set.
+func (c *VirtualClock) Unregister() {
+	c.mu.Lock()
+	c.actors--
+	c.runnable--
+	if c.actors < 0 {
+		c.mu.Unlock()
+		panic("simtime: Unregister without matching Register")
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Drive registers the calling goroutine as a driving actor and returns
+// the release function that unregisters it and stops the clock — the
+// one-liner for scenario harnesses that own the clock:
+//
+//	clk := simtime.NewVirtual()
+//	defer clk.Drive()()
+//
+// The ordering matters (unregister before stop) and is encapsulated
+// here so call sites cannot get it wrong.
+func (c *VirtualClock) Drive() (release func()) {
+	c.Register()
+	return func() {
+		c.Unregister()
+		c.Stop()
+	}
+}
+
+// Go runs fn on a new registered goroutine, unregistering when it
+// returns. The actor is counted before Go returns, so time cannot slip
+// past the spawn.
+func (c *VirtualClock) Go(fn func()) {
+	c.Register()
+	go func() {
+		defer c.Unregister()
+		fn()
+	}()
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return virtualEpoch.Add(c.now)
+}
+
+// Since returns the virtual time elapsed since t.
+func (c *VirtualClock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// scheduleLocked enqueues fn at now+d. Callers must hold mu.
+func (c *VirtualClock) scheduleLocked(d time.Duration, fn func()) *event {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: c.now + d, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, ev)
+	c.cond.Broadcast()
+	return ev
+}
+
+// Sleep blocks the calling actor for d of virtual time. The wake-up is
+// an ordinary event: sleeps expiring at the same instant as other work
+// interleave in FIFO schedule order.
+//
+// The caller must be a registered actor. The panic below is a
+// best-effort guard: it fires only when every registered actor is
+// already blocked, because the clock tracks counts, not goroutine
+// identities — a Sleep from an unregistered goroutine while some actor
+// is still runnable is undetectable here and corrupts quiescence
+// accounting. Keep the registration discipline.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	c.mu.Lock()
+	if c.runnable < 1 {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("simtime: Sleep(%v) on virtual clock from unregistered goroutine", d))
+	}
+	// The wake-up increments runnable before the sleeper can resume, so
+	// the scheduler never advances past a wake it just delivered.
+	c.scheduleLocked(d, func() {
+		c.mu.Lock()
+		c.runnable++
+		c.mu.Unlock()
+		close(ch)
+	})
+	c.runnable--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	<-ch
+}
+
+// After returns a channel receiving the virtual timestamp once d has
+// passed. See the Clock interface note: the receive is untracked.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.AfterFunc(d, func() { ch <- c.Now() })
+	return ch
+}
+
+// AfterFunc schedules fn to run on the scheduler goroutine after d of
+// virtual time.
+func (c *VirtualClock) AfterFunc(d time.Duration, fn func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &virtualTimer{c: c, ev: c.scheduleLocked(d, fn)}
+}
+
+type virtualTimer struct {
+	c  *VirtualClock
+	ev *event
+}
+
+// Stop cancels the pending event, reporting whether it had not yet
+// fired.
+func (t *virtualTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.c.events, t.ev.idx)
+	t.ev.idx = -1
+	return true
+}
+
+// PendingEvents returns the number of scheduled, unfired events —
+// diagnostic surface for tests and scenario reports.
+func (c *VirtualClock) PendingEvents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}

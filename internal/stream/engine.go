@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
 )
 
@@ -31,11 +33,15 @@ func DefaultEngineConfig() EngineConfig {
 }
 
 // Engine deploys circuits onto the overlay runtime and measures the
-// resulting dataflow.
+// resulting dataflow. It inherits the network's clock: on a virtual
+// clock, producers are events on the simulation heap instead of
+// goroutines, and a fixed seed reproduces the measured dataflow bit
+// for bit.
 type Engine struct {
-	net  *overlay.Network
-	topo *topology.Topology
-	cfg  EngineConfig
+	net   *overlay.Network
+	topo  *topology.Topology
+	cfg   EngineConfig
+	clock simtime.Clock
 
 	mu      sync.Mutex
 	running map[query.QueryID]*Running
@@ -53,6 +59,7 @@ func NewEngine(net *overlay.Network, topo *topology.Topology, cfg EngineConfig) 
 		net:     net,
 		topo:    topo,
 		cfg:     cfg,
+		clock:   net.Clock(),
 		running: make(map[query.QueryID]*Running),
 	}
 }
@@ -64,7 +71,8 @@ type Running struct {
 	engine    *Engine
 	ports     []portReg
 	stop      chan struct{}
-	producers sync.WaitGroup
+	producers sync.WaitGroup // goroutine producers (real clock)
+	vprods    []*vProducer   // event producers (virtual clock)
 	started   time.Time
 
 	tuplesOut *metrics.Counter
@@ -85,17 +93,23 @@ type outEdge struct {
 	side int
 }
 
+// ErrReusedServices marks circuits that cannot execute standalone
+// because some of their services run inside another circuit; callers
+// match it with errors.Is to distinguish this expected rejection from
+// genuine deployment failures.
+var ErrReusedServices = errors.New("circuit contains reused services")
+
 // Deploy instantiates the circuit's operators on their hosts, starts
 // producers, and begins measurement. Circuits with reused services cannot
 // be executed standalone (their upstream lives in another circuit) and
-// are rejected.
+// are rejected with ErrReusedServices.
 func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	for _, s := range c.Services {
 		if s.Reused {
-			return nil, fmt.Errorf("stream: circuit q%d contains reused services; deploy the owning circuit instead", c.Query.ID)
+			return nil, fmt.Errorf("stream: circuit q%d: %w; deploy the owning circuit instead", c.Query.ID, ErrReusedServices)
 		}
 	}
 	e.mu.Lock()
@@ -159,11 +173,11 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 				dm := m.Payload.(dataMsg)
 				r.tuplesOut.Inc()
 				r.kbOut.Add(dm.T.SizeKB)
-				r.latencyMs.Observe(e.net.SimMillis(time.Since(dm.T.Created)))
+				r.latencyMs.Observe(e.net.SimMillis(e.clock.Since(dm.T.Created)))
 			})
 			r.ports = append(r.ports, portReg{node: s.Node, port: p})
 		case s.Plan.Kind == query.KindSource:
-			// Producers are goroutines, started below.
+			// Producers are started below.
 		default:
 			op, err := OperatorFor(s.Plan, e.cfg.Keyspace)
 			if err != nil {
@@ -182,8 +196,9 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 		}
 	}
 
-	// Start producers.
-	r.started = time.Now()
+	// Start producers: goroutines paced by a wall-clock ticker on the
+	// real clock, recurring events on the virtual clock.
+	r.started = e.clock.Now()
 	for i, s := range c.Services {
 		if s.Plan == nil || s.Plan.Kind != query.KindSource {
 			continue
@@ -192,6 +207,10 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 		emit := emitFor(i)
 		stream := s.Plan.Stream
 		seed := e.cfg.Seed + int64(stream)*7919 + int64(c.Query.ID)*104729
+		if e.net.Virtual() {
+			r.vprods = append(r.vprods, e.startVirtualProducer(r, stream, rate, seed, emit))
+			continue
+		}
 		r.producers.Add(1)
 		go e.produce(r, stream, rate, seed, emit)
 	}
@@ -200,20 +219,26 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 	return r, nil
 }
 
-// produce generates tuples at the stream's simulated rate until stopped.
-// Emission is paced by elapsed wall time rather than one-per-tick: Go
-// tickers coalesce missed ticks, which would silently under-produce at
-// sub-millisecond intervals.
-func (e *Engine) produce(r *Running, stream query.StreamID, rateKBs float64, seed int64, emit Emit) {
-	defer r.producers.Done()
-	rng := rand.New(rand.NewSource(seed))
-	// One tuple every TupleSizeKB/rate simulated seconds; a simulated
-	// second is 1000·TimeScale of wall time.
+// produceInterval returns the clock duration between tuples for a
+// simulated rate: one tuple every TupleSizeKB/rate simulated seconds,
+// scaled by the runtime's time scale.
+func (e *Engine) produceInterval(rateKBs float64) time.Duration {
 	simSec := e.cfg.TupleSizeKB / rateKBs
 	interval := time.Duration(simSec * 1000 * float64(e.net.Config().TimeScale))
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
+	return interval
+}
+
+// produce generates tuples at the stream's simulated rate until stopped
+// (real clock). Emission is paced by elapsed wall time rather than
+// one-per-tick: Go tickers coalesce missed ticks, which would silently
+// under-produce at sub-millisecond intervals.
+func (e *Engine) produce(r *Running, stream query.StreamID, rateKBs float64, seed int64, emit Emit) {
+	defer r.producers.Done()
+	rng := rand.New(rand.NewSource(seed))
+	interval := e.produceInterval(rateKBs)
 	tick := interval
 	if tick < time.Millisecond {
 		tick = time.Millisecond
@@ -245,6 +270,61 @@ func (e *Engine) produce(r *Running, stream query.StreamID, rateKBs float64, see
 	}
 }
 
+// vProducer is a virtual-clock producer: a self-rescheduling event on
+// the simulation heap. The mutex covers the stop/reschedule handshake;
+// under the registered-actor discipline the scheduler is parked while
+// the driver tears down, so contention is nil.
+type vProducer struct {
+	mu      sync.Mutex
+	timer   simtime.Timer
+	stopped bool
+}
+
+func (p *vProducer) halt() {
+	p.mu.Lock()
+	p.stopped = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.mu.Unlock()
+}
+
+// startVirtualProducer schedules tuple emission as recurring clock
+// events: exactly one tuple per interval, no catch-up needed because
+// virtual time never stalls. Emission order across producers at one
+// instant follows deploy order (FIFO event tie-breaking), which is what
+// makes same-seed runs bit-identical.
+func (e *Engine) startVirtualProducer(r *Running, stream query.StreamID, rateKBs float64, seed int64, emit Emit) *vProducer {
+	rng := rand.New(rand.NewSource(seed))
+	interval := e.produceInterval(rateKBs)
+	p := &vProducer{}
+	var step func()
+	step = func() {
+		p.mu.Lock()
+		if p.stopped {
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+		emit(Tuple{
+			Stream:  stream,
+			Key:     rng.Int63n(e.cfg.Keyspace),
+			Value:   rng.NormFloat64(),
+			SizeKB:  e.cfg.TupleSizeKB,
+			Created: e.clock.Now(),
+		})
+		p.mu.Lock()
+		if !p.stopped {
+			p.timer = e.clock.AfterFunc(interval, step)
+		}
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.timer = e.clock.AfterFunc(interval, step)
+	p.mu.Unlock()
+	return p
+}
+
 // Stop cancels a running circuit: producers halt and handlers are
 // removed.
 func (e *Engine) Stop(id query.QueryID) error {
@@ -264,6 +344,9 @@ func (e *Engine) teardownLocked(r *Running) {
 	case <-r.stop:
 	default:
 		close(r.stop)
+	}
+	for _, p := range r.vprods {
+		p.halt()
 	}
 	r.producers.Wait()
 	for _, pr := range r.ports {
@@ -300,9 +383,10 @@ type Measurement struct {
 	NetworkUsage float64
 }
 
-// Measure snapshots the circuit's counters since deployment.
+// Measure snapshots the circuit's counters since deployment. Wall is
+// elapsed clock time — virtual elapsed under a virtual clock.
 func (r *Running) Measure() Measurement {
-	wall := time.Since(r.started)
+	wall := r.engine.clock.Since(r.started)
 	simMs := r.engine.net.SimMillis(wall)
 	simSec := simMs / 1000
 	m := Measurement{

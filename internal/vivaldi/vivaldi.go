@@ -215,6 +215,18 @@ func Embed(n int, lat LatencyFunc, cfg Config, rounds, samplesPerRound int, rng 
 	if rounds < 1 || samplesPerRound < 1 {
 		return nil, fmt.Errorf("vivaldi: rounds and samplesPerRound must be >= 1")
 	}
+	nodes, err := newNodes(n, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rounds; r++ {
+		runRound(nodes, lat, samplesPerRound, rng)
+	}
+	return snapshot(nodes), nil
+}
+
+// newNodes builds n Vivaldi nodes sharing one rng.
+func newNodes(n int, cfg Config, rng *rand.Rand) ([]*Node, error) {
 	nodes := make([]*Node, n)
 	for i := range nodes {
 		nd, err := NewNode(cfg, rng)
@@ -223,26 +235,35 @@ func Embed(n int, lat LatencyFunc, cfg Config, rounds, samplesPerRound int, rng 
 		}
 		nodes[i] = nd
 	}
-	for r := 0; r < rounds; r++ {
-		for i := 0; i < n; i++ {
-			for s := 0; s < samplesPerRound; s++ {
-				j := rng.Intn(n - 1)
-				if j >= i {
-					j++
-				}
-				nodes[i].Update(nodes[j].coord, nodes[j].err, lat(i, j))
+	return nodes, nil
+}
+
+// runRound performs one gossip round: every node samples
+// samplesPerRound random peers and folds in the observed RTTs.
+func runRound(nodes []*Node, lat LatencyFunc, samplesPerRound int, rng *rand.Rand) {
+	n := len(nodes)
+	for i := 0; i < n; i++ {
+		for s := 0; s < samplesPerRound; s++ {
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
 			}
+			nodes[i].Update(nodes[j].coord, nodes[j].err, lat(i, j))
 		}
 	}
+}
+
+// snapshot copies the nodes' current coordinates and errors.
+func snapshot(nodes []*Node) *Embedding {
 	emb := &Embedding{
-		Coords: make([]Coord, n),
-		Errors: make([]float64, n),
+		Coords: make([]Coord, len(nodes)),
+		Errors: make([]float64, len(nodes)),
 	}
 	for i, nd := range nodes {
 		emb.Coords[i] = nd.Coord()
 		emb.Errors[i] = nd.Error()
 	}
-	return emb, nil
+	return emb
 }
 
 // EmbedMatrix is Embed with latencies supplied as a dense matrix.

@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
 )
 
@@ -287,5 +289,74 @@ func BenchmarkEmbed200Nodes(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestTickerMatchesEmbedRoundForRound(t *testing.T) {
+	const n, rounds, samples = 24, 10, 4
+	m := make([][]float64, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l := 5 + 95*rng.Float64()
+			m[i][j], m[j][i] = l, l
+		}
+	}
+	lat := func(i, j int) float64 { return m[i][j] }
+
+	want, err := Embed(n, lat, DefaultConfig(), rounds, samples, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clk := simtime.NewVirtual()
+	defer clk.Stop()
+	clk.Register()
+	defer clk.Unregister()
+	tk, err := NewTicker(n, lat, DefaultConfig(), samples, time.Second, clk, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Start()
+	clk.Sleep(time.Duration(rounds)*time.Second + 500*time.Millisecond)
+	tk.Stop()
+	if got := tk.Rounds(); got != rounds {
+		t.Fatalf("ticker ran %d rounds in %ds of virtual time, want %d", got, rounds, rounds)
+	}
+	got := tk.Embedding()
+	for i := range want.Coords {
+		for k := range want.Coords[i] {
+			if got.Coords[i][k] != want.Coords[i][k] {
+				t.Fatalf("node %d dim %d: ticker %v != embed %v", i, k, got.Coords[i][k], want.Coords[i][k])
+			}
+		}
+		if got.Errors[i] != want.Errors[i] {
+			t.Fatalf("node %d error: ticker %v != embed %v", i, got.Errors[i], want.Errors[i])
+		}
+	}
+	// No further rounds after Stop.
+	clk.Sleep(5 * time.Second)
+	if got := tk.Rounds(); got != rounds {
+		t.Fatalf("ticker kept running after Stop: %d rounds", got)
+	}
+}
+
+func TestTickerValidation(t *testing.T) {
+	lat := func(i, j int) float64 { return 1 }
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewTicker(1, lat, DefaultConfig(), 4, time.Second, nil, rng); err == nil {
+		t.Fatal("1-node ticker accepted")
+	}
+	if _, err := NewTicker(4, lat, DefaultConfig(), 0, time.Second, nil, rng); err == nil {
+		t.Fatal("0 samples accepted")
+	}
+	if _, err := NewTicker(4, lat, DefaultConfig(), 4, 0, nil, rng); err == nil {
+		t.Fatal("0 interval accepted")
+	}
+	if _, err := NewTicker(4, lat, Config{}, 4, time.Second, nil, rng); err == nil {
+		t.Fatal("invalid config accepted")
 	}
 }

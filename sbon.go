@@ -9,8 +9,11 @@
 // catalog, plan enumeration, spring-relaxation virtual placement with
 // DHT physical mapping, the integrated and two-step optimizers,
 // radius-pruned multi-query optimization, a re-optimization/migration
-// controller, and a goroutine-per-node stream engine that executes
-// circuits with real tuples.
+// controller, and a stream engine that executes circuits with real
+// tuples — on a goroutine-per-node wall-clock runtime, or (with
+// Options.VirtualTime) on a deterministic discrete-event clock where
+// measurement windows complete instantly and same-seed runs reproduce
+// bit-identically (internal/simtime).
 //
 // Physical mapping — projecting ideal virtual coordinates onto nearest
 // physical nodes in full cost-space distance, the per-query hot path —
@@ -39,6 +42,7 @@ import (
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
 )
@@ -82,8 +86,13 @@ type Options struct {
 	// with a centralized oracle instead (faster, less faithful).
 	DisableDHT bool
 	// TimeScale is the engine's wall time per simulated millisecond
-	// (default 50µs). Only used once StartEngine is called.
+	// (default 50µs; under VirtualTime, one virtual millisecond). Only
+	// used once StartEngine is called.
 	TimeScale time.Duration
+	// VirtualTime runs the engine on the deterministic discrete-event
+	// clock (internal/simtime): RunFor windows complete instantly, and
+	// same-seed runs deliver bit-identical measurements.
+	VirtualTime bool
 }
 
 // System is a fully assembled SBON.
@@ -97,6 +106,7 @@ type System struct {
 	opts      Options
 	net       *overlay.Network
 	engine    *stream.Engine
+	vclk      *simtime.VirtualClock
 	planCache *optimizer.PlanCache
 }
 
@@ -260,8 +270,10 @@ func (s *System) Rewrite() (optimizer.RewriteStats, error) {
 	return optimizer.NewReoptimizer(s.Deployment).RewriteStep()
 }
 
-// StartEngine launches the goroutine-per-node overlay runtime and the
-// stream engine so circuits can be executed with real tuples.
+// StartEngine launches the overlay runtime and the stream engine so
+// circuits can be executed with real tuples: goroutine-per-node in wall
+// time by default, or the deterministic discrete-event runtime when
+// Options.VirtualTime is set.
 func (s *System) StartEngine() error {
 	if s.engine != nil {
 		return fmt.Errorf("sbon: engine already started")
@@ -269,6 +281,13 @@ func (s *System) StartEngine() error {
 	cfg := overlay.DefaultConfig()
 	if s.opts.TimeScale > 0 {
 		cfg.TimeScale = s.opts.TimeScale
+	}
+	if s.opts.VirtualTime {
+		s.vclk = simtime.NewVirtual()
+		cfg.Clock = s.vclk
+		if s.opts.TimeScale <= 0 {
+			cfg.TimeScale = time.Millisecond
+		}
 	}
 	s.net = overlay.NewNetwork(s.Topo, cfg)
 	s.net.Start()
@@ -297,6 +316,24 @@ func (s *System) StopRun(id QueryID) error {
 	return s.engine.Stop(id)
 }
 
+// RunFor advances the data plane by simSeconds simulated seconds: a
+// scaled wall-clock sleep on the real engine, an instant deterministic
+// jump of the event scheduler under VirtualTime.
+func (s *System) RunFor(simSeconds float64) error {
+	if s.net == nil {
+		return fmt.Errorf("sbon: engine not started; call StartEngine first")
+	}
+	d := time.Duration(simSeconds * 1000 * float64(s.net.Config().TimeScale))
+	if s.vclk != nil {
+		s.vclk.Register()
+		defer s.vclk.Unregister()
+		s.vclk.Sleep(d)
+		return nil
+	}
+	time.Sleep(d)
+	return nil
+}
+
 // Close shuts down the engine and overlay runtime if they were started.
 func (s *System) Close() {
 	if s.engine != nil {
@@ -306,5 +343,9 @@ func (s *System) Close() {
 	if s.net != nil {
 		s.net.Stop()
 		s.net = nil
+	}
+	if s.vclk != nil {
+		s.vclk.Stop()
+		s.vclk = nil
 	}
 }

@@ -381,3 +381,55 @@ func TestFacadeRewrite(t *testing.T) {
 		t.Fatalf("rewrite increased usage %v -> %v", before, after)
 	}
 }
+
+func TestEngineVirtualTimeEndToEnd(t *testing.T) {
+	opts := smallOpts(9)
+	opts.VirtualTime = true
+	measure := func() Measurement {
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		if err := sys.AddStream(0, sys.StubNodes()[2], 50); err != nil {
+			t.Fatal(err)
+		}
+		q := Query{ID: 1, Consumer: sys.StubNodes()[15], Streams: []StreamID{0}}
+		res, err := sys.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RunFor(1); err == nil {
+			t.Fatal("RunFor before StartEngine accepted")
+		}
+		if err := sys.StartEngine(); err != nil {
+			t.Fatal(err)
+		}
+		run, err := sys.Run(res.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 30 simulated seconds, instant under virtual time.
+		start := time.Now()
+		if err := sys.RunFor(30); err != nil {
+			t.Fatal(err)
+		}
+		if wall := time.Since(start); wall > 2*time.Second {
+			t.Fatalf("virtual RunFor(30) took %v of wall time", wall)
+		}
+		m := run.Measure()
+		if m.TuplesOut == 0 {
+			t.Fatal("no tuples delivered under virtual time")
+		}
+		if m.SimSeconds < 29.999 || m.SimSeconds > 30.001 {
+			t.Fatalf("SimSeconds = %v, want 30", m.SimSeconds)
+		}
+		if err := sys.StopRun(q.ID); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := measure(), measure(); a != b {
+		t.Fatalf("same-seed virtual facade runs diverged:\n%+v\n%+v", a, b)
+	}
+}
