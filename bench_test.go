@@ -197,6 +197,48 @@ func BenchmarkX11_ThousandNodeVirtual(b *testing.B) {
 	b.ReportMetric(colMean(b, last, 7), "usage-ratio")
 }
 
+// BenchmarkX12_NodeChurnLiveMigration drains and kills 5% of a 592-node
+// overlay mid-execution through the live migration protocol, then
+// re-joins them; reported metrics are the data-plane settle times of
+// the two phases (simulated ms) and the tuple-loss count (must be 0).
+func BenchmarkX12_NodeChurnLiveMigration(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.X12(exp.DefaultX12Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(colMean(b, last, 5), "settle-sim-ms")
+	b.ReportMetric(colMean(b, last, 6), "tuple-loss")
+}
+
+// BenchmarkX13_PeriodicAdaptation1024 runs the 1024-node drifting-load
+// scenario: 4 adaptation sweeps of live migrations under traffic. The
+// reported metric is the total network-usage reduction fraction across
+// the sweeps (positive = the trajectory decreased).
+func BenchmarkX13_PeriodicAdaptation1024(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.X13(exp.DefaultX13Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	first, err := strconv.ParseFloat(last.Rows[0][3], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	final, err := strconv.ParseFloat(last.Rows[len(last.Rows)-1][4], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric((first-final)/first, "usage-reduction")
+	b.ReportMetric(colMean(b, last, 2), "migrations/sweep")
+}
+
 // Facade-level benchmarks: optimization cost on the paper-scale overlay.
 
 func paperScaleSystem(b *testing.B) *sbon.System {

@@ -22,6 +22,14 @@
 // overlays and long windows complete in (reproducible) milliseconds:
 //
 //	sbon-sim -queries 100 -execute -virtual-time -sim-seconds 30
+//
+// With -adapt N the deployment additionally runs N live adaptation
+// sweeps under drifting background load: each sweep plans service
+// migrations over the cost space and, combined with -execute, walks
+// them through the engine's buffered zero-loss handoff while the
+// circuits keep processing tuples:
+//
+//	sbon-sim -queries 40 -execute -virtual-time -adapt 4 -adapt-budget 16
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hourglass/sbon/internal/adapt"
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
@@ -65,6 +74,10 @@ func main() {
 		virtualTime = flag.Bool("virtual-time", false, "run the engine on the deterministic virtual clock (instant, reproducible)")
 		simSeconds  = flag.Float64("sim-seconds", 10, "simulated measurement window for -execute")
 		heartbeatMs = flag.Float64("heartbeat-ms", 500, "per-node heartbeat period in simulated ms for -execute (0 = off)")
+
+		adaptSweeps = flag.Int("adapt", 0, "run this many live adaptation sweeps (with -execute: circuits migrate under traffic)")
+		adaptBudget = flag.Int("adapt-budget", 16, "max migrations per adaptation sweep")
+		adaptDrift  = flag.Float64("adapt-drift", 0.1, "fraction of nodes whose background load drifts before each sweep")
 	)
 	flag.Parse()
 
@@ -148,6 +161,12 @@ func main() {
 		dep.NumDeployed(), dep.TotalUsage(truth), dep.TotalLoadPenalty())
 	fmt.Printf("plans considered %d, services reused %d, registry instances examined %d, registered services %d\n",
 		totalPlans, totalReuse, totalExamined, reg.Len())
+
+	if *adaptSweeps > 0 {
+		runAdaptation(topo, env, dep, circuits, truth,
+			*adaptSweeps, *adaptBudget, *adaptDrift, *execute, *virtualTime, *simSeconds, *seed)
+		return
+	}
 
 	if *execute {
 		runDataPlane(topo, circuits, truth, *virtualTime, *simSeconds, *heartbeatMs, *seed)
@@ -249,6 +268,75 @@ func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth 
 		analyticRate, measuredRate, measuredRate/analyticRate)
 	fmt.Printf("aggregate usage: analytic %9.1f KB·ms/s measured %9.1f KB·ms/s (ratio %.3f)\n",
 		analyticUsage, measuredUsage, measuredUsage/analyticUsage)
+}
+
+// runAdaptation runs sweep→migrate→settle rounds over the deployed
+// circuits with drifting background load. With execute the circuits run
+// on the stream engine and every migration is a live buffered handoff;
+// without it the moves commit on the control plane only.
+func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.Deployment,
+	circuits []*optimizer.Circuit, truth optimizer.TrueLatency,
+	sweeps, budget int, drift float64, execute, virtual bool, simSeconds float64, seed int64) {
+
+	var engine *stream.Engine
+	var net *overlay.Network
+	var clk simtime.Clock = simtime.Real()
+	var runs []*stream.Running
+	if execute {
+		netCfg := overlay.Config{TimeScale: 50 * time.Microsecond, InboxSize: 8192}
+		if virtual {
+			vclk := simtime.NewVirtual()
+			defer vclk.Drive()()
+			clk = vclk
+			netCfg = overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: vclk}
+		}
+		net = overlay.NewNetwork(topo, netCfg)
+		net.Start()
+		defer net.Stop()
+		ecfg := stream.DefaultEngineConfig()
+		ecfg.Seed = seed
+		engine = stream.NewEngine(net, topo, ecfg)
+		defer engine.Close()
+		for _, c := range circuits {
+			run, err := engine.Deploy(c)
+			if errors.Is(err, stream.ErrReusedServices) {
+				continue
+			}
+			if err != nil {
+				fail(err)
+			}
+			runs = append(runs, run)
+		}
+		clk.Sleep(time.Duration(simSeconds * 1000 * float64(netCfg.TimeScale)))
+	}
+
+	co := &adapt.Coordinator{Dep: dep, Engine: engine, Clock: clk, Budget: budget}
+	driftRng := rand.New(rand.NewSource(seed * 11))
+	churn := workload.Churn{LoadFraction: drift, LoadMax: 0.9}
+	mode := "control-plane only"
+	if engine != nil {
+		mode = fmt.Sprintf("%d circuits executing", len(runs))
+	}
+	fmt.Printf("\nadaptation: %d sweeps, budget %d, drift %.0f%% (%s)\n",
+		sweeps, budget, drift*100, mode)
+	for i := 1; i <= sweeps; i++ {
+		workload.ApplyChurn(topo, env, churn, driftRng)
+		st, err := co.Sweep(nil)
+		if err != nil {
+			fail(err)
+		}
+		settle := st.SettleDuration
+		if net != nil {
+			settle = time.Duration(net.SimMillis(st.SettleDuration)) * time.Millisecond
+		}
+		fmt.Printf("sweep %2d: planned=%2d migrated=%2d data-plane=%2d buffered=%3d forwarded=%2d settle=%8v usage=%11.1f\n",
+			i, st.Planned, st.Migrated, st.DataPlane, st.Buffered, st.Forwarded,
+			settle, dep.TotalUsage(truth))
+	}
+	if net != nil {
+		fmt.Printf("loss counters: unrouted=%.0f data-to-dead=%.0f (must be 0)\n",
+			net.Metrics.Counter("msgs.unrouted").Value(), net.Metrics.Counter("msgs.down_dropped").Value())
+	}
 }
 
 // runBatchScenario tiles the distinct query shapes out to n queries and

@@ -1,0 +1,285 @@
+// Package adapt is the SBON's runtime adaptation layer: the bridge
+// between the control plane (optimizer.Reoptimizer planning service
+// moves over the cost space, optimizer.Deployment accounting load) and
+// the data plane (stream.Engine executing circuits and migrating
+// operators under live traffic).
+//
+// One Coordinator.Sweep is the paper's continuous-optimization unit made
+// operational:
+//
+//	sweep   — Reoptimizer.Plan produces a typed MigrationPlan without
+//	          touching anything; the coordinator selects the
+//	          highest-gain moves within its migration budget.
+//	migrate — each selected move opens a two-phase Deployment ticket
+//	          (load charged on both hosts — the cost space repels
+//	          further placements from nodes absorbing a handoff) and
+//	          starts the engine's buffered handoff for circuits that
+//	          are executing.
+//	settle  — the coordinator sleeps the clock past every migration's
+//	          scheduled completion (a tracked, cancellable
+//	          SleepOrDone), then commits the tickets, returning load
+//	          accounting to its single-host fixed point.
+//
+// Under simtime.VirtualClock the whole loop is deterministic: same seed,
+// same plan, same handoff timings, same settled state.
+package adapt
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/simtime"
+	"github.com/hourglass/sbon/internal/stream"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// Coordinator drives sweep→migrate→settle loops over a deployment and
+// (optionally) the engine executing its circuits.
+type Coordinator struct {
+	Dep *optimizer.Deployment
+	// Engine executes the deployment's circuits; nil means control-plane
+	// only (moves commit instantly, nothing buffers or drains).
+	Engine *stream.Engine
+	// Clock paces settle waits (default: real clock; pass the engine's
+	// virtual clock for deterministic runs).
+	Clock simtime.Clock
+
+	// Threshold is the re-optimizer's hysteresis (default 0.05).
+	Threshold float64
+	// Budget caps migrations per sweep, highest predicted gain first
+	// (0 = unbounded). Bounding the per-sweep budget is what spreads a
+	// large adaptation over several sweeps instead of thrashing the
+	// overlay in one.
+	Budget int
+	// Exclude bars nodes from being chosen as migration targets
+	// (departed or draining hosts).
+	Exclude map[topology.NodeID]bool
+	// SettleMargin is extra clock time slept past the last migration's
+	// scheduled end (default one simulated second worth of clock time
+	// is NOT assumed — default 0; callers add margin when their model
+	// needs it).
+	SettleMargin time.Duration
+
+	// Placer, Mapper, Model override the re-optimizer's components
+	// (defaults as in optimizer.Reoptimizer).
+	Placer placement.VirtualPlacer
+	Mapper placement.Mapper
+	Model  optimizer.LatencyModel
+}
+
+// SweepStats reports one adaptation round.
+type SweepStats struct {
+	ServicesEvaluated int
+	// Planned is the number of moves the sweep selected (post-budget);
+	// Migrated of those reached Commit. DataPlane counts moves that ran
+	// the engine's live handoff (the rest were control-plane only).
+	Planned   int
+	Migrated  int
+	DataPlane int
+	Aborted   int
+	// Unmovable counts pinned services stuck on victim nodes
+	// (evacuations only).
+	Unmovable int
+	// PredictedGain sums the model-estimated serviceCost improvement of
+	// committed moves; UsageGain sums their incident network-usage part.
+	PredictedGain float64
+	UsageGain     float64
+	// Buffered and Forwarded aggregate the data-plane handoff counters.
+	Buffered  int
+	Forwarded int
+	// SettleDuration is clock time from the first migration start until
+	// every handoff completed and committed.
+	SettleDuration time.Duration
+	// Cancelled reports that the settle wait was cut short by the
+	// cancel channel; tickets are still committed so the control plane
+	// matches the handoffs already in flight.
+	Cancelled bool
+}
+
+// settleGrace bounds the extra per-migration wait granted to straggling
+// teardown timers under the real clock.
+const settleGrace = 100 * time.Millisecond
+
+// reopt assembles the configured re-optimizer.
+func (co *Coordinator) reopt() *optimizer.Reoptimizer {
+	ro := optimizer.NewReoptimizer(co.Dep)
+	ro.Placer = co.Placer
+	ro.Mapper = co.Mapper
+	ro.Model = co.Model
+	ro.ImprovementThreshold = co.Threshold
+	ro.Exclude = co.Exclude
+	return ro
+}
+
+func (co *Coordinator) clock() simtime.Clock {
+	if co.Clock != nil {
+		return co.Clock
+	}
+	return simtime.Real()
+}
+
+// Sweep runs one sweep→migrate→settle round and returns its statistics.
+// cancel (optional) aborts the settle wait early.
+func (co *Coordinator) Sweep(cancel <-chan struct{}) (SweepStats, error) {
+	plan, err := co.reopt().Plan()
+	if err != nil {
+		return SweepStats{}, err
+	}
+	return co.execute(plan, cancel, co.Budget)
+}
+
+// Evacuate force-migrates every unpinned service off the victim nodes —
+// the graceful-drain step that precedes killing them — and settles. The
+// victims are excluded as targets for this and any later sweep only if
+// the caller also adds them to Exclude.
+func (co *Coordinator) Evacuate(victims []topology.NodeID, cancel <-chan struct{}) (SweepStats, error) {
+	vs := make(map[topology.NodeID]bool, len(victims))
+	for _, n := range victims {
+		vs[n] = true
+	}
+	plan, err := co.reopt().PlanEvacuation(vs)
+	if err != nil {
+		return SweepStats{}, err
+	}
+	// Never budget an evacuation: a truncated drain would leave services
+	// on a node the caller is about to kill.
+	return co.execute(plan, cancel, 0)
+}
+
+// Plan runs the configured re-optimizer's sweep and returns the typed
+// migration plan without executing it — the hook for callers with their
+// own selection policy (e.g. usage-gain-filtered adaptation), who then
+// hand the edited plan to Execute.
+func (co *Coordinator) Plan() (optimizer.MigrationPlan, error) {
+	return co.reopt().Plan()
+}
+
+// Execute walks an externally selected migration plan through the
+// two-phase protocol, bypassing the Coordinator's own budget selection.
+func (co *Coordinator) Execute(plan optimizer.MigrationPlan, cancel <-chan struct{}) (SweepStats, error) {
+	return co.execute(plan, cancel, 0)
+}
+
+// execute walks a migration plan through the two-phase protocol: Begin
+// every ticket (double-charging in-flight load), start the data-plane
+// handoffs, settle, Commit. budget caps the moves taken (0 = all).
+func (co *Coordinator) execute(plan optimizer.MigrationPlan, cancel <-chan struct{}, budget int) (SweepStats, error) {
+	stats := SweepStats{
+		ServicesEvaluated: plan.ServicesEvaluated,
+		Unmovable:         plan.Unmovable,
+	}
+	moves := plan.Moves
+	if budget > 0 && len(moves) > budget {
+		moves = append([]optimizer.Migration(nil), moves...)
+		sort.SliceStable(moves, func(i, j int) bool {
+			return moves[i].PredictedGain > moves[j].PredictedGain
+		})
+		moves = moves[:budget]
+	}
+	stats.Planned = len(moves)
+	if len(moves) == 0 {
+		return stats, nil
+	}
+
+	clk := co.clock()
+	start := clk.Now()
+	type inflight struct {
+		ticket *optimizer.MigrationTicket
+		mig    *stream.Migration
+		gain   float64
+		usage  float64
+	}
+	var flights []inflight
+	var settleUntil time.Time
+	for _, m := range moves {
+		ticket, err := co.Dep.BeginMigration(m)
+		if err != nil {
+			// The plan was computed against current state; Begin can
+			// only fail if the deployment changed underneath us.
+			stats.Aborted++
+			continue
+		}
+		fl := inflight{ticket: ticket, gain: m.PredictedGain, usage: m.UsageGain}
+		if co.Engine != nil {
+			mig, err := co.Engine.Migrate(m.Query, m.Service, m.To)
+			switch {
+			case err == nil:
+				fl.mig = mig
+				if mig.ScheduledEnd.After(settleUntil) {
+					settleUntil = mig.ScheduledEnd
+				}
+			case errors.Is(err, stream.ErrNotRunning):
+				// Control-plane-only circuit: nothing to hand off.
+			default:
+				_ = ticket.Abort()
+				stats.Aborted++
+				continue
+			}
+		}
+		flights = append(flights, fl)
+	}
+
+	// Settle: sleep the clock strictly past the last scheduled handoff
+	// end — the extra nanosecond matters: the virtual clock breaks
+	// equal-timestamp ties FIFO, and the settle wake (scheduled now) has
+	// a lower sequence number than teardown timers scheduled at cutover,
+	// so a wake at exactly ScheduledEnd would fire before them. The wait
+	// is tracked (SleepOrDone), so virtual-time quiescence holds, and
+	// cancellable for shutdown paths.
+	if !settleUntil.IsZero() {
+		wait := settleUntil.Sub(clk.Now()) + co.SettleMargin + time.Nanosecond
+		if wait > 0 {
+			stats.Cancelled = clk.SleepOrDone(wait, cancel)
+		}
+	}
+
+	// Under the real clock, teardown timers can lag the settle sleep;
+	// grant each still-pending handoff a bounded grace wait so the
+	// migration records (Buffered/Forwarded/Aborted) are final before
+	// they are read. Under the virtual clock the channels are already
+	// closed and these return instantly.
+	if !stats.Cancelled {
+		for _, fl := range flights {
+			if fl.mig != nil {
+				// Fast-path returns immediately when Done is closed.
+				clk.SleepOrDone(settleGrace, fl.mig.Done())
+			}
+		}
+	}
+
+	for _, fl := range flights {
+		if fl.mig != nil {
+			// Counters are written by the handoff's timer callbacks and
+			// published by closing Done; read them only after observing
+			// the close (the happens-before edge). A handoff still
+			// pending here — cancelled settle, or a real-clock teardown
+			// outlasting the grace — completes on its own: commit the
+			// ticket so the control plane matches where the data plane
+			// is headed, without touching its in-flight counters.
+			select {
+			case <-fl.mig.Done():
+				stats.Buffered += fl.mig.Buffered
+				stats.Forwarded += fl.mig.Forwarded
+				if fl.mig.Aborted {
+					_ = fl.ticket.Abort()
+					stats.Aborted++
+					continue
+				}
+			default:
+			}
+			stats.DataPlane++
+		}
+		if err := fl.ticket.Commit(); err != nil {
+			stats.Aborted++
+			continue
+		}
+		stats.Migrated++
+		stats.PredictedGain += fl.gain
+		stats.UsageGain += fl.usage
+	}
+	stats.SettleDuration = clk.Since(start)
+	return stats, nil
+}

@@ -416,8 +416,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("bogus"); ok {
 		t.Fatal("bogus found")
 	}
-	if len(All()) != 15 {
-		t.Fatalf("All() = %d experiments, want 15", len(All()))
+	if len(All()) != 17 {
+		t.Fatalf("All() = %d experiments, want 17", len(All()))
 	}
 }
 
@@ -459,4 +459,136 @@ func TestX9SmallShape(t *testing.T) {
 
 func readFile(path string) ([]byte, error) {
 	return os.ReadFile(path)
+}
+
+// smallX12 is the CI-scale churn configuration.
+func smallX12() X12Params {
+	p := DefaultX12Params()
+	p.StubNodes = 5 // 256 nodes
+	p.Queries = 12
+	p.WarmupSimSeconds = 2
+	return p
+}
+
+func TestX12SmallShape(t *testing.T) {
+	tb, err := X12(smallX12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (drain+kill, rejoin+sweep)", len(tb.Rows))
+	}
+	for i, phase := range []string{"drain+kill", "rejoin+sweep"} {
+		if tb.Rows[i][0] != phase {
+			t.Fatalf("row %d phase = %q, want %q", i, tb.Rows[i][0], phase)
+		}
+		if loss := cell(t, tb, i, 6); loss != 0 {
+			t.Fatalf("%s: tuple loss %v, want 0", phase, loss)
+		}
+	}
+	// Killing nodes must actually migrate something and take measurable
+	// settle time.
+	if m := cell(t, tb, 0, 2); m <= 0 {
+		t.Fatal("drain phase migrated nothing")
+	}
+	if s := cell(t, tb, 0, 5); s <= 0 {
+		t.Fatal("drain phase reported no settle time")
+	}
+}
+
+func TestX12Deterministic(t *testing.T) {
+	run := func() [][]string {
+		tb, err := X12(smallX12())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Rows
+	}
+	a, b := run(), run()
+	for r := range a {
+		for c := range a[r] {
+			if a[r][c] != b[r][c] {
+				t.Fatalf("same-seed X12 diverged at (%d,%d): %q vs %q", r, c, a[r][c], b[r][c])
+			}
+		}
+	}
+}
+
+// smallX13 is the CI-scale adaptation configuration.
+func smallX13() X13Params {
+	p := DefaultX13Params()
+	p.StubNodes = 5 // 256 nodes
+	p.Queries = 30
+	p.Budget = 6
+	p.IntervalSimSeconds = 1
+	p.WarmupSimSeconds = 2
+	return p
+}
+
+func TestX13SmallShape(t *testing.T) {
+	tb, err := X13(smallX13())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 sweeps", len(tb.Rows))
+	}
+	migrated := 0.0
+	for i := range tb.Rows {
+		migrated += cell(t, tb, i, 2)
+		if before, after := cell(t, tb, i, 3), cell(t, tb, i, 4); after > before {
+			t.Fatalf("sweep %d increased usage: %v → %v", i+1, before, after)
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("no migrations across any sweep")
+	}
+}
+
+// TestX13FullScaleTrajectory runs the acceptance-criterion configuration
+// (1024 nodes) and requires a strictly decreasing usage trajectory over
+// at least 3 sweeps with zero loss. The whole run is sub-second under
+// virtual time, so it is feasible as a test.
+func TestX13FullScaleTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node scenario skipped in -short")
+	}
+	tb, err := X13(DefaultX13Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 3 {
+		t.Fatalf("only %d sweeps", len(tb.Rows))
+	}
+	decreases := 0
+	for i := range tb.Rows {
+		before, after := cell(t, tb, i, 3), cell(t, tb, i, 4)
+		if after < before {
+			decreases++
+		}
+		if after > before {
+			t.Fatalf("sweep %d increased total usage: %v → %v", i+1, before, after)
+		}
+	}
+	if decreases < 3 {
+		t.Fatalf("usage strictly decreased in only %d sweeps, want >= 3", decreases)
+	}
+}
+
+func TestX13Deterministic(t *testing.T) {
+	run := func() [][]string {
+		tb, err := X13(smallX13())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Rows
+	}
+	a, b := run(), run()
+	for r := range a {
+		for c := range a[r] {
+			if a[r][c] != b[r][c] {
+				t.Fatalf("same-seed X13 diverged at (%d,%d): %q vs %q", r, c, a[r][c], b[r][c])
+			}
+		}
+	}
 }

@@ -53,6 +53,26 @@ func All() []Experiment {
 			}
 			return X11(p)
 		}},
+		{"x12", func(s Scale) (*Table, error) {
+			p := DefaultX12Params()
+			if s == Small {
+				p.StubNodes = 5 // 256 nodes
+				p.Queries = 12
+				p.WarmupSimSeconds = 2
+			}
+			return X12(p)
+		}},
+		{"x13", func(s Scale) (*Table, error) {
+			p := DefaultX13Params()
+			if s == Small {
+				p.StubNodes = 5 // 256 nodes
+				p.Queries = 30
+				p.Budget = 6
+				p.IntervalSimSeconds = 1
+				p.WarmupSimSeconds = 2
+			}
+			return X13(p)
+		}},
 		{"x9", func(s Scale) (*Table, error) {
 			p := DefaultX9Params()
 			p.Scale = s

@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/hourglass/sbon/internal/adapt"
+	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/overlay"
+	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/simtime"
+	"github.com/hourglass/sbon/internal/stream"
+	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/workload"
+)
+
+// X12Params configures the node-churn-during-execution scenario.
+type X12Params struct {
+	Seed int64
+	// StubNodes is the per-stub-domain node count (default 12 → 592
+	// nodes, the paper's scale).
+	StubNodes int
+	// Streams and Queries size the executing workload.
+	Streams int
+	Queries int
+	// KillFraction of overlay nodes depart mid-run (default 0.05).
+	KillFraction float64
+	// WarmupSimSeconds runs the data plane before the churn event.
+	WarmupSimSeconds float64
+	// HeartbeatEvery paces liveness pings (0 disables).
+	HeartbeatEvery time.Duration
+	// TupleSizeKB sets producer tuple granularity.
+	TupleSizeKB float64
+}
+
+// DefaultX12Params returns the full-scale configuration.
+func DefaultX12Params() X12Params {
+	return X12Params{
+		Seed:             20,
+		StubNodes:        12,
+		Streams:          12,
+		Queries:          40,
+		KillFraction:     0.05,
+		WarmupSimSeconds: 5,
+		HeartbeatEvery:   500 * time.Millisecond,
+		TupleSizeKB:      4,
+	}
+}
+
+// X12 is the node-churn scenario the deploy-once engine could never
+// express: while circuits execute, 5% of the overlay's nodes announce
+// departure; the adaptation layer drains every service off them through
+// the live migration protocol (buffer → cutover → forward), the nodes
+// die, and later re-join as migration targets for the next
+// re-optimization sweep. The scenario measures data-plane settle time
+// for both phases and proves zero tuple loss: no unrouted messages, no
+// data message ever delivered to a dead node, and — after quiescing
+// producers — every produced tuple accounted for at a consumer or
+// inside a (counted) join/aggregate reduction.
+func X12(p X12Params) (*Table, error) {
+	if p.StubNodes <= 0 {
+		p.StubNodes = 12
+	}
+	if p.Streams <= 0 {
+		p.Streams = 12
+	}
+	if p.Queries <= 0 {
+		p.Queries = 40
+	}
+	if p.KillFraction <= 0 {
+		p.KillFraction = 0.05
+	}
+	if p.WarmupSimSeconds <= 0 {
+		p.WarmupSimSeconds = 5
+	}
+	if p.TupleSizeKB <= 0 {
+		p.TupleSizeKB = 4
+	}
+	wallStart := time.Now()
+
+	topoCfg := topology.DefaultConfig()
+	topoCfg.StubNodes = p.StubNodes
+	topo, err := topology.Generate(topoCfg, rand.New(rand.NewSource(p.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed * 3))
+	sCfg := workload.DefaultStreamConfig()
+	sCfg.NumStreams = p.Streams
+	stats, err := workload.GenerateStats(topo, sCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	qCfg := workload.DefaultQueryConfig()
+	qCfg.NumQueries = p.Queries
+	qCfg.StreamsPerQuery = [2]int{1, 2}
+	qCfg.AggregateProb = 0
+	qs, err := workload.GenerateQueries(topo, stats, qCfg, rng, 1)
+	if err != nil {
+		return nil, err
+	}
+	envCfg := optimizer.DefaultEnvConfig(p.Seed)
+	envCfg.UseDHT = false // oracle mapping: identical results, faster churn sweeps
+	env, err := optimizer.NewEnv(topo, stats, envCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	results, err := optimizer.OptimizeBatch(env, qs, optimizer.BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	clk := simtime.NewVirtual()
+	defer clk.Drive()()
+	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: clk})
+	net.Start()
+	defer net.Stop()
+	ecfg := stream.DefaultEngineConfig()
+	ecfg.Seed = p.Seed
+	ecfg.TupleSizeKB = p.TupleSizeKB
+	ecfg.Keyspace = 250
+	engine := stream.NewEngine(net, topo, ecfg)
+	defer engine.Close()
+
+	dep := optimizer.NewDeployment(env, nil)
+	truth := optimizer.TrueLatency{Topo: topo}
+	runs := make([]*stream.Running, 0, len(results))
+	for i := range results {
+		c := results[i].Circuit
+		if err := dep.Deploy(c); err != nil {
+			return nil, err
+		}
+		run, err := engine.Deploy(c)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	var hb *overlay.Heartbeats
+	if p.HeartbeatEvery > 0 {
+		hb = net.StartHeartbeats(p.HeartbeatEvery, 0.05)
+	}
+	clk.Sleep(time.Duration(p.WarmupSimSeconds * float64(time.Second)))
+
+	// Victim selection: KillFraction of all nodes, skipping any that pin
+	// an endpoint (producers and consumers cannot leave losslessly —
+	// "one cannot move mountains").
+	pinned := map[topology.NodeID]bool{}
+	for _, c := range dep.Circuits() {
+		for _, s := range c.Services {
+			if s.Pinned || s.Plan == nil {
+				pinned[s.Node] = true
+			}
+		}
+	}
+	killRng := rand.New(rand.NewSource(p.Seed * 7))
+	wanted := int(p.KillFraction * float64(topo.NumNodes()))
+	victims := make([]topology.NodeID, 0, wanted)
+	seen := map[topology.NodeID]bool{}
+	// Half the churn budget hits operator-hosting nodes (a departure
+	// that never touches a running service would make the drain a
+	// no-op), the rest random idle nodes.
+	hostSet := map[topology.NodeID]bool{}
+	for _, c := range dep.Circuits() {
+		for _, s := range c.Services {
+			if s.Plan != nil && s.Plan.Kind != query.KindSource && !s.Pinned && !pinned[s.Node] {
+				hostSet[s.Node] = true
+			}
+		}
+	}
+	opHosts := make([]topology.NodeID, 0, len(hostSet))
+	for n := range hostSet {
+		opHosts = append(opHosts, n)
+	}
+	sort.Slice(opHosts, func(i, j int) bool { return opHosts[i] < opHosts[j] })
+	killRng.Shuffle(len(opHosts), func(i, j int) { opHosts[i], opHosts[j] = opHosts[j], opHosts[i] })
+	fromHosts := wanted / 2
+	if fromHosts < 1 {
+		fromHosts = 1
+	}
+	for _, n := range opHosts {
+		if len(victims) >= fromHosts {
+			break
+		}
+		seen[n] = true
+		victims = append(victims, n)
+	}
+	for len(victims) < wanted {
+		n := topology.NodeID(killRng.Intn(topo.NumNodes()))
+		if pinned[n] || seen[n] {
+			continue
+		}
+		seen[n] = true
+		victims = append(victims, n)
+	}
+
+	co := &adapt.Coordinator{
+		Dep:     dep,
+		Engine:  engine,
+		Clock:   clk,
+		Mapper:  placement.OracleMapper{Source: env},
+		Exclude: seen,
+	}
+	usageBefore := dep.TotalUsage(truth)
+
+	lossNow := func() int {
+		return int(net.Metrics.Counter("msgs.unrouted").Value() +
+			net.Metrics.Counter("msgs.down_dropped").Value())
+	}
+
+	// Phase 1: drain, then kill.
+	drain, err := co.Evacuate(victims, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range victims {
+		net.SetNodeDown(v, true)
+	}
+	clk.Sleep(2 * time.Second) // run on the shrunk overlay
+	drainLoss := lossNow()
+
+	// Phase 2: the killed nodes re-join and a sweep may claim them.
+	for _, v := range victims {
+		net.SetNodeDown(v, false)
+	}
+	co.Exclude = nil
+	// The rejoined nodes return idle while survivors carry extra load —
+	// exactly the imbalance a sweep exploits.
+	rejoin, err := co.Sweep(nil)
+	if err != nil {
+		return nil, err
+	}
+	clk.Sleep(2 * time.Second)
+
+	// Quiesce and account for every tuple.
+	for _, run := range runs {
+		run.HaltProducers()
+	}
+	clk.Sleep(time.Second)
+	var produced, delivered int
+	for _, run := range runs {
+		produced += run.TuplesProduced()
+		delivered += run.Measure().TuplesOut
+	}
+	if hb != nil {
+		hb.Stop()
+	}
+	usageAfter := dep.TotalUsage(truth)
+	unrouted := int(net.Metrics.Counter("msgs.unrouted").Value())
+	downDropped := int(net.Metrics.Counter("msgs.down_dropped").Value())
+	hbDropped := int(net.Metrics.Counter("hb.down_dropped").Value())
+	wall := time.Since(wallStart)
+
+	t := NewTable("X12 — node churn during execution: drain, kill, re-join",
+		"phase", "nodes", "migrations", "buffered", "forwarded", "settle sim-ms", "tuple loss")
+	t.AddRow("drain+kill", len(victims), drain.Migrated, drain.Buffered, drain.Forwarded,
+		net.SimMillis(drain.SettleDuration), drainLoss)
+	t.AddRow("rejoin+sweep", len(victims), rejoin.Migrated, rejoin.Buffered, rejoin.Forwarded,
+		net.SimMillis(rejoin.SettleDuration), unrouted+downDropped-drainLoss)
+	t.AddNote("killed %.0f%% of %d nodes mid-execution; %d circuits kept running; produced %d tuples, delivered %d",
+		p.KillFraction*100, topo.NumNodes(), len(runs), produced, delivered)
+	t.AddNote("loss accounting: unrouted=%d, data-to-dead-node=%d (heartbeats to dead nodes: %d, counted separately)",
+		unrouted, downDropped, hbDropped)
+	t.AddNote("total network usage %.0f → %.0f KB·ms/s across the churn; wall %v",
+		usageBefore, usageAfter, wall.Round(time.Millisecond))
+	return t, nil
+}

@@ -124,7 +124,7 @@ func optimizeOne(snap *Env, opt *Integrated, cache *PlanCache, q query.Query) (*
 	}
 	key := cache.KeyFor(snap.Snapshot, q)
 	if p := cache.Get(key); p != nil {
-		return placeCachedPlan(snap, q, p)
+		return placeCachedPlan(opt, q, p)
 	}
 	res, err := opt.Optimize(q)
 	if err != nil {
@@ -138,15 +138,16 @@ func optimizeOne(snap *Env, opt *Integrated, cache *PlanCache, q query.Query) (*
 // for a plan that previously won the full optimization of an equivalent
 // query under the same environment epoch. The plan is still re-rated
 // against current statistics and re-placed against the snapshot, so the
-// circuit always reflects the state the batch was frozen over.
-func placeCachedPlan(env *Env, q query.Query, p *query.PlanNode) (*Result, error) {
-	inner := &Integrated{Env: env}
-	_, placer, mapper, model := inner.components()
+// circuit always reflects the state the batch was frozen over. It runs
+// on the calling worker's optimizer so the builder's scratch problem
+// graph is reused across the whole batch.
+func placeCachedPlan(opt *Integrated, q query.Query, p *query.PlanNode) (*Result, error) {
+	env := opt.Env
+	_, placer, mapper, model := opt.components()
 	if err := p.ComputeRates(env.Stats); err != nil {
 		return nil, err
 	}
-	b := &Builder{Env: env}
-	circuit, stats, err := buildPlaceMap(b, q, p, placer, mapper)
+	circuit, stats, err := buildPlaceMap(opt.builder(), q, p, placer, mapper)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"github.com/hourglass/sbon/internal/placement"
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/vivaldi"
 )
 
 // Builder turns logical plans into circuits: it constructs the service
@@ -21,6 +22,19 @@ import (
 //   - Everything else is unpinned and placed in the cost space.
 type Builder struct {
 	Env *Env
+
+	// scratch recycles the placement problem graph across candidate
+	// plans (the ROADMAP "builder problem-graph churn" item): vertex and
+	// link slices, the service↔vertex index maps, and the pinned
+	// coordinate buffers are reused by every problemFor call on this
+	// Builder. A Builder is consequently single-goroutine; concurrent
+	// optimizations each own one (one per batch worker).
+	scratch struct {
+		prob        placement.Problem
+		svcToVertex []int
+		vertexToSvc []int
+		coords      []vivaldi.Coord
+	}
 }
 
 // reuseFn lets the multi-query optimizer substitute an existing service
@@ -149,18 +163,36 @@ func (b *Builder) Skeleton(q query.Query, root *query.PlanNode, reuse reuseFn) (
 
 // problemFor converts the circuit into a placement problem over the
 // vector subspace. The returned index slice maps problem vertices back to
-// circuit services.
+// circuit services. Both the problem and the index slice are scratch
+// state owned by the Builder: they are valid until the next problemFor
+// call. Unpinned vertices always start with a nil coordinate so the
+// placer's seeding is independent of whatever the scratch held before.
 func (b *Builder) problemFor(c *Circuit) (*placement.Problem, []int) {
-	p := &placement.Problem{}
-	svcToVertex := make([]int, len(c.Services))
-	vertexToSvc := make([]int, 0, len(c.Services))
-	for i, s := range c.Services {
-		v := placement.Vertex{Pinned: s.Pinned}
-		if s.Pinned {
-			v.Coord = b.Env.VecCoord(s.Node).Clone()
+	s := &b.scratch
+	p := &s.prob
+	p.Vertices = p.Vertices[:0]
+	p.Links = p.Links[:0]
+	s.svcToVertex = s.svcToVertex[:0]
+	s.vertexToSvc = s.vertexToSvc[:0]
+	for i, svc := range c.Services {
+		vi := len(p.Vertices)
+		v := placement.Vertex{Pinned: svc.Pinned}
+		if svc.Pinned {
+			src := b.Env.VecCoord(svc.Node)
+			for len(s.coords) <= vi {
+				s.coords = append(s.coords, nil)
+			}
+			buf := s.coords[vi]
+			if cap(buf) < len(src) {
+				buf = make(vivaldi.Coord, len(src))
+			}
+			buf = buf[:len(src)]
+			copy(buf, src)
+			s.coords[vi] = buf
+			v.Coord = buf
 		}
-		svcToVertex[i] = len(p.Vertices)
-		vertexToSvc = append(vertexToSvc, i)
+		s.svcToVertex = append(s.svcToVertex, vi)
+		s.vertexToSvc = append(s.vertexToSvc, i)
 		p.Vertices = append(p.Vertices, v)
 	}
 	for _, l := range c.Links {
@@ -168,12 +200,12 @@ func (b *Builder) problemFor(c *Circuit) (*placement.Problem, []int) {
 			continue
 		}
 		p.Links = append(p.Links, placement.Link{
-			A:    svcToVertex[l.From],
-			B:    svcToVertex[l.To],
+			A:    s.svcToVertex[l.From],
+			B:    s.svcToVertex[l.To],
 			Rate: l.Rate,
 		})
 	}
-	return p, vertexToSvc
+	return p, s.vertexToSvc
 }
 
 // PlaceVirtual runs the virtual placer over the circuit and records the

@@ -2,8 +2,10 @@ package optimizer
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
 )
 
 // Deployment tracks the circuits currently running in the SBON: it
@@ -137,6 +139,103 @@ func (d *Deployment) release(inst *ServiceInstance) {
 
 // Circuits returns the deployed circuits keyed by query.
 func (d *Deployment) Circuits() map[query.QueryID]*Circuit { return d.circuits }
+
+// circuitsInOrder returns the deployed circuits sorted by query ID — the
+// deterministic sweep order re-optimization relies on.
+func (d *Deployment) circuitsInOrder() []*Circuit {
+	out := make([]*Circuit, 0, len(d.circuits))
+	for _, c := range d.circuits {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Query.ID < out[j].Query.ID })
+	return out
+}
+
+// updateInstance moves the registry entry of a migrated service to its
+// new node.
+func (d *Deployment) updateInstance(c *Circuit, s *PlacedService, oldNode topology.NodeID) {
+	for _, inst := range d.instances[c.Query.ID] {
+		if inst.Signature == s.Signature && inst.Node == oldNode {
+			inst.Node = s.Node
+			inst.Coord = d.Env.Point(s.Node).Clone()
+			return
+		}
+	}
+}
+
+// MigrationTicket is an in-flight two-phase migration: between Begin and
+// Commit/Abort the service's load is charged on BOTH hosts, so the cost
+// space repels further placements from nodes already absorbing a
+// handoff — the in-network view of in-flight state transfer (Benoit et
+// al.).
+type MigrationTicket struct {
+	dep  *Deployment
+	move Migration
+	// charged is the input rate Begin actually charged to the target —
+	// read back by Commit/Abort so the release always mirrors the
+	// charge even if the plan's InRate field was stale or edited.
+	charged float64
+	open    bool
+}
+
+// Move returns the migration this ticket tracks.
+func (t *MigrationTicket) Move() Migration { return t.move }
+
+// BeginMigration opens a two-phase migration of the move's service: the
+// target node is charged the service's load immediately while the source
+// keeps its charge until Commit. The circuit still routes through the
+// source host; only cost-space accounting changes.
+func (d *Deployment) BeginMigration(m Migration) (*MigrationTicket, error) {
+	c, ok := d.circuits[m.Query]
+	if !ok {
+		return nil, fmt.Errorf("optimizer: query %d not deployed", m.Query)
+	}
+	if m.Service < 0 || m.Service >= len(c.Services) {
+		return nil, fmt.Errorf("optimizer: query %d has no service %d", m.Query, m.Service)
+	}
+	s := c.Services[m.Service]
+	if s.Pinned || s.Plan == nil {
+		return nil, fmt.Errorf("optimizer: query %d service %d is pinned", m.Query, m.Service)
+	}
+	if s.Node != m.From {
+		return nil, fmt.Errorf("optimizer: query %d service %d is on node %d, not %d",
+			m.Query, m.Service, s.Node, m.From)
+	}
+	d.Env.AddServiceLoad(m.To, s.InRate)
+	return &MigrationTicket{dep: d, move: m, charged: s.InRate, open: true}, nil
+}
+
+// Commit finishes the migration: the source's charge is released, the
+// service re-binds to the target, and the instance registry follows. The
+// load accounting lands exactly where a fresh deployment onto the target
+// would have put it — the fixed point the invariant tests pin.
+func (t *MigrationTicket) Commit() error {
+	if !t.open {
+		return fmt.Errorf("optimizer: migration ticket already closed")
+	}
+	t.open = false
+	d, m := t.dep, t.move
+	c, ok := d.circuits[m.Query]
+	if !ok {
+		return fmt.Errorf("optimizer: query %d vanished mid-migration", m.Query)
+	}
+	s := c.Services[m.Service]
+	d.Env.RemoveServiceLoad(m.From, t.charged)
+	s.Node = m.To
+	d.updateInstance(c, s, m.From)
+	return nil
+}
+
+// Abort cancels the migration, releasing the target's provisional
+// charge; the service never moves.
+func (t *MigrationTicket) Abort() error {
+	if !t.open {
+		return fmt.Errorf("optimizer: migration ticket already closed")
+	}
+	t.open = false
+	t.dep.Env.RemoveServiceLoad(t.move.To, t.charged)
+	return nil
+}
 
 // Circuit returns the deployed circuit for a query.
 func (d *Deployment) Circuit(id query.QueryID) (*Circuit, bool) {

@@ -48,6 +48,11 @@ type Integrated struct {
 	// Model is the latency model used to select among candidates
 	// (default CoordLatency — what a decentralized node can know).
 	Model LatencyModel
+
+	// b is the reusable circuit builder: its scratch problem graph is
+	// recycled across every candidate plan this optimizer places, so an
+	// Integrated is single-goroutine (batch workers each own one).
+	b *Builder
 }
 
 // NewIntegrated returns an integrated optimizer with default components.
@@ -79,6 +84,15 @@ func (o *Integrated) components() (*plan.Enumerator, placement.VirtualPlacer, pl
 	return enum, placer, mapper, model
 }
 
+// builder returns the optimizer's reusable Builder, creating it on first
+// use.
+func (o *Integrated) builder() *Builder {
+	if o.b == nil {
+		o.b = &Builder{Env: o.Env}
+	}
+	return o.b
+}
+
 // Optimize performs full circuit optimization for the query and returns
 // the best circuit without deploying it.
 func (o *Integrated) Optimize(q query.Query) (*Result, error) {
@@ -91,7 +105,7 @@ func (o *Integrated) Optimize(q query.Query) (*Result, error) {
 		return nil, fmt.Errorf("optimizer: no plans for query %d", q.ID)
 	}
 	res := &Result{PlansConsidered: len(plans)}
-	b := &Builder{Env: o.Env}
+	b := o.builder()
 	for _, p := range plans {
 		circuit, stats, err := buildPlaceMap(b, q, p, placer, mapper)
 		if err != nil {
@@ -151,8 +165,7 @@ func (o *TwoStep) Optimize(q query.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Builder{Env: o.Env}
-	circuit, stats, err := buildPlaceMap(b, q, best, placer, mapper)
+	circuit, stats, err := buildPlaceMap(inner.builder(), q, best, placer, mapper)
 	if err != nil {
 		return nil, err
 	}

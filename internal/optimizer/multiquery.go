@@ -146,7 +146,7 @@ func (o *MultiQuery) Optimize(q query.Query) (*Result, error) {
 	if len(plans) == 0 {
 		return nil, fmt.Errorf("optimizer: no plans for query %d", q.ID)
 	}
-	b := &Builder{Env: o.Env}
+	b := inner.builder()
 	res := &Result{PlansConsidered: len(plans)}
 	for _, p := range plans {
 		// Candidate 1: fresh placement (no reuse).

@@ -28,6 +28,11 @@ type Reoptimizer struct {
 	// ImprovementThreshold is the minimum relative usage gain to migrate
 	// (default 0.05).
 	ImprovementThreshold float64
+	// Exclude lists nodes migrations must not target — departing or
+	// failed hosts during churn, for example. Services already on an
+	// excluded node are still evaluated (and, with EvacuateExcluded on
+	// the adaptation layer, forced off).
+	Exclude map[topology.NodeID]bool
 }
 
 // NewReoptimizer returns a re-optimizer over the deployment with default
@@ -66,58 +71,224 @@ type StepStats struct {
 	Migrations        int
 }
 
-// Step performs one re-optimization sweep over every deployed circuit
-// and returns migration statistics.
+// Migration is one planned service move: the typed unit a control plane
+// hands to the data plane. PredictedGain is the modelled serviceCost
+// improvement (old − new, in KB·ms/s-equivalent units) under the
+// sweep's sequential evaluation order.
+type Migration struct {
+	Query   query.QueryID
+	Service int // index into the circuit's Services
+	// Signature identifies the service's computed stream (stable across
+	// the move).
+	Signature string
+	From, To  topology.NodeID
+	InRate    float64
+	// PredictedGain is the full serviceCost improvement (incident usage
+	// + load term); UsageGain isolates the incident network-usage part,
+	// the paper's primary metric. Both are in KB·ms/s under the sweep's
+	// latency model and may disagree in sign: a move can relieve an
+	// overloaded host at the price of longer links.
+	PredictedGain float64
+	UsageGain     float64
+}
+
+// MigrationPlan is the output of one re-optimization sweep before
+// anything moves: an ordered list of service migrations plus the sweep's
+// evaluation statistics. Moves are listed in the order the sweep
+// accepted them; each move's gain was evaluated with all earlier moves
+// assumed applied, so applying a plan in order reproduces the sweep's
+// sequential semantics exactly.
+type MigrationPlan struct {
+	Moves             []Migration
+	ServicesEvaluated int
+	// Unmovable counts pinned services found on victim nodes during an
+	// evacuation plan — endpoints that cannot be relocated.
+	Unmovable int
+}
+
+// Plan performs one re-optimization sweep over every deployed circuit —
+// virtual re-placement, re-mapping, and hysteresis-thresholded move
+// selection — and returns the selected moves without touching the
+// deployment. Internally the sweep simulates each accepted move (loads
+// shifted, service re-bound) so later candidates see its effect, then
+// rolls every mutation back before returning: loads, node bindings, and
+// instances are exactly as before the call. Unpinned services' Virtual
+// coordinates are the one exception — they are derived placement
+// scratch and hold the sweep's re-relaxed values afterwards (every
+// sweep recomputes them from scratch).
+//
+// Circuits are swept in ascending query order, so a fixed environment
+// yields a deterministic plan.
+func (r *Reoptimizer) Plan() (MigrationPlan, error) {
+	plan, err := r.sweep(false)
+	return plan, err
+}
+
+// Step performs one re-optimization sweep and immediately applies every
+// selected move to the deployment — the classic plan-then-freeze
+// behaviour, kept for control-plane-only callers. Live systems instead
+// use Plan and hand the moves to the adaptation layer, which walks each
+// one through the two-phase Begin/Commit protocol while the data plane
+// migrates.
 func (r *Reoptimizer) Step() (StepStats, error) {
+	plan, err := r.sweep(true)
+	return StepStats{ServicesEvaluated: plan.ServicesEvaluated, Migrations: len(plan.Moves)}, err
+}
+
+// sweep is the shared sweep body: evaluate every unpinned deployed
+// service, accept moves that clear the hysteresis threshold, and either
+// keep the accepted moves applied (apply=true) or roll them back.
+func (r *Reoptimizer) sweep(apply bool) (MigrationPlan, error) {
 	placer, mapper, model, thresh := r.components()
-	var stats StepStats
+	var plan MigrationPlan
 	env := r.Dep.Env
 	b := &Builder{Env: env}
-	for _, c := range r.Dep.circuits {
+	defer func() {
+		if !apply {
+			r.rollback(plan.Moves)
+		}
+	}()
+	for _, c := range r.Dep.circuitsInOrder() {
 		// Recompute virtual coordinates for the whole circuit against
 		// current pinned/neighbor positions (a node with all affected
 		// services can do full local re-placement).
 		if err := b.PlaceVirtual(c, placer); err != nil {
-			return stats, err
+			return plan, err
 		}
 		for i, s := range c.Services {
 			if s.Pinned || s.Plan == nil {
 				continue
 			}
-			stats.ServicesEvaluated++
+			plan.ServicesEvaluated++
 			oldNode := s.Node
-			oldCost := serviceCost(env, c, i, model)
-			newNode, _, err := mapper.MapCoord(c.Query.Consumer, s.Virtual, nil)
+			newNode, _, err := mapper.MapCoord(c.Query.Consumer, s.Virtual, r.Exclude)
 			if err != nil {
-				return stats, err
+				return plan, err
 			}
 			if newNode == oldNode {
 				continue
 			}
+			// Cost the incumbent only for actual move candidates: in a
+			// converged sweep nearly every service maps back to its
+			// current host and skips these link walks entirely.
+			oldCost := serviceCost(env, c, i, model)
+			oldUsage := incidentUsage(c, i, model)
 			s.Node = newNode
 			newCost := serviceCost(env, c, i, model)
 			if newCost < oldCost*(1-thresh) {
-				// Commit the migration: move the load.
+				// Accept: shift the load so later candidates see the
+				// move (rolled back afterwards unless applying).
 				env.RemoveServiceLoad(oldNode, s.InRate)
 				env.AddServiceLoad(newNode, s.InRate)
-				r.updateInstance(c, s, oldNode)
-				stats.Migrations++
+				if apply {
+					r.Dep.updateInstance(c, s, oldNode)
+				}
+				plan.Moves = append(plan.Moves, Migration{
+					Query:         c.Query.ID,
+					Service:       i,
+					Signature:     s.Signature,
+					From:          oldNode,
+					To:            newNode,
+					InRate:        s.InRate,
+					PredictedGain: oldCost - newCost,
+					UsageGain:     oldUsage - incidentUsage(c, i, model),
+				})
 			} else {
 				s.Node = oldNode
 			}
 		}
 	}
-	return stats, nil
+	return plan, nil
 }
 
-// updateInstance moves the registry entry of a migrated service.
-func (r *Reoptimizer) updateInstance(c *Circuit, s *PlacedService, oldNode topology.NodeID) {
-	for _, inst := range r.Dep.instances[c.Query.ID] {
-		if inst.Signature == s.Signature && inst.Node == oldNode {
-			inst.Node = s.Node
-			inst.Coord = r.Dep.Env.Point(s.Node).Clone()
-			return
+// PlanEvacuation plans the forced relocation of every unpinned service
+// hosted on a victim node — the graceful-decommission path node churn
+// takes before a host leaves the overlay. Unlike Plan, moves are not
+// gated on the improvement threshold (the hosts are going away);
+// victims and the Reoptimizer's Exclude set are both barred as targets.
+// Pinned services (producers, consumers) on victim nodes cannot move
+// and are counted in the plan's Unmovable field.
+//
+// Like Plan, the sweep simulates accepted moves and rolls everything
+// back before returning.
+func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (MigrationPlan, error) {
+	placer, mapper, model, _ := r.components()
+	exclude := victims
+	if len(r.Exclude) > 0 {
+		exclude = make(map[topology.NodeID]bool, len(victims)+len(r.Exclude))
+		for n := range victims {
+			exclude[n] = true
 		}
+		for n := range r.Exclude {
+			exclude[n] = true
+		}
+	}
+	env := r.Dep.Env
+	b := &Builder{Env: env}
+	var plan MigrationPlan
+	defer func() { r.rollback(plan.Moves) }()
+	for _, c := range r.Dep.circuitsInOrder() {
+		hit := false
+		for _, s := range c.Services {
+			if victims[s.Node] {
+				if s.Pinned || s.Plan == nil {
+					plan.Unmovable++
+					continue
+				}
+				hit = true
+			}
+		}
+		if !hit {
+			continue
+		}
+		if err := b.PlaceVirtual(c, placer); err != nil {
+			return plan, err
+		}
+		for i, s := range c.Services {
+			if s.Pinned || s.Plan == nil || !victims[s.Node] {
+				continue
+			}
+			plan.ServicesEvaluated++
+			oldNode := s.Node
+			oldCost := serviceCost(env, c, i, model)
+			oldUsage := incidentUsage(c, i, model)
+			newNode, _, err := mapper.MapCoord(c.Query.Consumer, s.Virtual, exclude)
+			if err != nil {
+				return plan, err
+			}
+			s.Node = newNode
+			newCost := serviceCost(env, c, i, model)
+			env.RemoveServiceLoad(oldNode, s.InRate)
+			env.AddServiceLoad(newNode, s.InRate)
+			plan.Moves = append(plan.Moves, Migration{
+				Query:         c.Query.ID,
+				Service:       i,
+				Signature:     s.Signature,
+				From:          oldNode,
+				To:            newNode,
+				InRate:        s.InRate,
+				PredictedGain: oldCost - newCost, // may be negative: forced move
+				UsageGain:     oldUsage - incidentUsage(c, i, model),
+			})
+		}
+	}
+	return plan, nil
+}
+
+// rollback undoes the sweep's simulated moves in reverse order,
+// restoring loads and service bindings.
+func (r *Reoptimizer) rollback(moves []Migration) {
+	env := r.Dep.Env
+	for i := len(moves) - 1; i >= 0; i-- {
+		m := moves[i]
+		c, ok := r.Dep.circuits[m.Query]
+		if !ok {
+			continue
+		}
+		s := c.Services[m.Service]
+		s.Node = m.From
+		env.RemoveServiceLoad(m.To, m.InRate)
+		env.AddServiceLoad(m.From, m.InRate)
 	}
 }
 

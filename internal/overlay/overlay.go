@@ -24,6 +24,7 @@ package overlay
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hourglass/sbon/internal/metrics"
@@ -93,7 +94,9 @@ type Network struct {
 
 	// Metrics is the runtime's registry: counters msgs.sent, msgs.dropped,
 	// kb.sent, usage.kbms (Σ sizeKB × latencyMs, the integral of
-	// data-in-transit), and hb.sent/hb.recv once heartbeats start.
+	// data-in-transit), hb.sent/hb.recv once heartbeats start, and the
+	// churn counters msgs.down_dropped / hb.down_dropped /
+	// msgs.down_refused once nodes are marked down.
 	Metrics *metrics.Registry
 }
 
@@ -182,6 +185,11 @@ type Node struct {
 	net   *Network
 	inbox chan Message
 
+	// down marks a departed/failed node: its deliveries are dropped and
+	// counted, and it originates no traffic. The flag is what node-churn
+	// scenarios flip to kill and re-join overlay participants mid-run.
+	down atomic.Bool
+
 	mu       sync.RWMutex
 	handlers map[string]Handler
 }
@@ -203,14 +211,32 @@ func (nd *Node) Unregister(port string) {
 	nd.mu.Unlock()
 }
 
+// SetNodeDown marks the node dead (down=true) or rejoined (down=false).
+// A dead node's incoming deliveries are dropped and counted in
+// msgs.down_dropped (hb.down_dropped for heartbeat pings, so liveness
+// noise never pollutes data-loss accounting), and its outgoing Sends are
+// refused. Live re-optimization drains a node's services before the
+// control plane marks it down; a zero down-drop count is therefore the
+// data plane's proof of lossless migration.
+func (n *Network) SetNodeDown(id topology.NodeID, down bool) {
+	n.nodes[id].down.Store(down)
+}
+
+// NodeDown reports whether the node is currently marked down.
+func (n *Network) NodeDown(id topology.NodeID) bool { return n.nodes[id].down.Load() }
+
 // Send schedules delivery of a message to the port on the destination
 // node, after the topology latency (scaled). It never blocks; messages
-// sent after Stop are dropped.
+// sent after Stop — or from a node marked down — are dropped.
 func (nd *Node) Send(to topology.NodeID, port string, sizeKB float64, payload any) error {
 	if int(to) < 0 || int(to) >= len(nd.net.nodes) {
 		return fmt.Errorf("overlay: destination %d out of range", to)
 	}
 	n := nd.net
+	if nd.down.Load() {
+		n.Metrics.Counter("msgs.down_refused").Inc()
+		return fmt.Errorf("overlay: node %d is down", nd.id)
+	}
 	msg := Message{
 		From:    nd.id,
 		To:      to,
@@ -276,6 +302,14 @@ func (nd *Node) loop() {
 }
 
 func (nd *Node) dispatch(msg Message) {
+	if nd.down.Load() {
+		if msg.Port == HeartbeatPort {
+			nd.net.Metrics.Counter("hb.down_dropped").Inc()
+		} else {
+			nd.net.Metrics.Counter("msgs.down_dropped").Inc()
+		}
+		return
+	}
 	nd.mu.RLock()
 	h := nd.handlers[msg.Port]
 	nd.mu.RUnlock()
@@ -337,8 +371,11 @@ func (n *Network) StartHeartbeats(every time.Duration, sizeKB float64) *Heartbea
 			}
 			hb.inflight.Add(1)
 			hb.mu.Unlock()
-			sent.Inc()
-			_ = nd.Send(to, HeartbeatPort, sizeKB, nil)
+			// Down nodes fall silent but keep their schedule, so a
+			// re-joined node resumes beating on the next round.
+			if nd.Send(to, HeartbeatPort, sizeKB, nil) == nil {
+				sent.Inc()
+			}
 			hb.inflight.Done()
 			hb.mu.Lock()
 			if !hb.stopped {

@@ -376,3 +376,62 @@ func TestRealClockHeartbeatsAggressiveStop(t *testing.T) {
 		net.Stop()
 	}
 }
+
+func TestDownNodeDropsDeliveriesAndRefusesSends(t *testing.T) {
+	net, clk := virtualNet(t)
+	var got int
+	net.Node(1).Register("x", func(Message) { got++ })
+
+	net.SetNodeDown(1, true)
+	if !net.NodeDown(1) {
+		t.Fatal("NodeDown did not report down")
+	}
+	if err := net.Node(0).Send(1, "x", 1, nil); err != nil {
+		t.Fatalf("send to a down node must still be accepted by the sender: %v", err)
+	}
+	settle(clk)
+	if got != 0 {
+		t.Fatal("down node dispatched a delivery")
+	}
+	if d := net.Metrics.Counter("msgs.down_dropped").Value(); d != 1 {
+		t.Fatalf("msgs.down_dropped = %v, want 1", d)
+	}
+
+	if err := net.Node(1).Send(0, "x", 1, nil); err == nil {
+		t.Fatal("send from a down node succeeded")
+	}
+	if r := net.Metrics.Counter("msgs.down_refused").Value(); r != 1 {
+		t.Fatalf("msgs.down_refused = %v, want 1", r)
+	}
+
+	// Re-join: deliveries flow again and no further drops accrue.
+	net.SetNodeDown(1, false)
+	if err := net.Node(0).Send(1, "x", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	settle(clk)
+	if got != 1 {
+		t.Fatalf("re-joined node received %d messages, want 1", got)
+	}
+	if d := net.Metrics.Counter("msgs.down_dropped").Value(); d != 1 {
+		t.Fatalf("msgs.down_dropped moved to %v after rejoin", d)
+	}
+}
+
+func TestDownNodeHeartbeatAccounting(t *testing.T) {
+	net, clk := virtualNet(t)
+	net.SetNodeDown(2, true)
+	hb := net.StartHeartbeats(100*time.Millisecond, 0.05)
+	clk.Sleep(time.Second)
+	hb.Stop()
+	if d := net.Metrics.Counter("hb.down_dropped").Value(); d == 0 {
+		t.Fatal("pings to the down node were not counted as hb.down_dropped")
+	}
+	if d := net.Metrics.Counter("msgs.down_dropped").Value(); d != 0 {
+		t.Fatalf("heartbeat drops leaked into msgs.down_dropped (%v)", d)
+	}
+	// The down node's own pings are refused, not sent.
+	if r := net.Metrics.Counter("msgs.down_refused").Value(); r == 0 {
+		t.Fatal("down node's outgoing pings were not refused")
+	}
+}

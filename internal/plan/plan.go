@@ -60,12 +60,16 @@ func (e *Enumerator) Enumerate(q query.Query) ([]*query.PlanNode, error) {
 		}
 	}
 
+	si := &query.SigInterner{}
 	leaves := make([]*query.PlanNode, len(q.Streams))
 	for i, s := range q.Streams {
 		leaf := query.NewSource(s)
 		if sel, ok := q.FilterSel[s]; ok {
 			leaf = query.NewFilter(leaf, sel)
 		}
+		// Pre-interned leaf signatures propagate into every clone the
+		// enumeration makes.
+		si.Intern(leaf)
 		leaves[i] = leaf
 	}
 
@@ -75,10 +79,10 @@ func (e *Enumerator) Enumerate(q query.Query) ([]*query.PlanNode, error) {
 		maxEx = 6
 	}
 	if len(leaves) <= maxEx {
-		trees = enumerateAllTrees(leaves)
+		trees = enumerateAllTrees(leaves, si)
 	} else {
 		var err error
-		trees, err = e.beamDP(leaves)
+		trees, err = e.beamDP(leaves, si)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +98,7 @@ func (e *Enumerator) Enumerate(q query.Query) ([]*query.PlanNode, error) {
 		if err := root.ComputeRates(e.Catalog); err != nil {
 			return nil, err
 		}
-		sig := root.Signature()
+		sig := si.Intern(root)
 		if seen[sig] {
 			continue
 		}
@@ -139,19 +143,62 @@ func CountTrees(k int) int {
 	return n
 }
 
+// nodeArena batch-allocates PlanNodes for enumeration: candidate trees
+// are built from slab-carved nodes instead of one heap object per Clone,
+// cutting the allocator traffic of (2k-3)!!-tree enumeration to the slab
+// count. Winning plans escape to callers, so slabs are never recycled —
+// the arena amortizes allocation, it does not pool it.
+type nodeArena struct {
+	slab []query.PlanNode
+}
+
+const arenaSlabNodes = 256
+
+func (a *nodeArena) alloc() *query.PlanNode {
+	if len(a.slab) == 0 {
+		a.slab = make([]query.PlanNode, arenaSlabNodes)
+	}
+	n := &a.slab[0]
+	a.slab = a.slab[1:]
+	return n
+}
+
+// clone deep-copies the tree from arena nodes. Cached signature strings
+// are shared with the original (see query.PlanNode.Clone).
+func (a *nodeArena) clone(n *query.PlanNode) *query.PlanNode {
+	if n == nil {
+		return nil
+	}
+	out := a.alloc()
+	*out = *n
+	out.Left = a.clone(n.Left)
+	out.Right = a.clone(n.Right)
+	return out
+}
+
+// join builds a join node from the arena, mirroring query.NewJoin.
+func (a *nodeArena) join(left, right *query.PlanNode) *query.PlanNode {
+	out := a.alloc()
+	*out = query.PlanNode{Kind: query.KindJoin, Left: left, Right: right}
+	return out
+}
+
 // enumerateAllTrees generates every unordered binary join tree over the
 // leaves. Mirror duplicates are avoided by keeping the leaf with the
-// lowest index on the left side of every split.
-func enumerateAllTrees(leaves []*query.PlanNode) []*query.PlanNode {
+// lowest index on the left side of every split. All nodes come from one
+// arena, and every constructed subtree's signature is interned eagerly,
+// so clones carry shared signature strings instead of recomputing them.
+func enumerateAllTrees(leaves []*query.PlanNode, si *query.SigInterner) []*query.PlanNode {
 	idx := make([]int, len(leaves))
 	for i := range idx {
 		idx[i] = i
 	}
+	var arena nodeArena
 	var build func(set []int) []*query.PlanNode
 	build = func(set []int) []*query.PlanNode {
 		if len(set) == 1 {
 			// Fresh clone per use: plans must not share mutable nodes.
-			return []*query.PlanNode{leaves[set[0]].Clone()}
+			return []*query.PlanNode{arena.clone(leaves[set[0]])}
 		}
 		var out []*query.PlanNode
 		first, rest := set[0], set[1:]
@@ -173,7 +220,9 @@ func enumerateAllTrees(leaves []*query.PlanNode) []*query.PlanNode {
 			}
 			for _, lt := range build(left) {
 				for _, rt := range build(right) {
-					out = append(out, query.NewJoin(lt.Clone(), rt.Clone()))
+					j := arena.join(arena.clone(lt), arena.clone(rt))
+					si.Intern(j)
+					out = append(out, j)
 				}
 			}
 		}
@@ -193,7 +242,7 @@ type ratedPlan struct {
 // plans per stream subset. Cost is cumulative intermediate rate, which is
 // additive over subtrees, so the beam is a high-quality heuristic (exact
 // when BeamWidth covers all distinct subtree rates).
-func (e *Enumerator) beamDP(leaves []*query.PlanNode) ([]*query.PlanNode, error) {
+func (e *Enumerator) beamDP(leaves []*query.PlanNode, si *query.SigInterner) ([]*query.PlanNode, error) {
 	k := len(leaves)
 	if k > 20 {
 		return nil, fmt.Errorf("plan: %d streams exceeds DP limit of 20", k)
@@ -202,9 +251,10 @@ func (e *Enumerator) beamDP(leaves []*query.PlanNode) ([]*query.PlanNode, error)
 	if beam < 1 {
 		beam = 3
 	}
+	var arena nodeArena
 	dp := make([][]ratedPlan, 1<<k)
 	for i, leaf := range leaves {
-		l := leaf.Clone()
+		l := arena.clone(leaf)
 		if err := l.ComputeRates(e.Catalog); err != nil {
 			return nil, err
 		}
@@ -231,10 +281,11 @@ func (e *Enumerator) beamDP(leaves []*query.PlanNode) ([]*query.PlanNode, error)
 			}
 			for _, lp := range dp[sub] {
 				for _, rp := range dp[other] {
-					jn := query.NewJoin(lp.node.Clone(), rp.node.Clone())
+					jn := arena.join(arena.clone(lp.node), arena.clone(rp.node))
 					if err := jn.ComputeRates(e.Catalog); err != nil {
 						return nil, err
 					}
+					si.Intern(jn)
 					cands = append(cands, ratedPlan{
 						node: jn,
 						cost: lp.cost + rp.cost + jn.OutRate,

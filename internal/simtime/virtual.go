@@ -68,6 +68,11 @@ type VirtualClock struct {
 	actors   int // registered goroutines
 	runnable int // registered goroutines not blocked in a clock wait
 	stopped  bool
+
+	// waiters tracks SleepOrDone sleepers by their done channel so
+	// Signal can wake them synchronously with the close — the
+	// deterministic cancellation path.
+	waiters map[<-chan struct{}][]*sodWaiter
 }
 
 // NewVirtual creates a virtual clock at the epoch and starts its
@@ -219,6 +224,144 @@ func (c *VirtualClock) Sleep(d time.Duration) {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	<-ch
+}
+
+// sodWaiter is one SleepOrDone sleeper: a pending timer event plus a
+// private wake channel. Exactly one waker — the timer event, Signal, or
+// the sleeper's own done-receive — flips woken under the clock mutex and
+// closes wake.
+type sodWaiter struct {
+	ev    *event
+	wake  chan struct{}
+	woken bool
+	fired bool // the timer path woke it (done did not fire first)
+}
+
+// SleepOrDone blocks the calling actor until d of virtual time passes or
+// done fires, whichever comes first, reporting whether done won. Like
+// Sleep it is a tracked wait: the scheduler sees the sleeper as blocked,
+// so quiescence detection keeps working while migration handoffs (or any
+// cancellable waits) are parked here.
+//
+// Two wake paths exist for done. Signal(done) wakes the sleeper under
+// the clock mutex in the same instant as the close — fully deterministic.
+// A direct close(done) also wakes it (via an ordinary select), but the
+// scheduler may fire already-queued events before the sleeper resumes,
+// so the virtual instant it observes on wake-up can trail the close.
+// Prefer Signal when determinism matters.
+func (c *VirtualClock) SleepOrDone(d time.Duration, done <-chan struct{}) bool {
+	if done != nil {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+	}
+	if d <= 0 {
+		return false
+	}
+	w := &sodWaiter{wake: make(chan struct{})}
+	c.mu.Lock()
+	if c.runnable < 1 {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("simtime: SleepOrDone(%v) on virtual clock from unregistered goroutine", d))
+	}
+	w.ev = c.scheduleLocked(d, func() {
+		c.mu.Lock()
+		if w.woken {
+			c.mu.Unlock()
+			return
+		}
+		w.woken = true
+		w.fired = true
+		c.dropWaiterLocked(done, w)
+		c.runnable++
+		c.mu.Unlock()
+		close(w.wake)
+	})
+	if done != nil {
+		if c.waiters == nil {
+			c.waiters = make(map[<-chan struct{}][]*sodWaiter)
+		}
+		c.waiters[done] = append(c.waiters[done], w)
+	}
+	c.runnable--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	select {
+	case <-w.wake:
+		return !w.fired
+	case <-done:
+		// Direct close (not via Signal): claim the wake ourselves unless
+		// the timer or Signal already did.
+		c.mu.Lock()
+		if w.woken {
+			c.mu.Unlock()
+			<-w.wake
+			return !w.fired
+		}
+		w.woken = true
+		if w.ev.idx >= 0 {
+			heap.Remove(&c.events, w.ev.idx)
+			w.ev.idx = -1
+		}
+		c.dropWaiterLocked(done, w)
+		c.runnable++
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		close(w.wake)
+		return true
+	}
+}
+
+// dropWaiterLocked removes w from the done channel's waiter list. Callers
+// hold mu.
+func (c *VirtualClock) dropWaiterLocked(done <-chan struct{}, w *sodWaiter) {
+	if done == nil {
+		return
+	}
+	ws := c.waiters[done]
+	for i, o := range ws {
+		if o == w {
+			c.waiters[done] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(c.waiters[done]) == 0 {
+		delete(c.waiters, done)
+	}
+}
+
+// Signal closes ch after synchronously waking every SleepOrDone sleeper
+// parked on it: cancelled timers are removed and the sleepers become
+// runnable under the clock mutex, so the scheduler cannot advance virtual
+// time between the signal and the wake-ups. This is the deterministic way
+// to cancel a tracked wait; ch must not be closed by anyone else.
+func (c *VirtualClock) Signal(ch chan struct{}) {
+	var recv <-chan struct{} = ch
+	c.mu.Lock()
+	ws := c.waiters[recv]
+	delete(c.waiters, recv)
+	claimed := ws[:0]
+	for _, w := range ws {
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		if w.ev.idx >= 0 {
+			heap.Remove(&c.events, w.ev.idx)
+			w.ev.idx = -1
+		}
+		c.runnable++
+		claimed = append(claimed, w)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(ch)
+	for _, w := range claimed {
+		close(w.wake)
+	}
 }
 
 // After returns a channel receiving the virtual timestamp once d has

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hourglass/sbon/internal/metrics"
@@ -69,28 +70,66 @@ type Running struct {
 	Circuit *optimizer.Circuit
 
 	engine    *Engine
-	ports     []portReg
 	stop      chan struct{}
+	prodStop  chan struct{} // closes producers only (HaltProducers)
+	haltOnce  sync.Once
 	producers sync.WaitGroup // goroutine producers (real clock)
 	vprods    []*vProducer   // event producers (virtual clock)
 	started   time.Time
 
+	// route[i] is the node tuples destined for service i are sent to;
+	// host[i] is the node service i currently executes on. They diverge
+	// only during a migration handoff: route flips to the target first
+	// (arrivals buffer there) while host follows at cutover. Emitters
+	// load both atomically per tuple, which is what lets the adaptation
+	// layer re-route circuit links under live traffic.
+	route []atomic.Int32
+	host  []atomic.Int32
+	// svcs carries each service's runtime state: the registered port,
+	// the operator instance that migrates with it, and the gate
+	// serializing operator access across a handoff.
+	svcs []svcRuntime
+
+	migs []*Migration // under engine.mu
+
+	tuplesIn  *metrics.Counter // tuples entering at producers
 	tuplesOut *metrics.Counter
 	kbOut     *metrics.Counter
 	latencyMs *metrics.Histogram
 	usageKBms *metrics.Counter
 }
 
-type portReg struct {
-	node topology.NodeID
-	port string
+// svcRuntime is the per-service executable state the migration protocol
+// hands between nodes.
+type svcRuntime struct {
+	port     string
+	operator Operator
+	// handler is the registered dispatch closure (gate-wrapped process).
+	handler overlay.Handler
+	// process runs the operator without taking the gate — the replay
+	// path, called with the gate already held.
+	process func(side int, t Tuple)
+	// gate serializes operator access between the old host's stragglers
+	// and the new host's replay under the real clock (a no-op
+	// uncontended lock in virtual runs, where the scheduler serializes
+	// everything).
+	gate sync.Mutex
+	// migrating marks an in-flight handoff (under engine.mu).
+	migrating bool
 }
 
-// outEdge is a precomputed delivery target for a service's emissions.
+// outEdge is a precomputed delivery target for a service's emissions;
+// the destination node is resolved through Running.route at emit time.
 type outEdge struct {
-	node topology.NodeID
+	svc  int // destination service index
 	port string
 	side int
+}
+
+// dataMsg is the on-wire tuple payload.
+type dataMsg struct {
+	Side int
+	T    Tuple
 }
 
 // ErrReusedServices marks circuits that cannot execute standalone
@@ -98,6 +137,11 @@ type outEdge struct {
 // match it with errors.Is to distinguish this expected rejection from
 // genuine deployment failures.
 var ErrReusedServices = errors.New("circuit contains reused services")
+
+// ErrNotRunning marks operations against a query the engine is not
+// executing; the adaptation layer matches it to fall back to
+// control-plane-only migration for undeployed circuits.
+var ErrNotRunning = errors.New("query not running")
 
 // Deploy instantiates the circuit's operators on their hosts, starts
 // producers, and begins measurement. Circuits with reused services cannot
@@ -122,10 +166,19 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 		Circuit:   c,
 		engine:    e,
 		stop:      make(chan struct{}),
+		prodStop:  make(chan struct{}),
+		route:     make([]atomic.Int32, len(c.Services)),
+		host:      make([]atomic.Int32, len(c.Services)),
+		svcs:      make([]svcRuntime, len(c.Services)),
+		tuplesIn:  &metrics.Counter{},
 		tuplesOut: &metrics.Counter{},
 		kbOut:     &metrics.Counter{},
 		latencyMs: &metrics.Histogram{},
 		usageKBms: &metrics.Counter{},
+	}
+	for i, s := range c.Services {
+		r.route[i].Store(int32(s.Node))
+		r.host[i].Store(int32(s.Node))
 	}
 
 	port := func(i int) string { return fmt.Sprintf("q%d.s%d", c.Query.ID, i) }
@@ -138,29 +191,10 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 		side := inputsSeen[l.To]
 		inputsSeen[l.To]++
 		outs[l.From] = append(outs[l.From], outEdge{
-			node: c.Services[l.To].Node,
+			svc:  l.To,
 			port: port(l.To),
 			side: side,
 		})
-	}
-
-	// dataMsg is the on-wire payload.
-	type dataMsg struct {
-		Side int
-		T    Tuple
-	}
-
-	emitFor := func(idx int) Emit {
-		from := c.Services[idx].Node
-		targets := outs[idx]
-		node := e.net.Node(from)
-		return func(t Tuple) {
-			for _, tgt := range targets {
-				r.usageKBms.Add(t.SizeKB * e.topo.Latency(from, tgt.node))
-				// Send never blocks; post-shutdown sends are dropped.
-				_ = node.Send(tgt.node, tgt.port, t.SizeKB, dataMsg{Side: tgt.side, T: t})
-			}
-		}
 	}
 
 	// Install operator handlers and the consumer sink.
@@ -169,13 +203,13 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 		case s.Plan == nil: // consumer sink
 			nd := e.net.Node(s.Node)
 			p := port(i)
+			r.svcs[i].port = p
 			nd.Register(p, func(m overlay.Message) {
 				dm := m.Payload.(dataMsg)
 				r.tuplesOut.Inc()
 				r.kbOut.Add(dm.T.SizeKB)
 				r.latencyMs.Observe(e.net.SimMillis(e.clock.Since(dm.T.Created)))
 			})
-			r.ports = append(r.ports, portReg{node: s.Node, port: p})
 		case s.Plan.Kind == query.KindSource:
 			// Producers are started below.
 		default:
@@ -184,15 +218,18 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 				e.teardownLocked(r)
 				return nil, err
 			}
-			nd := e.net.Node(s.Node)
-			p := port(i)
-			emit := emitFor(i)
-			operator := op
-			nd.Register(p, func(m overlay.Message) {
+			rt := &r.svcs[i]
+			rt.port = port(i)
+			rt.operator = op
+			emit := r.emitFor(i, outs[i])
+			rt.process = func(side int, t Tuple) { op.Process(side, t, emit) }
+			rt.handler = func(m overlay.Message) {
 				dm := m.Payload.(dataMsg)
-				operator.Process(dm.Side, dm.T, emit)
-			})
-			r.ports = append(r.ports, portReg{node: s.Node, port: p})
+				rt.gate.Lock()
+				rt.process(dm.Side, dm.T)
+				rt.gate.Unlock()
+			}
+			e.net.Node(s.Node).Register(rt.port, rt.handler)
 		}
 	}
 
@@ -204,19 +241,41 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 			continue
 		}
 		rate := s.Plan.OutRate // KB/s simulated
-		emit := emitFor(i)
+		emit := r.emitFor(i, outs[i])
+		counted := func(t Tuple) {
+			r.tuplesIn.Inc()
+			emit(t)
+		}
 		stream := s.Plan.Stream
 		seed := e.cfg.Seed + int64(stream)*7919 + int64(c.Query.ID)*104729
 		if e.net.Virtual() {
-			r.vprods = append(r.vprods, e.startVirtualProducer(r, stream, rate, seed, emit))
+			r.vprods = append(r.vprods, e.startVirtualProducer(r, stream, rate, seed, counted))
 			continue
 		}
 		r.producers.Add(1)
-		go e.produce(r, stream, rate, seed, emit)
+		go e.produce(r, stream, rate, seed, counted)
 	}
 
 	e.running[c.Query.ID] = r
 	return r, nil
+}
+
+// emitFor builds the emission closure for service idx: each output tuple
+// is sent from the service's current host to every downstream target's
+// current route, both resolved per tuple so live migrations re-route the
+// dataflow without re-deploying.
+func (r *Running) emitFor(idx int, targets []outEdge) Emit {
+	e := r.engine
+	return func(t Tuple) {
+		from := topology.NodeID(r.host[idx].Load())
+		node := e.net.Node(from)
+		for _, tgt := range targets {
+			to := topology.NodeID(r.route[tgt.svc].Load())
+			r.usageKBms.Add(t.SizeKB * e.topo.Latency(from, to))
+			// Send never blocks; post-shutdown sends are dropped.
+			_ = node.Send(to, tgt.port, t.SizeKB, dataMsg{Side: tgt.side, T: t})
+		}
+	}
 }
 
 // produceInterval returns the clock duration between tuples for a
@@ -251,6 +310,8 @@ func (e *Engine) produce(r *Running, stream query.StreamID, rateKBs float64, see
 	for {
 		select {
 		case <-r.stop:
+			return
+		case <-r.prodStop:
 			return
 		case <-ticker.C:
 			due := int64(time.Since(start) / interval)
@@ -349,9 +410,50 @@ func (e *Engine) teardownLocked(r *Running) {
 		p.halt()
 	}
 	r.producers.Wait()
-	for _, pr := range r.ports {
-		e.net.Node(pr.node).Unregister(pr.port)
+	// Cancel in-flight migrations: pending phase timers are stopped and
+	// waiters released before ports disappear.
+	for _, m := range r.migs {
+		m.cancel()
 	}
+	// Unregister each service's port at its *current* host; a service
+	// mid-handoff may also hold a forwarder or buffer registration on
+	// its old host, which m.cancel released above.
+	for i := range r.svcs {
+		rt := &r.svcs[i]
+		if rt.port == "" {
+			continue
+		}
+		e.net.Node(topology.NodeID(r.host[i].Load())).Unregister(rt.port)
+	}
+}
+
+// HaltProducers stops tuple generation for the circuit while leaving
+// operators, routes, and measurement running — the quiesce step the
+// loss-accounting tests use to let in-flight tuples drain before
+// comparing produced and delivered counts.
+func (r *Running) HaltProducers() {
+	r.haltOnce.Do(func() {
+		close(r.prodStop)
+		for _, p := range r.vprods {
+			p.halt()
+		}
+		r.producers.Wait()
+	})
+}
+
+// TuplesProduced returns the number of tuples producers have injected.
+func (r *Running) TuplesProduced() int { return int(r.tuplesIn.Value()) }
+
+// Host returns the node a service currently executes on.
+func (r *Running) Host(svc int) topology.NodeID {
+	return topology.NodeID(r.host[svc].Load())
+}
+
+// Migrations returns the circuit's migration records, oldest first.
+func (r *Running) Migrations() []*Migration {
+	r.engine.mu.Lock()
+	defer r.engine.mu.Unlock()
+	return append([]*Migration(nil), r.migs...)
 }
 
 // Close stops every running circuit (the overlay network itself is owned

@@ -40,6 +40,10 @@ type Emit func(Tuple)
 type Operator interface {
 	Process(side int, t Tuple, emit Emit)
 	Kind() query.ServiceKind
+	// StateSizeKB estimates the operator's current mutable state in KB —
+	// what a migration must ship to the new host. Stateless operators
+	// report 0.
+	StateSizeKB() float64
 }
 
 // keyFraction hashes a key to a uniform fraction in [0,1) for
@@ -72,6 +76,9 @@ func (f Filter) Process(_ int, t Tuple, emit Emit) {
 		emit(t)
 	}
 }
+
+// StateSizeKB implements Operator: filters are stateless.
+func (Filter) StateSizeKB() float64 { return 0 }
 
 // Join is a symmetric windowed hash equi-join: each side keeps the last
 // Window tuples hashed by key; an arriving tuple probes the opposite
@@ -120,6 +127,11 @@ func (j *Join) Process(side int, t Tuple, emit Emit) {
 	}
 }
 
+// StateSizeKB implements Operator: both windows' retained tuple bytes.
+func (j *Join) StateSizeKB() float64 {
+	return j.left.sizeKB() + j.right.sizeKB()
+}
+
 // joinWindow is a fixed-capacity FIFO with a key index.
 type joinWindow struct {
 	cap   int
@@ -161,6 +173,14 @@ func (w *joinWindow) dropIndex(key int64, slot int) {
 	if len(w.byKey[key]) == 0 {
 		delete(w.byKey, key)
 	}
+}
+
+func (w *joinWindow) sizeKB() float64 {
+	var sum float64
+	for i := 0; i < w.count; i++ {
+		sum += w.fifo[i].SizeKB
+	}
+	return sum
 }
 
 func (w *joinWindow) match(key int64) []Tuple {
@@ -219,6 +239,9 @@ func (a *Aggregate) Process(_ int, t Tuple, emit Emit) {
 	emit(out)
 }
 
+// StateSizeKB implements Operator: the open window's accumulated bytes.
+func (a *Aggregate) StateSizeKB() float64 { return a.sizeKB }
+
 // Union forwards both inputs unchanged.
 type Union struct{}
 
@@ -227,6 +250,9 @@ func (Union) Kind() query.ServiceKind { return query.KindUnion }
 
 // Process implements Operator.
 func (Union) Process(_ int, t Tuple, emit Emit) { emit(t) }
+
+// StateSizeKB implements Operator: unions are stateless.
+func (Union) StateSizeKB() float64 { return 0 }
 
 // OperatorFor instantiates the executable operator for a plan node. The
 // join window is sized to sel·keyspace/2: each probe then matches

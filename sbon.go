@@ -15,6 +15,16 @@
 // measurement windows complete instantly and same-seed runs reproduce
 // bit-identically (internal/simtime).
 //
+// Running circuits adapt while they execute: System.Adapt plans service
+// moves over the cost space (a typed MigrationPlan), charges in-flight
+// load on both hosts through a two-phase deployment protocol, and
+// migrates the live operators with a buffered handoff — upstream tuples
+// re-route to the new host and queue there, the old host drains, state
+// moves, the buffer replays, stragglers forward — so re-optimization
+// costs zero tuple loss (internal/adapt, stream.Engine.Migrate).
+// System.Evacuate drains every service off departing nodes before they
+// leave the overlay.
+//
 // Physical mapping — projecting ideal virtual coordinates onto nearest
 // physical nodes in full cost-space distance, the per-query hot path —
 // is served by an epoch-versioned exact k-NN index over node cost-space
@@ -39,6 +49,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/hourglass/sbon/internal/adapt"
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
@@ -70,6 +81,11 @@ type (
 	BatchOptions = optimizer.BatchOptions
 	// PlanCache memoizes winning logical plans across optimizations.
 	PlanCache = optimizer.PlanCache
+	// MigrationPlan is a typed re-optimization sweep output: the service
+	// moves a control plane hands to the data plane.
+	MigrationPlan = optimizer.MigrationPlan
+	// AdaptStats reports one sweep→migrate→settle adaptation round.
+	AdaptStats = adapt.SweepStats
 )
 
 // Options configures a System.
@@ -258,9 +274,94 @@ func (s *System) SetBackgroundLoad(n NodeID, load float64) {
 
 // Reoptimize performs one local re-optimization sweep: deployed services
 // re-run placement and migrate when the cost improvement clears the
-// hysteresis threshold.
+// hysteresis threshold. The moves apply to the control plane only; use
+// Adapt to migrate circuits that are executing on the engine.
 func (s *System) Reoptimize() (optimizer.StepStats, error) {
 	return optimizer.NewReoptimizer(s.Deployment).Step()
+}
+
+// PlanReoptimization runs a re-optimization sweep and returns the typed
+// migration plan without applying anything — what Adapt executes
+// internally, exposed for callers that want to inspect or filter moves.
+func (s *System) PlanReoptimization() (MigrationPlan, error) {
+	return optimizer.NewReoptimizer(s.Deployment).Plan()
+}
+
+// AdaptOptions tunes System.Adapt.
+type AdaptOptions struct {
+	// Sweeps is the number of sweep→migrate→settle rounds (default 1).
+	Sweeps int
+	// Budget caps migrations per sweep, best predicted gain first
+	// (0 = unbounded).
+	Budget int
+	// Threshold is the re-optimization hysteresis (default 0.05).
+	Threshold float64
+	// Exclude bars nodes as migration targets.
+	Exclude map[NodeID]bool
+}
+
+// Adapt runs live re-optimization rounds: each sweep plans service
+// moves over the cost space, walks every selected move through the
+// two-phase deployment protocol, and — when the engine is running the
+// affected circuits — migrates the operators under traffic (buffered
+// handoff, zero tuple loss) before committing. Returns per-sweep
+// statistics. Without a started engine the moves commit instantly
+// (control-plane-only adaptation).
+func (s *System) Adapt(opts AdaptOptions) ([]AdaptStats, error) {
+	sweeps := opts.Sweeps
+	if sweeps <= 0 {
+		sweeps = 1
+	}
+	co := s.coordinator(opts)
+	// Settle waits are tracked virtual-clock sleeps; register the caller
+	// as the driving actor for their duration (same contract as RunFor).
+	if s.vclk != nil {
+		s.vclk.Register()
+		defer s.vclk.Unregister()
+	}
+	out := make([]AdaptStats, 0, sweeps)
+	for i := 0; i < sweeps; i++ {
+		st, err := co.Sweep(nil)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Evacuate force-migrates every service off the given nodes (graceful
+// drain before decommissioning them), with live handoff for executing
+// circuits. The drained nodes are also excluded as targets of the
+// evacuation itself.
+func (s *System) Evacuate(nodes []NodeID) (AdaptStats, error) {
+	opts := AdaptOptions{Exclude: make(map[NodeID]bool, len(nodes))}
+	for _, n := range nodes {
+		opts.Exclude[n] = true
+	}
+	if s.vclk != nil {
+		s.vclk.Register()
+		defer s.vclk.Unregister()
+	}
+	return s.coordinator(opts).Evacuate(nodes, nil)
+}
+
+// coordinator assembles the adaptation layer over the System's current
+// deployment, engine, and clock.
+func (s *System) coordinator(opts AdaptOptions) *adapt.Coordinator {
+	co := &adapt.Coordinator{
+		Dep:       s.Deployment,
+		Engine:    s.engine,
+		Threshold: opts.Threshold,
+		Budget:    opts.Budget,
+		Exclude:   opts.Exclude,
+	}
+	if s.vclk != nil {
+		co.Clock = s.vclk
+	} else if s.net != nil {
+		co.Clock = s.net.Clock()
+	}
+	return co
 }
 
 // Rewrite performs one plan-rewriting sweep (§3.3 "limited plan

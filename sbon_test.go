@@ -433,3 +433,111 @@ func TestEngineVirtualTimeEndToEnd(t *testing.T) {
 		t.Fatalf("same-seed virtual facade runs diverged:\n%+v\n%+v", a, b)
 	}
 }
+
+// adaptSystem deploys a few circuits on the virtual-time engine and
+// overloads a host so adaptation has work.
+func adaptSystem(t *testing.T, seed int64) (*System, []QueryID) {
+	t.Helper()
+	opts := smallOpts(seed)
+	opts.VirtualTime = true
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	stubs := sys.StubNodes()
+	for i := 0; i < 3; i++ {
+		if err := sys.AddStream(StreamID(i), stubs[i*5], 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.StartEngine(); err != nil {
+		t.Fatal(err)
+	}
+	var ids []QueryID
+	var victim NodeID = -1
+	for i, streams := range [][]StreamID{{0, 1}, {1, 2}, {0, 2}} {
+		q := Query{ID: QueryID(i + 1), Consumer: stubs[(i*7+2)%len(stubs)], Streams: streams}
+		res, err := sys.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Deploy(res.Circuit); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(res.Circuit); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, q.ID)
+		if victim < 0 {
+			for _, s := range res.Circuit.UnpinnedServices() {
+				victim = s.Node
+				break
+			}
+		}
+	}
+	if err := sys.RunFor(2); err != nil {
+		t.Fatal(err)
+	}
+	if victim >= 0 {
+		sys.SetBackgroundLoad(victim, 5.0)
+	}
+	return sys, ids
+}
+
+func TestFacadeAdaptMigratesLiveCircuits(t *testing.T) {
+	sys, _ := adaptSystem(t, 11)
+	plan, err := sys.PlanReoptimization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 {
+		t.Skip("no moves planned at this seed")
+	}
+	stats, err := sys.Adapt(AdaptOptions{Sweeps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d sweep stats, want 2", len(stats))
+	}
+	if stats[0].Migrated == 0 {
+		t.Fatal("first sweep migrated nothing off an overloaded host")
+	}
+	if stats[0].DataPlane == 0 {
+		t.Fatal("no live data-plane handoffs for running circuits")
+	}
+	if err := sys.RunFor(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeEvacuate(t *testing.T) {
+	sys, _ := adaptSystem(t, 12)
+	// Find a node hosting an unpinned service.
+	var victim NodeID = -1
+	for _, c := range sys.Deployment.Circuits() {
+		for _, s := range c.UnpinnedServices() {
+			if victim < 0 || s.Node < victim {
+				victim = s.Node
+			}
+		}
+	}
+	if victim < 0 {
+		t.Skip("nothing to evacuate")
+	}
+	st, err := sys.Evacuate([]NodeID{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Migrated == 0 {
+		t.Fatal("evacuation moved nothing")
+	}
+	for _, c := range sys.Deployment.Circuits() {
+		for _, s := range c.UnpinnedServices() {
+			if s.Node == victim {
+				t.Fatalf("service still on evacuated node %d", victim)
+			}
+		}
+	}
+}
