@@ -365,3 +365,23 @@ func BenchmarkOptimizeSequential1k(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
 }
+
+// BenchmarkX14_SharedExecution1024 runs the shared-execution comparison
+// (200 queries / 40 shared subtrees on 1024 nodes, reuse on vs off) end
+// to end on the virtual clock. The reported metric is the measured
+// data-plane usage reduction reuse buys — the §3.4 savings on the wire.
+func BenchmarkX14_SharedExecution1024(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.X14(exp.DefaultX14Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	onUsage, _ := strconv.ParseFloat(last.Rows[0][5], 64)
+	offUsage, _ := strconv.ParseFloat(last.Rows[1][5], 64)
+	if offUsage > 0 {
+		b.ReportMetric(100*(1-onUsage/offUsage), "usage-saved-%")
+	}
+}

@@ -33,7 +33,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -224,15 +223,10 @@ func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth 
 		run *stream.Running
 	}
 	var runs []deployed
-	skipped := 0
 	for _, c := range circuits {
+		// Circuits are deployed in optimization order, so a circuit
+		// reusing another's services always finds its provider running.
 		run, err := engine.Deploy(c)
-		if errors.Is(err, stream.ErrReusedServices) {
-			// Multi-query circuits with reused services cannot execute
-			// standalone; they are measured through their owning circuit.
-			skipped++
-			continue
-		}
 		if err != nil {
 			fail(err)
 		}
@@ -240,8 +234,9 @@ func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth 
 		analyticUsage += c.NetworkUsage(truth)
 		analyticRate += c.Plan.OutRate
 	}
-	if skipped > 0 {
-		fmt.Printf("(%d circuits with reused services skipped)\n", skipped)
+	if st := engine.SharedStats(); st.Instances > 0 {
+		fmt.Printf("shared execution: %d instances feed %d subscriber circuits (no duplicated operators)\n",
+			st.Instances, st.Subscribers)
 	}
 	var hb *overlay.Heartbeats
 	if heartbeatMs > 0 {
@@ -299,9 +294,6 @@ func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.D
 		defer engine.Close()
 		for _, c := range circuits {
 			run, err := engine.Deploy(c)
-			if errors.Is(err, stream.ErrReusedServices) {
-				continue
-			}
 			if err != nil {
 				fail(err)
 			}

@@ -20,6 +20,13 @@
 //	          SleepOrDone), then commits the tickets, returning load
 //	          accounting to its single-host fixed point.
 //
+// Shared service instances (multi-query reuse) migrate through their
+// owning circuit only: the re-optimizer never proposes a move of a
+// Reused service, Deployment.BeginMigration rejects one defensively,
+// and when the owner's move commits, the instance re-binds for every
+// consumer circuit while the engine flips all subscribers' routes at
+// cutover.
+//
 // Under simtime.VirtualClock the whole loop is deterministic: same seed,
 // same plan, same handoff timings, same settled state.
 package adapt

@@ -408,3 +408,110 @@ func TestSweepWaitsForAllHandoffs(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedInstanceMigrationInvariant drives the acceptance-criterion
+// invariant end to end: a circuit reuses another's service on both
+// planes, the shared instance migrates through the two-phase protocol,
+// and afterwards the owner circuit, every consumer circuit, the
+// registry entry, and the engine's routing all agree on the new host —
+// no stale Node anywhere, with zero tuple loss.
+func TestSharedInstanceMigrationInvariant(t *testing.T) {
+	f := newFixture(t, 77, 1)
+	owner := f.runs[0]
+	ownerC := owner.Circuit
+
+	// Locate the owner's registered root instance and its service.
+	rootSig := ownerC.Root().Signature
+	var inst *optimizer.ServiceInstance
+	for _, i := range f.dep.Registry.Instances() {
+		if i.Signature == rootSig {
+			inst = i
+		}
+	}
+	if inst == nil {
+		t.Fatal("owner deployment registered no root instance")
+	}
+	ownerSvc := -1
+	for i, s := range ownerC.Services {
+		if !s.Reused && s.Plan != nil && s.Signature == rootSig {
+			ownerSvc = i
+		}
+	}
+	if ownerSvc < 0 {
+		t.Fatal("no executing service for the root instance")
+	}
+
+	// Deploy a consumer circuit that reuses the instance, on both planes.
+	b := &optimizer.Builder{Env: f.env}
+	stubs := f.env.Topo.StubNodeIDs()
+	cq := query.Query{ID: 50, Consumer: stubs[11], Streams: ownerC.Query.Streams}
+	consC, err := b.Skeleton(cq, ownerC.Plan, func(n *query.PlanNode) *optimizer.ServiceInstance {
+		if n.Signature() == inst.Signature {
+			return inst
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.dep.Deploy(consC); err != nil {
+		t.Fatal(err)
+	}
+	consRun, err := f.engine.Deploy(consC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consSvc := -1
+	for i, s := range consC.Services {
+		if s.Reused {
+			consSvc = i
+		}
+	}
+	f.clk.Sleep(2 * time.Second)
+
+	// Move the shared instance through the adaptation layer.
+	var target topology.NodeID = stubs[17]
+	if target == inst.Node {
+		target = stubs[16]
+	}
+	plan := optimizer.MigrationPlan{Moves: []optimizer.Migration{{
+		Query: ownerC.Query.ID, Service: ownerSvc, Signature: rootSig,
+		From: inst.Node, To: target, InRate: ownerC.Services[ownerSvc].InRate,
+	}}}
+	st, err := f.co.Execute(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Migrated != 1 || st.DataPlane != 1 {
+		t.Fatalf("Execute stats = %+v, want 1 committed data-plane move", st)
+	}
+
+	// The invariant: one truth about where the instance lives.
+	if inst.Node != target {
+		t.Fatalf("instance on %d, want %d", inst.Node, target)
+	}
+	if got := ownerC.Services[ownerSvc].Node; got != target {
+		t.Fatalf("owner circuit binds %d, want %d", got, target)
+	}
+	for i, s := range consC.Services {
+		if s.Reused && s.Node != target {
+			t.Fatalf("consumer circuit service %d still binds %d (stale), want %d", i, s.Node, target)
+		}
+	}
+	if got := owner.Host(ownerSvc); got != target {
+		t.Fatalf("engine executes owner service on %d, want %d", got, target)
+	}
+	if got := consRun.Host(consSvc); got != target {
+		t.Fatalf("engine routes consumer's reused service to %d, want %d", got, target)
+	}
+
+	// And the dataflow survived it: quiesce, conserve, no loss.
+	f.clk.Sleep(2 * time.Second)
+	if consRun.SharedIn() == 0 {
+		t.Fatal("consumer never received shared tuples")
+	}
+	if consRun.Measure().TuplesOut == 0 {
+		t.Fatal("consumer sink delivered nothing")
+	}
+	requireNoLossCounters(t, f)
+}

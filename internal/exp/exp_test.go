@@ -416,8 +416,11 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("bogus"); ok {
 		t.Fatal("bogus found")
 	}
-	if len(All()) != 17 {
-		t.Fatalf("All() = %d experiments, want 17", len(All()))
+	if _, ok := Lookup("x14"); !ok {
+		t.Fatal("x14 missing")
+	}
+	if len(All()) != 18 {
+		t.Fatalf("All() = %d experiments, want 18", len(All()))
 	}
 }
 
@@ -588,6 +591,91 @@ func TestX13Deterministic(t *testing.T) {
 		for c := range a[r] {
 			if a[r][c] != b[r][c] {
 				t.Fatalf("same-seed X13 diverged at (%d,%d): %q vs %q", r, c, a[r][c], b[r][c])
+			}
+		}
+	}
+}
+
+// smallX14 is the CI-scale shared-execution configuration.
+func smallX14() X14Params {
+	p := DefaultX14Params()
+	p.StubNodes = 5 // 256 nodes
+	p.Groups = 8
+	p.PerGroup = 3
+	p.MeasureSimSeconds = 2
+	return p
+}
+
+func TestX14SmallShape(t *testing.T) {
+	tb, err := X14(smallX14())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want reuse-on and reuse-off", len(tb.Rows))
+	}
+	on, off := tb.Rows[0], tb.Rows[1]
+	if cell(t, tb, 0, 2) == 0 || cell(t, tb, 0, 3) == 0 {
+		t.Fatalf("reuse-on pass shared nothing: %v", on)
+	}
+	if cell(t, tb, 1, 2) != 0 {
+		t.Fatalf("reuse-off pass reused services: %v", off)
+	}
+	onUsage, offUsage := cell(t, tb, 0, 5), cell(t, tb, 1, 5)
+	if !(onUsage < offUsage) {
+		t.Fatalf("reuse did not lower data-plane usage: %v vs %v", onUsage, offUsage)
+	}
+	if cell(t, tb, 0, 6) == 0 {
+		t.Fatal("reuse-on pass delivered nothing")
+	}
+	for r := 0; r < 2; r++ {
+		if loss := cell(t, tb, r, 8); loss != 0 {
+			t.Fatalf("row %d lost %v messages", r, loss)
+		}
+	}
+}
+
+// TestX14FullScale runs the acceptance-criterion configuration: 200
+// queries over 40 shared subtrees on the 1024-node overlay, measured
+// usage with reuse strictly below the no-reuse run, zero loss.
+func TestX14FullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node scenario skipped in -short")
+	}
+	tb, err := X14(DefaultX14Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, tb, 0, 1); got != 200 {
+		t.Fatalf("circuits = %v, want 200", got)
+	}
+	onUsage, offUsage := cell(t, tb, 0, 5), cell(t, tb, 1, 5)
+	if !(onUsage < offUsage) {
+		t.Fatalf("reuse did not lower data-plane usage at full scale: %v vs %v", onUsage, offUsage)
+	}
+	if shared := cell(t, tb, 0, 3); shared < float64(DefaultX14Params().Groups)/2 {
+		t.Fatalf("only %v shared instances executing, want most of the %d groups", shared, DefaultX14Params().Groups)
+	}
+	for r := 0; r < 2; r++ {
+		if loss := cell(t, tb, r, 8); loss != 0 {
+			t.Fatalf("row %d lost %v messages", r, loss)
+		}
+	}
+}
+
+func TestX14Deterministic(t *testing.T) {
+	run := func() [][]string {
+		tb, err := X14(smallX14())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Rows
+	}
+	a, b := run(), run()
+	for r := range a {
+		for c := range a[r] {
+			if a[r][c] != b[r][c] {
+				t.Fatalf("same-seed X14 diverged at (%d,%d): %q vs %q", r, c, a[r][c], b[r][c])
 			}
 		}
 	}

@@ -73,6 +73,16 @@ func All() []Experiment {
 			}
 			return X13(p)
 		}},
+		{"x14", func(s Scale) (*Table, error) {
+			p := DefaultX14Params()
+			if s == Small {
+				p.StubNodes = 5 // 256 nodes
+				p.Groups = 8
+				p.PerGroup = 3
+				p.MeasureSimSeconds = 2
+			}
+			return X14(p)
+		}},
 		{"x9", func(s Scale) (*Table, error) {
 			p := DefaultX9Params()
 			p.Scale = s

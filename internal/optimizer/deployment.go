@@ -109,22 +109,55 @@ func upstreamLatency(c *Circuit, target *PlacedService, m LatencyModel) float64 
 // instance is unregistered (and its load released) only when its last
 // consuming circuit cancels — shared services keep running for their
 // remaining consumers, matching the paper's shared-circuit semantics.
+// When the owning circuit cancels while consumers remain, ownership of
+// the instance is handed to the lowest-id surviving consumer: the
+// instance stays registered, its load stays charged, and the last
+// release still tears it down exactly once.
 func (d *Deployment) Cancel(id query.QueryID) error {
 	c, ok := d.circuits[id]
 	if !ok {
 		return fmt.Errorf("optimizer: query %d not deployed", id)
 	}
 	for _, s := range c.Services {
-		if s.Reused && s.ReusedFrom != nil {
+		// An adopted instance's consumer reference lives in the owned
+		// list below; releasing it here too would double-count.
+		if s.Reused && s.ReusedFrom != nil && s.ReusedFrom.Owner != id {
 			d.release(s.ReusedFrom)
 		}
 	}
-	for _, inst := range d.instances[id] {
-		d.release(inst)
-	}
 	delete(d.circuits, id)
+	for _, inst := range d.instances[id] {
+		inst.RefCount--
+		if inst.RefCount <= 0 {
+			d.Registry.Unregister(inst)
+			d.Env.RemoveServiceLoad(inst.Node, inst.InRate)
+			continue
+		}
+		d.transferOwnership(inst)
+	}
 	delete(d.instances, id)
 	return nil
+}
+
+// transferOwnership hands a still-referenced instance whose owner
+// cancelled to the lowest-id surviving circuit that consumes it. The
+// new owner's circuit keeps the service marked Reused (it does not
+// contain the instance's upstream subtree), so the ownership reference
+// now lives in the instances list instead of the reuse release path.
+func (d *Deployment) transferOwnership(inst *ServiceInstance) {
+	for _, c := range d.circuitsInOrder() {
+		for _, s := range c.Services {
+			if s.Reused && s.ReusedFrom == inst {
+				inst.Owner = c.Query.ID
+				d.instances[c.Query.ID] = append(d.instances[c.Query.ID], inst)
+				return
+			}
+		}
+	}
+	// References held by no deployed circuit (out-of-order teardown):
+	// nothing can release them later, so tear the instance down now.
+	d.Registry.Unregister(inst)
+	d.Env.RemoveServiceLoad(inst.Node, inst.InRate)
 }
 
 // release drops one reference to the instance, tearing it down when the
@@ -152,13 +185,51 @@ func (d *Deployment) circuitsInOrder() []*Circuit {
 }
 
 // updateInstance moves the registry entry of a migrated service to its
-// new node.
+// new node — and re-binds the placement of every circuit reusing the
+// instance, so consumers' usage and latency accounting follows the
+// move instead of silently pointing at the old host.
 func (d *Deployment) updateInstance(c *Circuit, s *PlacedService, oldNode topology.NodeID) {
 	for _, inst := range d.instances[c.Query.ID] {
 		if inst.Signature == s.Signature && inst.Node == oldNode {
-			inst.Node = s.Node
-			inst.Coord = d.Env.Point(s.Node).Clone()
-			return
+			d.Registry.UpdateInstance(inst, s.Node, d.Env.Point(s.Node).Clone())
+			for id, cc := range d.circuits {
+				if id == c.Query.ID {
+					continue
+				}
+				for _, cs := range cc.Services {
+					if cs.Reused && cs.ReusedFrom == inst {
+						cs.Node = s.Node
+					}
+				}
+			}
+			break
+		}
+	}
+	// The move changes path latencies inside the owning circuit, for the
+	// moved service's own instance and for every instance downstream of
+	// it — refresh them all so consumer-latency accounting of reusing
+	// circuits follows the move.
+	d.refreshUpstreamLatencies(c)
+}
+
+// refreshUpstreamLatencies recomputes the recorded producer→instance
+// latency of every instance the circuit owns against its current
+// placement.
+func (d *Deployment) refreshUpstreamLatencies(c *Circuit) {
+	insts := d.instances[c.Query.ID]
+	if len(insts) == 0 {
+		return
+	}
+	truth := TrueLatency{Topo: d.Env.Topo}
+	for _, s := range c.Services {
+		if s.Plan == nil || s.Reused || s.Plan.Kind == query.KindSource {
+			continue
+		}
+		for _, inst := range insts {
+			if inst.Signature == s.Signature && inst.Node == s.Node {
+				inst.UpstreamLatency = upstreamLatency(c, s, truth)
+				break
+			}
 		}
 	}
 }
@@ -194,6 +265,19 @@ func (d *Deployment) BeginMigration(m Migration) (*MigrationTicket, error) {
 		return nil, fmt.Errorf("optimizer: query %d has no service %d", m.Query, m.Service)
 	}
 	s := c.Services[m.Service]
+	if s.Reused {
+		// A non-owner circuit must never move a shared instance: the
+		// move would double-charge the instance's load on the target
+		// while the operator keeps executing inside its owner. Shared
+		// instances migrate through the owning circuit's own (non-
+		// reused) service, which re-binds every consumer at Commit.
+		owner := query.QueryID(-1)
+		if s.ReusedFrom != nil {
+			owner = s.ReusedFrom.Owner
+		}
+		return nil, fmt.Errorf("optimizer: query %d service %d reuses an instance owned by query %d; only the owner may migrate it",
+			m.Query, m.Service, owner)
+	}
 	if s.Pinned || s.Plan == nil {
 		return nil, fmt.Errorf("optimizer: query %d service %d is pinned", m.Query, m.Service)
 	}

@@ -2,111 +2,12 @@ package optimizer
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/hourglass/sbon/internal/costspace"
 	"github.com/hourglass/sbon/internal/placement"
 	"github.com/hourglass/sbon/internal/plan"
 	"github.com/hourglass/sbon/internal/query"
-	"github.com/hourglass/sbon/internal/topology"
 )
-
-// ServiceInstance is one deployed, shareable service: the physical
-// realization of a plan subtree, discoverable by signature and cost-space
-// coordinate.
-type ServiceInstance struct {
-	Signature string
-	Node      topology.NodeID
-	// Coord is the host's cost-space point at registration time (the
-	// coordinate the paper stores in the Hilbert DHT).
-	Coord costspace.Point
-	// OutRate is the instance's output rate in KB/s.
-	OutRate float64
-	// InRate is the instance's summed input rate in KB/s (drives load
-	// accounting when the instance is released).
-	InRate float64
-	// UpstreamLatency is the measured max producer→instance latency in
-	// the owning circuit, used for consumer-latency accounting of
-	// circuits that reuse this instance.
-	UpstreamLatency float64
-	// Owner is the query whose deployment created the instance.
-	Owner query.QueryID
-	// RefCount counts circuits currently consuming the instance
-	// (including the owner).
-	RefCount int
-}
-
-// Registry tracks shareable service instances. It stands in for the
-// paper's service entries in the Hilbert DHT: queries are answered by
-// cost-space region, and the work metric counts every instance inspected
-// in the region, matching the §3.4 pruning model.
-type Registry struct {
-	bySig map[string][]*ServiceInstance
-	all   []*ServiceInstance
-}
-
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{bySig: make(map[string][]*ServiceInstance)}
-}
-
-// Register adds an instance.
-func (r *Registry) Register(inst *ServiceInstance) {
-	r.bySig[inst.Signature] = append(r.bySig[inst.Signature], inst)
-	r.all = append(r.all, inst)
-}
-
-// Unregister removes an instance.
-func (r *Registry) Unregister(inst *ServiceInstance) {
-	sigs := r.bySig[inst.Signature]
-	for i, s := range sigs {
-		if s == inst {
-			r.bySig[inst.Signature] = append(sigs[:i], sigs[i+1:]...)
-			break
-		}
-	}
-	if len(r.bySig[inst.Signature]) == 0 {
-		delete(r.bySig, inst.Signature)
-	}
-	for i, s := range r.all {
-		if s == inst {
-			r.all = append(r.all[:i], r.all[i+1:]...)
-			break
-		}
-	}
-}
-
-// Len returns the number of registered instances.
-func (r *Registry) Len() int { return len(r.all) }
-
-// Instances returns all registered instances (shared slice; do not
-// modify).
-func (r *Registry) Instances() []*ServiceInstance { return r.all }
-
-// FindWithinRadius returns instances with the given signature whose
-// coordinates lie within cost-space radius of target, nearest first. The
-// examined count includes *every* instance in the radius regardless of
-// signature — the optimizer work the radius prunes (§3.4: "the optimizer
-// will then process circuits that fall within this region").
-func (r *Registry) FindWithinRadius(space *costspace.Space, target costspace.Point, radius float64, sig string) (matches []*ServiceInstance, examined int) {
-	for _, inst := range r.all {
-		if space.Distance(target, inst.Coord) <= radius {
-			examined++
-			if inst.Signature == sig {
-				matches = append(matches, inst)
-			}
-		}
-	}
-	sort.Slice(matches, func(i, j int) bool {
-		di := space.Distance(target, matches[i].Coord)
-		dj := space.Distance(target, matches[j].Coord)
-		if di != dj {
-			return di < dj
-		}
-		return matches[i].Node < matches[j].Node
-	})
-	return matches, examined
-}
 
 // MultiQuery optimizes queries against the population of already-running
 // circuits (§3.4): candidate plans may satisfy subtrees by reusing

@@ -1,0 +1,232 @@
+package optimizer
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/hourglass/sbon/internal/costindex"
+	"github.com/hourglass/sbon/internal/costspace"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// ServiceInstance is one deployed, shareable service: the physical
+// realization of a plan subtree, discoverable by signature and cost-space
+// coordinate.
+type ServiceInstance struct {
+	Signature string
+	Node      topology.NodeID
+	// Coord is the host's cost-space point at registration time (the
+	// coordinate the paper stores in the Hilbert DHT). It is re-bound by
+	// Registry.UpdateInstance when the instance migrates.
+	Coord costspace.Point
+	// OutRate is the instance's output rate in KB/s.
+	OutRate float64
+	// InRate is the instance's summed input rate in KB/s (drives load
+	// accounting when the instance is released).
+	InRate float64
+	// UpstreamLatency is the measured max producer→instance latency in
+	// the owning circuit, used for consumer-latency accounting of
+	// circuits that reuse this instance.
+	UpstreamLatency float64
+	// Owner is the query whose deployment created the instance — or, if
+	// that query cancelled while consumers remained, the surviving
+	// consumer the deployment handed ownership to.
+	Owner query.QueryID
+	// RefCount counts circuits currently consuming the instance
+	// (including the owner).
+	RefCount int
+}
+
+// indexMinInstances is the registry size below which radius queries
+// stay on the linear scan: rebuilding the spatial index after every
+// Register would cost more than it prunes while the instance population
+// is small.
+const indexMinInstances = 64
+
+// Registry tracks shareable service instances. It stands in for the
+// paper's service entries in the Hilbert DHT: queries are answered by
+// cost-space region, and the work metric counts every instance inspected
+// in the region, matching the §3.4 pruning model.
+//
+// A Registry is safe for concurrent use: lookups take a read lock and
+// mutations a write lock, so batch-optimization workers can share one
+// registry while circuits deploy and cancel. Radius queries over large
+// populations are answered by an epoch-versioned exact cost-space index
+// (internal/costindex) rebuilt lazily after mutations — the same
+// invalidation discipline as the optimizer's plan cache — with results
+// and examined counts identical to the linear scan they replace.
+type Registry struct {
+	mu    sync.RWMutex
+	bySig map[string][]*ServiceInstance
+	all   []*ServiceInstance
+	// epoch counts mutations (register, unregister, instance moves);
+	// the spatial index is valid only while its version matches.
+	epoch uint64
+
+	// idx is the lazily built exact index over idxAll's coordinates;
+	// idxAll snapshots the instance list the index ids refer to, and
+	// idxSpace the cost space it was built in. All three are replaced
+	// wholesale under mu and read lock-free once fetched.
+	idx      *costindex.Index
+	idxAll   []*ServiceInstance
+	idxSpace *costspace.Space
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{bySig: make(map[string][]*ServiceInstance)}
+}
+
+// Register adds an instance.
+func (r *Registry) Register(inst *ServiceInstance) {
+	r.mu.Lock()
+	r.bySig[inst.Signature] = append(r.bySig[inst.Signature], inst)
+	r.all = append(r.all, inst)
+	r.epoch++
+	r.mu.Unlock()
+}
+
+// Unregister removes an instance.
+func (r *Registry) Unregister(inst *ServiceInstance) {
+	r.mu.Lock()
+	sigs := r.bySig[inst.Signature]
+	for i, s := range sigs {
+		if s == inst {
+			r.bySig[inst.Signature] = append(sigs[:i], sigs[i+1:]...)
+			break
+		}
+	}
+	if len(r.bySig[inst.Signature]) == 0 {
+		delete(r.bySig, inst.Signature)
+	}
+	for i, s := range r.all {
+		if s == inst {
+			r.all = append(r.all[:i], r.all[i+1:]...)
+			break
+		}
+	}
+	r.epoch++
+	r.mu.Unlock()
+}
+
+// UpdateInstance re-binds a migrated instance to its new node and
+// coordinate under the registry lock, so concurrent radius queries
+// never observe a torn write and the spatial index is invalidated.
+func (r *Registry) UpdateInstance(inst *ServiceInstance, node topology.NodeID, coord costspace.Point) {
+	r.mu.Lock()
+	inst.Node = node
+	inst.Coord = coord
+	r.epoch++
+	r.mu.Unlock()
+}
+
+// Len returns the number of registered instances.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.all)
+}
+
+// Instances returns a copy of the registered instances.
+func (r *Registry) Instances() []*ServiceInstance {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*ServiceInstance(nil), r.all...)
+}
+
+// FindWithinRadius returns instances with the given signature whose
+// coordinates lie within cost-space radius of target, nearest first
+// (ties by lowest node id). The examined count includes *every*
+// instance in the radius regardless of signature — the optimizer work
+// the radius prunes (§3.4: "the optimizer will then process circuits
+// that fall within this region").
+//
+// Small registries are scanned linearly; past indexMinInstances the
+// query runs against the cost-space index, with identical matches and
+// examined counts (the index's radius search is inclusive and
+// distance-exact, like the scan).
+func (r *Registry) FindWithinRadius(space *costspace.Space, target costspace.Point, radius float64, sig string) (matches []*ServiceInstance, examined int) {
+	r.mu.RLock()
+	if len(r.all) < indexMinInstances {
+		defer r.mu.RUnlock()
+		return findLinear(space, r.all, target, radius, sig)
+	}
+	idx, insts := r.idx, r.idxAll
+	fresh := idx != nil && r.idxSpace == space && idx.Version() == r.epoch
+	r.mu.RUnlock()
+	if !fresh {
+		idx, insts = r.rebuildIndex(space)
+	}
+
+	hits := idx.WithinRadius(target, radius, nil, nil)
+	examined = len(hits)
+	type cand struct {
+		inst *ServiceInstance
+		dist float64
+	}
+	// Signature is immutable, but Node is written by UpdateInstance
+	// under the lock — take the read lock back for the filter and
+	// tie-break so the sort never races a concurrent instance move.
+	r.mu.RLock()
+	var cands []cand
+	for _, h := range hits {
+		if inst := insts[h.ID]; inst.Signature == sig {
+			cands = append(cands, cand{inst, h.Dist})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].inst.Node < cands[j].inst.Node
+	})
+	r.mu.RUnlock()
+	matches = make([]*ServiceInstance, len(cands))
+	for i, c := range cands {
+		matches[i] = c.inst
+	}
+	return matches, examined
+}
+
+// rebuildIndex (re)builds the spatial index over the current instance
+// population, snapshotting the list the index ids refer to.
+func (r *Registry) rebuildIndex(space *costspace.Space) (*costindex.Index, []*ServiceInstance) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.idx != nil && r.idxSpace == space && r.idx.Version() == r.epoch {
+		return r.idx, r.idxAll
+	}
+	insts := append([]*ServiceInstance(nil), r.all...)
+	pts := make([]costspace.Point, len(insts))
+	for i, inst := range insts {
+		pts[i] = inst.Coord
+	}
+	r.idx = costindex.Build(space, pts, r.epoch)
+	r.idxAll = insts
+	r.idxSpace = space
+	return r.idx, r.idxAll
+}
+
+// findLinear is the reference radius scan the index path must match
+// exactly; it stays the live path for small registries and pins the
+// identity tests.
+func findLinear(space *costspace.Space, all []*ServiceInstance, target costspace.Point, radius float64, sig string) (matches []*ServiceInstance, examined int) {
+	for _, inst := range all {
+		if space.Distance(target, inst.Coord) <= radius {
+			examined++
+			if inst.Signature == sig {
+				matches = append(matches, inst)
+			}
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		di := space.Distance(target, matches[i].Coord)
+		dj := space.Distance(target, matches[j].Coord)
+		if di != dj {
+			return di < dj
+		}
+		return matches[i].Node < matches[j].Node
+	})
+	return matches, examined
+}

@@ -1,0 +1,165 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/hourglass/sbon/internal/costspace"
+	"github.com/hourglass/sbon/internal/query"
+	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/vivaldi"
+)
+
+// randomRegistry fills a registry with n instances at random cost-space
+// coordinates, cycling through nSigs signatures.
+func randomRegistry(space *costspace.Space, n, nSigs int, rng *rand.Rand) *Registry {
+	reg := NewRegistry()
+	for i := 0; i < n; i++ {
+		reg.Register(&ServiceInstance{
+			Signature: fmt.Sprintf("sig-%d", i%nSigs),
+			Node:      topology.NodeID(i),
+			Coord:     space.NewPoint(vivaldi.Coord{rng.Float64() * 200, rng.Float64() * 200}, []float64{rng.Float64()}),
+			Owner:     query.QueryID(i),
+			RefCount:  1,
+		})
+	}
+	return reg
+}
+
+// TestRegistryIndexedMatchesLinear pins the §3.4 semantics across the
+// index cutover: matches (set and order) and examined counts from the
+// costindex-backed path must be identical to the linear reference scan.
+func TestRegistryIndexedMatchesLinear(t *testing.T) {
+	space := costspace.NewLatencyLoadSpace(100)
+	rng := rand.New(rand.NewSource(7))
+	reg := randomRegistry(space, 1500, 40, rng) // well past indexMinInstances
+	if len(reg.all) < indexMinInstances {
+		t.Fatal("fixture too small to exercise the indexed path")
+	}
+	for trial := 0; trial < 50; trial++ {
+		target := space.NewPoint(vivaldi.Coord{rng.Float64() * 200, rng.Float64() * 200}, []float64{rng.Float64()})
+		radius := rng.Float64() * 120
+		sig := fmt.Sprintf("sig-%d", rng.Intn(40))
+
+		gotM, gotEx := reg.FindWithinRadius(space, target, radius, sig)
+		wantM, wantEx := findLinear(space, reg.all, target, radius, sig)
+		if gotEx != wantEx {
+			t.Fatalf("trial %d: examined %d, linear %d", trial, gotEx, wantEx)
+		}
+		if len(gotM) != len(wantM) {
+			t.Fatalf("trial %d: %d matches, linear %d", trial, len(gotM), len(wantM))
+		}
+		for i := range gotM {
+			if gotM[i] != wantM[i] {
+				t.Fatalf("trial %d: match %d is node %d, linear has node %d",
+					trial, i, gotM[i].Node, wantM[i].Node)
+			}
+		}
+	}
+}
+
+// TestRegistryIndexInvalidation pins the epoch discipline: mutations
+// between queries (register, unregister, instance moves) must be
+// visible to the next radius query.
+func TestRegistryIndexInvalidation(t *testing.T) {
+	space := costspace.NewLatencyLoadSpace(100)
+	rng := rand.New(rand.NewSource(8))
+	reg := randomRegistry(space, 200, 10, rng)
+	target := space.NewPoint(vivaldi.Coord{50, 50}, []float64{0})
+
+	_, _ = reg.FindWithinRadius(space, target, 50, "sig-0") // build the index
+	extra := &ServiceInstance{
+		Signature: "sig-new",
+		Node:      9999,
+		Coord:     space.NewPoint(vivaldi.Coord{50, 50}, []float64{0}),
+		RefCount:  1,
+	}
+	reg.Register(extra)
+	if m, _ := reg.FindWithinRadius(space, target, 1, "sig-new"); len(m) != 1 || m[0] != extra {
+		t.Fatalf("index did not observe Register: matches = %v", m)
+	}
+	reg.UpdateInstance(extra, 9999, space.NewPoint(vivaldi.Coord{190, 190}, []float64{0}))
+	if m, _ := reg.FindWithinRadius(space, target, 1, "sig-new"); len(m) != 0 {
+		t.Fatal("index did not observe UpdateInstance move")
+	}
+	reg.Unregister(extra)
+	if m, _ := reg.FindWithinRadius(space, space.NewPoint(vivaldi.Coord{190, 190}, []float64{0}), 1, "sig-new"); len(m) != 0 {
+		t.Fatal("index did not observe Unregister")
+	}
+}
+
+// TestRegistryConcurrentUse exercises the registry under -race: readers
+// running radius queries while writers register, unregister, and move
+// instances — the OptimizeBatch-workers-share-a-registry scenario.
+func TestRegistryConcurrentUse(t *testing.T) {
+	space := costspace.NewLatencyLoadSpace(100)
+	rng := rand.New(rand.NewSource(9))
+	reg := randomRegistry(space, 300, 20, rng)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				target := space.NewPoint(vivaldi.Coord{r.Float64() * 200, r.Float64() * 200}, []float64{r.Float64()})
+				reg.FindWithinRadius(space, target, r.Float64()*100, fmt.Sprintf("sig-%d", r.Intn(20)))
+				reg.Len()
+			}
+		}(int64(w))
+	}
+	writer := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		inst := &ServiceInstance{
+			Signature: fmt.Sprintf("sig-%d", writer.Intn(20)),
+			Node:      topology.NodeID(1000 + i),
+			Coord:     space.NewPoint(vivaldi.Coord{writer.Float64() * 200, writer.Float64() * 200}, []float64{writer.Float64()}),
+			RefCount:  1,
+		}
+		reg.Register(inst)
+		if insts := reg.Instances(); len(insts) > 0 {
+			mv := insts[writer.Intn(len(insts))]
+			reg.UpdateInstance(mv, mv.Node, space.NewPoint(vivaldi.Coord{writer.Float64() * 200, writer.Float64() * 200}, []float64{writer.Float64()}))
+		}
+		if i%3 == 0 {
+			reg.Unregister(inst)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkRegistryFindWithinRadius10k compares the costindex-backed
+// radius query against the linear reference at 10k registered
+// instances — the satellite's headline win.
+func BenchmarkRegistryFindWithinRadius10k(b *testing.B) {
+	space := costspace.NewLatencyLoadSpace(100)
+	rng := rand.New(rand.NewSource(10))
+	reg := randomRegistry(space, 10000, 200, rng)
+	targets := make([]costspace.Point, 64)
+	for i := range targets {
+		targets[i] = space.NewPoint(vivaldi.Coord{rng.Float64() * 200, rng.Float64() * 200}, []float64{rng.Float64()})
+	}
+
+	b.Run("indexed", func(b *testing.B) {
+		reg.FindWithinRadius(space, targets[0], 10, "sig-0") // warm the index
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.FindWithinRadius(space, targets[i%len(targets)], 10, "sig-0")
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			findLinear(space, reg.all, targets[i%len(targets)], 10, "sig-0")
+		}
+	})
+}

@@ -156,7 +156,12 @@ func (r *Reoptimizer) sweep(apply bool) (MigrationPlan, error) {
 			return plan, err
 		}
 		for i, s := range c.Services {
-			if s.Pinned || s.Plan == nil {
+			// Reused services are never move candidates from a consumer
+			// circuit: the instance belongs to (and migrates with) its
+			// owner. The explicit check is belt-and-suspenders — the
+			// builder pins reused services — so a circuit edited or
+			// built elsewhere cannot sneak a non-owned move into a plan.
+			if s.Pinned || s.Reused || s.Plan == nil {
 				continue
 			}
 			plan.ServicesEvaluated++
@@ -231,6 +236,13 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 		hit := false
 		for _, s := range c.Services {
 			if victims[s.Node] {
+				if s.Reused {
+					// Moves with its owning circuit; the owner's own
+					// evacuation entry relocates it (and Commit re-binds
+					// this consumer), so it is neither a victim of this
+					// circuit nor unmovable.
+					continue
+				}
 				if s.Pinned || s.Plan == nil {
 					plan.Unmovable++
 					continue
@@ -245,7 +257,7 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 			return plan, err
 		}
 		for i, s := range c.Services {
-			if s.Pinned || s.Plan == nil || !victims[s.Node] {
+			if s.Pinned || s.Reused || s.Plan == nil || !victims[s.Node] {
 				continue
 			}
 			plan.ServicesEvaluated++

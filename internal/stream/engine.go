@@ -38,6 +38,14 @@ func DefaultEngineConfig() EngineConfig {
 // clock, producers are events on the simulation heap instead of
 // goroutines, and a fixed seed reproduces the measured dataflow bit
 // for bit.
+//
+// Shared service instances (§3.4 multi-query optimization) are
+// first-class: a circuit whose plan reuses an instance from another
+// circuit deploys without duplicating the shared operator — the engine
+// taps the providing circuit's operator output and routes it into the
+// consumer's downstream services over the overlay, so the shared
+// subtree's tuples are produced exactly once and delivered to every
+// subscriber.
 type Engine struct {
 	net   *overlay.Network
 	topo  *topology.Topology
@@ -46,6 +54,11 @@ type Engine struct {
 
 	mu      sync.Mutex
 	running map[query.QueryID]*Running
+	// shared maps a reusable instance to the circuit service executing
+	// it; zombies are cancelled provider circuits kept (trimmed) alive
+	// because other circuits still subscribe to their services.
+	shared  map[*optimizer.ServiceInstance]*sharedExec
+	zombies map[*Running]struct{}
 }
 
 // NewEngine builds an engine over a started overlay network.
@@ -62,6 +75,8 @@ func NewEngine(net *overlay.Network, topo *topology.Topology, cfg EngineConfig) 
 		cfg:     cfg,
 		clock:   net.Clock(),
 		running: make(map[query.QueryID]*Running),
+		shared:  make(map[*optimizer.ServiceInstance]*sharedExec),
+		zombies: make(map[*Running]struct{}),
 	}
 }
 
@@ -73,8 +88,8 @@ type Running struct {
 	stop      chan struct{}
 	prodStop  chan struct{} // closes producers only (HaltProducers)
 	haltOnce  sync.Once
-	producers sync.WaitGroup // goroutine producers (real clock)
-	vprods    []*vProducer   // event producers (virtual clock)
+	producers sync.WaitGroup   // goroutine producers (real clock)
+	prods     []producerHandle // per-source halt handles (both clocks)
 	started   time.Time
 
 	// route[i] is the node tuples destined for service i are sent to;
@@ -82,21 +97,43 @@ type Running struct {
 	// only during a migration handoff: route flips to the target first
 	// (arrivals buffer there) while host follows at cutover. Emitters
 	// load both atomically per tuple, which is what lets the adaptation
-	// layer re-route circuit links under live traffic.
+	// layer re-route circuit links under live traffic. For a reused
+	// service both mirror the providing circuit's placement and flip at
+	// the provider's cutover.
 	route []atomic.Int32
 	host  []atomic.Int32
 	// svcs carries each service's runtime state: the registered port,
-	// the operator instance that migrates with it, and the gate
-	// serializing operator access across a handoff.
+	// the operator instance that migrates with it, the gate serializing
+	// operator access across a handoff, and the cross-circuit
+	// subscription edges of circuits reusing the service.
 	svcs []svcRuntime
+
+	// taps are the shared services this circuit consumes (under
+	// engine.mu).
+	taps []*tap
+	// zombie marks a cancelled circuit kept alive because other
+	// circuits still subscribe to its services; kept[i] reports whether
+	// service i survived the zombie trim (under engine.mu).
+	zombie bool
+	kept   []bool
 
 	migs []*Migration // under engine.mu
 
 	tuplesIn  *metrics.Counter // tuples entering at producers
+	sharedIn  *metrics.Counter // tuples delivered in from shared providers
 	tuplesOut *metrics.Counter
 	kbOut     *metrics.Counter
 	latencyMs *metrics.Histogram
 	usageKBms *metrics.Counter
+}
+
+// producerHandle lets the engine halt one source's tuple generation
+// independently — the zombie trim stops producers that only feed a
+// cancelled circuit's private services while shared subtrees keep
+// flowing.
+type producerHandle struct {
+	svc  int
+	halt func()
 }
 
 // svcRuntime is the per-service executable state the migration protocol
@@ -116,6 +153,17 @@ type svcRuntime struct {
 	gate sync.Mutex
 	// migrating marks an in-flight handoff (under engine.mu).
 	migrating bool
+
+	// outs are the service's own-circuit delivery edges; subs are the
+	// cross-circuit edges of subscribers reusing this service. Both are
+	// copy-on-write slices (written under engine.mu, loaded atomically
+	// per emission) so deploys, cancels, and the zombie trim re-route
+	// the dataflow under live traffic.
+	outs atomic.Pointer[[]outEdge]
+	subs atomic.Pointer[[]subEdge]
+	// taps lists the subscriptions feeding subs, in deploy order
+	// (under engine.mu).
+	taps []*tap
 }
 
 // outEdge is a precomputed delivery target for a service's emissions;
@@ -126,17 +174,46 @@ type outEdge struct {
 	side int
 }
 
+// subEdge is a cross-circuit delivery target: a downstream service of a
+// circuit that reuses this instance. The destination node is resolved
+// through the subscriber's own route table at emit time, and the link
+// is charged to the subscriber (the control plane's accounting: a
+// consumer pays for the stream from the shared instance to its own
+// services).
+type subEdge struct {
+	run  *Running // subscribing circuit
+	svc  int      // destination service index in the subscriber
+	port string
+	side int
+}
+
+// sharedExec locates the circuit service executing a shareable
+// instance.
+type sharedExec struct {
+	run *Running
+	svc int
+}
+
+// tap is one circuit's subscription to a shared service: the consumer's
+// reused-service index plus the delivery edges it contributed to the
+// provider's subscriber list.
+type tap struct {
+	consumer *Running
+	svc      int // reused service index in the consumer circuit
+	se       *sharedExec
+	edges    []subEdge
+}
+
 // dataMsg is the on-wire tuple payload.
 type dataMsg struct {
 	Side int
 	T    Tuple
 }
 
-// ErrReusedServices marks circuits that cannot execute standalone
-// because some of their services run inside another circuit; callers
-// match it with errors.Is to distinguish this expected rejection from
-// genuine deployment failures.
-var ErrReusedServices = errors.New("circuit contains reused services")
+// ErrProviderNotRunning marks consumer circuits that cannot execute
+// because the circuit owning one of their reused instances is not
+// deployed on the engine; deploy providers before their consumers.
+var ErrProviderNotRunning = errors.New("shared instance provider not running")
 
 // ErrNotRunning marks operations against a query the engine is not
 // executing; the adaptation layer matches it to fall back to
@@ -144,22 +221,40 @@ var ErrReusedServices = errors.New("circuit contains reused services")
 var ErrNotRunning = errors.New("query not running")
 
 // Deploy instantiates the circuit's operators on their hosts, starts
-// producers, and begins measurement. Circuits with reused services cannot
-// be executed standalone (their upstream lives in another circuit) and
-// are rejected with ErrReusedServices.
+// producers, and begins measurement. Reused services are not
+// instantiated: the engine subscribes the circuit's downstream services
+// to the providing circuit's operator output instead, so a shared
+// instance executes exactly once no matter how many circuits consume
+// it. The providers must already be running (ErrProviderNotRunning).
 func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
-	}
-	for _, s := range c.Services {
-		if s.Reused {
-			return nil, fmt.Errorf("stream: circuit q%d: %w; deploy the owning circuit instead", c.Query.ID, ErrReusedServices)
-		}
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.running[c.Query.ID]; ok {
 		return nil, fmt.Errorf("stream: query %d already running", c.Query.ID)
+	}
+
+	// Resolve every reused service's executing provider up front, so a
+	// failed resolution aborts before anything is registered.
+	type pendingTap struct {
+		svc int
+		se  *sharedExec
+	}
+	var pending []pendingTap
+	for i, s := range c.Services {
+		if !s.Reused {
+			continue
+		}
+		if s.ReusedFrom == nil {
+			return nil, fmt.Errorf("stream: circuit q%d service %d is reused but carries no instance", c.Query.ID, i)
+		}
+		se, err := e.resolveProviderLocked(s.ReusedFrom)
+		if err != nil {
+			return nil, fmt.Errorf("stream: circuit q%d: %w", c.Query.ID, err)
+		}
+		pending = append(pending, pendingTap{svc: i, se: se})
 	}
 
 	r := &Running{
@@ -171,6 +266,7 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 		host:      make([]atomic.Int32, len(c.Services)),
 		svcs:      make([]svcRuntime, len(c.Services)),
 		tuplesIn:  &metrics.Counter{},
+		sharedIn:  &metrics.Counter{},
 		tuplesOut: &metrics.Counter{},
 		kbOut:     &metrics.Counter{},
 		latencyMs: &metrics.Histogram{},
@@ -196,10 +292,21 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 			side: side,
 		})
 	}
+	for i := range c.Services {
+		// A reused service never emits here (its provider does, through
+		// the subscription edges built from outs below), so storing its
+		// own-circuit edges would only create dead state.
+		if len(outs[i]) > 0 && !c.Services[i].Reused {
+			edges := outs[i]
+			r.svcs[i].outs.Store(&edges)
+		}
+	}
 
 	// Install operator handlers and the consumer sink.
 	for i, s := range c.Services {
 		switch {
+		case s.Reused:
+			// Executes inside its provider; wired below via a tap.
 		case s.Plan == nil: // consumer sink
 			nd := e.net.Node(s.Node)
 			p := port(i)
@@ -221,7 +328,7 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 			rt := &r.svcs[i]
 			rt.port = port(i)
 			rt.operator = op
-			emit := r.emitFor(i, outs[i])
+			emit := r.emitFor(i)
 			rt.process = func(side int, t Tuple) { op.Process(side, t, emit) }
 			rt.handler = func(m overlay.Message) {
 				dm := m.Payload.(dataMsg)
@@ -233,15 +340,32 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 		}
 	}
 
+	// Wire the subscriptions: every reused service becomes a set of
+	// cross-circuit edges on its provider, and the consumer's view of
+	// the service mirrors the provider's current placement.
+	for _, pt := range pending {
+		t := &tap{consumer: r, svc: pt.svc, se: pt.se}
+		for _, eg := range outs[pt.svc] {
+			t.edges = append(t.edges, subEdge{run: r, svc: eg.svc, port: eg.port, side: eg.side})
+		}
+		prov := pt.se.run
+		prov.svcs[pt.se.svc].taps = append(prov.svcs[pt.se.svc].taps, t)
+		e.rebuildSubsLocked(prov, pt.se.svc)
+		r.taps = append(r.taps, t)
+		h := prov.host[pt.se.svc].Load()
+		r.route[pt.svc].Store(h)
+		r.host[pt.svc].Store(h)
+	}
+
 	// Start producers: goroutines paced by a wall-clock ticker on the
 	// real clock, recurring events on the virtual clock.
 	r.started = e.clock.Now()
 	for i, s := range c.Services {
-		if s.Plan == nil || s.Plan.Kind != query.KindSource {
+		if s.Reused || s.Plan == nil || s.Plan.Kind != query.KindSource {
 			continue
 		}
 		rate := s.Plan.OutRate // KB/s simulated
-		emit := r.emitFor(i, outs[i])
+		emit := r.emitFor(i)
 		counted := func(t Tuple) {
 			r.tuplesIn.Inc()
 			emit(t)
@@ -249,31 +373,104 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 		stream := s.Plan.Stream
 		seed := e.cfg.Seed + int64(stream)*7919 + int64(c.Query.ID)*104729
 		if e.net.Virtual() {
-			r.vprods = append(r.vprods, e.startVirtualProducer(r, stream, rate, seed, counted))
+			p := e.startVirtualProducer(r, stream, rate, seed, counted)
+			r.prods = append(r.prods, producerHandle{svc: i, halt: p.halt})
 			continue
 		}
+		stop := make(chan struct{})
+		var once sync.Once
+		r.prods = append(r.prods, producerHandle{svc: i, halt: func() { once.Do(func() { close(stop) }) }})
 		r.producers.Add(1)
-		go e.produce(r, stream, rate, seed, counted)
+		go e.produce(r, stop, stream, rate, seed, counted)
 	}
 
 	e.running[c.Query.ID] = r
 	return r, nil
 }
 
+// resolveProviderLocked locates the circuit service executing a
+// shareable instance: the owning circuit's non-reused service with the
+// instance's signature, or — when ownership was handed to a consumer
+// after the original owner cancelled — the service that consumer's own
+// tap points at.
+func (e *Engine) resolveProviderLocked(inst *optimizer.ServiceInstance) (*sharedExec, error) {
+	if se, ok := e.shared[inst]; ok {
+		if se.run.zombie && !se.run.kept[se.svc] {
+			return nil, fmt.Errorf("stream: instance %q provider was trimmed from cancelled query %d: %w",
+				inst.Signature, se.run.Circuit.Query.ID, ErrProviderNotRunning)
+		}
+		return se, nil
+	}
+	run, ok := e.running[inst.Owner]
+	if !ok {
+		return nil, fmt.Errorf("stream: instance %q owner query %d: %w", inst.Signature, inst.Owner, ErrProviderNotRunning)
+	}
+	for i, s := range run.Circuit.Services {
+		if s.Plan == nil || s.Plan.Kind == query.KindSource || s.Signature != inst.Signature {
+			continue
+		}
+		if s.Reused {
+			// Adopted owner: it consumes the instance itself; follow its
+			// tap to the executing provider.
+			for _, t := range run.taps {
+				if t.svc == i {
+					se := &sharedExec{run: t.se.run, svc: t.se.svc}
+					e.shared[inst] = se
+					return se, nil
+				}
+			}
+			continue
+		}
+		se := &sharedExec{run: run, svc: i}
+		e.shared[inst] = se
+		return se, nil
+	}
+	return nil, fmt.Errorf("stream: instance %q has no executing service in owner query %d: %w",
+		inst.Signature, inst.Owner, ErrProviderNotRunning)
+}
+
+// rebuildSubsLocked reassembles a provider service's subscriber edge
+// list from its taps, in deploy order — the copy-on-write publish point
+// emitters load per tuple.
+func (e *Engine) rebuildSubsLocked(r *Running, svc int) {
+	rt := &r.svcs[svc]
+	if len(rt.taps) == 0 {
+		rt.subs.Store(nil)
+		return
+	}
+	var edges []subEdge
+	for _, t := range rt.taps {
+		edges = append(edges, t.edges...)
+	}
+	rt.subs.Store(&edges)
+}
+
 // emitFor builds the emission closure for service idx: each output tuple
 // is sent from the service's current host to every downstream target's
-// current route, both resolved per tuple so live migrations re-route the
-// dataflow without re-deploying.
-func (r *Running) emitFor(idx int, targets []outEdge) Emit {
+// current route — own-circuit edges first, then cross-circuit
+// subscriber edges — all resolved per tuple so live migrations and
+// subscription changes re-route the dataflow without re-deploying.
+func (r *Running) emitFor(idx int) Emit {
 	e := r.engine
+	rt := &r.svcs[idx]
 	return func(t Tuple) {
 		from := topology.NodeID(r.host[idx].Load())
 		node := e.net.Node(from)
-		for _, tgt := range targets {
-			to := topology.NodeID(r.route[tgt.svc].Load())
-			r.usageKBms.Add(t.SizeKB * e.topo.Latency(from, to))
-			// Send never blocks; post-shutdown sends are dropped.
-			_ = node.Send(to, tgt.port, t.SizeKB, dataMsg{Side: tgt.side, T: t})
+		if outs := rt.outs.Load(); outs != nil {
+			for _, tgt := range *outs {
+				to := topology.NodeID(r.route[tgt.svc].Load())
+				r.usageKBms.Add(t.SizeKB * e.topo.Latency(from, to))
+				// Send never blocks; post-shutdown sends are dropped.
+				_ = node.Send(to, tgt.port, t.SizeKB, dataMsg{Side: tgt.side, T: t})
+			}
+		}
+		if subs := rt.subs.Load(); subs != nil {
+			for _, sb := range *subs {
+				to := topology.NodeID(sb.run.route[sb.svc].Load())
+				sb.run.sharedIn.Inc()
+				sb.run.usageKBms.Add(t.SizeKB * e.topo.Latency(from, to))
+				_ = node.Send(to, sb.port, t.SizeKB, dataMsg{Side: sb.side, T: t})
+			}
 		}
 	}
 }
@@ -294,7 +491,7 @@ func (e *Engine) produceInterval(rateKBs float64) time.Duration {
 // (real clock). Emission is paced by elapsed wall time rather than
 // one-per-tick: Go tickers coalesce missed ticks, which would silently
 // under-produce at sub-millisecond intervals.
-func (e *Engine) produce(r *Running, stream query.StreamID, rateKBs float64, seed int64, emit Emit) {
+func (e *Engine) produce(r *Running, stop <-chan struct{}, stream query.StreamID, rateKBs float64, seed int64, emit Emit) {
 	defer r.producers.Done()
 	rng := rand.New(rand.NewSource(seed))
 	interval := e.produceInterval(rateKBs)
@@ -312,6 +509,8 @@ func (e *Engine) produce(r *Running, stream query.StreamID, rateKBs float64, see
 		case <-r.stop:
 			return
 		case <-r.prodStop:
+			return
+		case <-stop:
 			return
 		case <-ticker.C:
 			due := int64(time.Since(start) / interval)
@@ -386,8 +585,12 @@ func (e *Engine) startVirtualProducer(r *Running, stream query.StreamID, rateKBs
 	return p
 }
 
-// Stop cancels a running circuit: producers halt and handlers are
-// removed.
+// Stop cancels a running circuit. Its own execution ends — producers
+// halt, handlers are removed, its subscriptions on other circuits
+// release — but services that other circuits reuse keep executing: the
+// circuit lingers as a trimmed "zombie" (only the shared subtrees and
+// the producers feeding them stay live) until the last subscriber
+// releases it.
 func (e *Engine) Stop(id query.QueryID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -395,9 +598,170 @@ func (e *Engine) Stop(id query.QueryID) error {
 	if !ok {
 		return fmt.Errorf("stream: query %d not running", id)
 	}
-	e.teardownLocked(r)
 	delete(e.running, id)
+	e.retireLocked(r)
 	return nil
+}
+
+// retireLocked ends a circuit's execution: full teardown when nothing
+// subscribes to its services, a zombie trim otherwise.
+func (e *Engine) retireLocked(r *Running) {
+	if e.liveTapsLocked(r) > 0 {
+		e.zombifyLocked(r)
+		return
+	}
+	e.teardownLocked(r)
+	e.dropProviderRecordsLocked(r)
+	taps := r.taps
+	r.taps = nil
+	for _, t := range taps {
+		e.releaseTapLocked(t)
+	}
+}
+
+// liveTapsLocked counts subscriptions other circuits hold on r's
+// services.
+func (e *Engine) liveTapsLocked(r *Running) int {
+	n := 0
+	for i := range r.svcs {
+		n += len(r.svcs[i].taps)
+	}
+	return n
+}
+
+// releaseTapLocked detaches one subscription from its provider and
+// collapses the provider if it was a zombie waiting only on this tap.
+func (e *Engine) releaseTapLocked(t *tap) {
+	prov := t.se.run
+	rt := &prov.svcs[t.se.svc]
+	for i, pt := range rt.taps {
+		if pt == t {
+			rt.taps = append(rt.taps[:i], rt.taps[i+1:]...)
+			break
+		}
+	}
+	e.rebuildSubsLocked(prov, t.se.svc)
+	if prov.zombie && e.liveTapsLocked(prov) == 0 {
+		e.collapseZombieLocked(prov)
+	}
+}
+
+// collapseZombieLocked fully tears down a zombie whose last subscriber
+// released, cascading through providers it was itself subscribed to.
+func (e *Engine) collapseZombieLocked(z *Running) {
+	delete(e.zombies, z)
+	e.teardownLocked(z)
+	e.dropProviderRecordsLocked(z)
+	taps := z.taps
+	z.taps = nil
+	for _, t := range taps {
+		e.releaseTapLocked(t)
+	}
+}
+
+// zombifyLocked trims a cancelled circuit down to the services other
+// circuits subscribe to: the shared subtrees (and the producers and
+// upstream operators feeding them) keep executing; everything else —
+// the consumer sink, private branches, their producers — stops. Ports
+// of trimmed services stay registered as drains so tuples already in
+// flight are absorbed rather than counted as routing loss.
+func (e *Engine) zombifyLocked(r *Running) {
+	r.zombie = true
+	e.zombies[r] = struct{}{}
+
+	keep := make([]bool, len(r.svcs))
+	var mark func(i int)
+	mark = func(i int) {
+		if keep[i] {
+			return
+		}
+		keep[i] = true
+		for _, l := range r.Circuit.Links {
+			if l.To == i {
+				mark(l.From)
+			}
+		}
+	}
+	for i := range r.svcs {
+		if len(r.svcs[i].taps) > 0 {
+			mark(i)
+		}
+	}
+	r.kept = keep
+
+	// Release this circuit's own subscriptions that only feed trimmed
+	// services; keep the ones feeding a surviving shared subtree.
+	var retained []*tap
+	taps := r.taps
+	r.taps = nil
+	for _, t := range taps {
+		if keep[t.svc] {
+			retained = append(retained, t)
+			continue
+		}
+		e.releaseTapLocked(t)
+	}
+	r.taps = retained
+
+	for _, p := range r.prods {
+		if !keep[p.svc] {
+			p.halt()
+		}
+	}
+	// In-flight migrations of trimmed services are cancelled; kept
+	// services' handoffs proceed (their phase events check r.stop,
+	// which a zombie leaves open).
+	for _, m := range r.migs {
+		if keep[m.Service] {
+			continue
+		}
+		select {
+		case <-m.done: // already complete; nothing in flight
+		default:
+			m.cancel()
+			// The T0 state-transfer message may still be in flight to
+			// the target whose side port cancel just unregistered;
+			// absorb it rather than counting it as routing loss.
+			e.net.Node(m.To).Register(m.rt.port+statePortSuffix, func(overlay.Message) {})
+		}
+	}
+	for i := range r.svcs {
+		rt := &r.svcs[i]
+		if keep[i] {
+			if outsp := rt.outs.Load(); outsp != nil {
+				kept := make([]outEdge, 0, len(*outsp))
+				for _, eg := range *outsp {
+					if keep[eg.svc] {
+						kept = append(kept, eg)
+					}
+				}
+				rt.outs.Store(&kept)
+			}
+			continue
+		}
+		rt.outs.Store(nil)
+		if rt.port != "" {
+			drain := func(overlay.Message) {}
+			e.net.Node(topology.NodeID(r.host[i].Load())).Register(rt.port, drain)
+			// A service whose migration was just cancelled mid-handoff
+			// has route pointing at the target (whose buffer m.cancel
+			// unregistered); tuples already in flight there must drain
+			// too, not count as routing loss.
+			if to := r.route[i].Load(); to != r.host[i].Load() {
+				e.net.Node(topology.NodeID(to)).Register(rt.port, drain)
+			}
+		}
+	}
+}
+
+// dropProviderRecordsLocked forgets the instance→service records of a
+// fully torn down circuit.
+func (e *Engine) dropProviderRecordsLocked(r *Running) {
+	for inst, se := range e.shared {
+		if se.run == r {
+			delete(e.shared, inst)
+		}
+	}
 }
 
 func (e *Engine) teardownLocked(r *Running) {
@@ -406,24 +770,32 @@ func (e *Engine) teardownLocked(r *Running) {
 	default:
 		close(r.stop)
 	}
-	for _, p := range r.vprods {
+	for _, p := range r.prods {
 		p.halt()
 	}
 	r.producers.Wait()
 	// Cancel in-flight migrations: pending phase timers are stopped and
-	// waiters released before ports disappear.
+	// waiters released before ports disappear. The explicit state-port
+	// unregister also retires any drain the zombie trim left for an
+	// in-flight state transfer (cancel no-ops on completed records).
 	for _, m := range r.migs {
 		m.cancel()
+		e.net.Node(m.To).Unregister(m.rt.port + statePortSuffix)
 	}
 	// Unregister each service's port at its *current* host; a service
 	// mid-handoff may also hold a forwarder or buffer registration on
-	// its old host, which m.cancel released above.
+	// its old host, which m.cancel released above. A trimmed zombie
+	// service may additionally hold a drain on its route target
+	// (cancelled-mid-handoff case) — drop that too.
 	for i := range r.svcs {
 		rt := &r.svcs[i]
 		if rt.port == "" {
 			continue
 		}
 		e.net.Node(topology.NodeID(r.host[i].Load())).Unregister(rt.port)
+		if to := r.route[i].Load(); to != r.host[i].Load() {
+			e.net.Node(topology.NodeID(to)).Unregister(rt.port)
+		}
 	}
 }
 
@@ -434,7 +806,7 @@ func (e *Engine) teardownLocked(r *Running) {
 func (r *Running) HaltProducers() {
 	r.haltOnce.Do(func() {
 		close(r.prodStop)
-		for _, p := range r.vprods {
+		for _, p := range r.prods {
 			p.halt()
 		}
 		r.producers.Wait()
@@ -443,6 +815,11 @@ func (r *Running) HaltProducers() {
 
 // TuplesProduced returns the number of tuples producers have injected.
 func (r *Running) TuplesProduced() int { return int(r.tuplesIn.Value()) }
+
+// SharedIn returns the number of tuple deliveries the circuit received
+// from shared instances executing in other circuits (one per
+// subscription edge per emitted tuple).
+func (r *Running) SharedIn() int { return int(r.sharedIn.Value()) }
 
 // Host returns the node a service currently executes on.
 func (r *Running) Host(svc int) topology.NodeID {
@@ -456,8 +833,43 @@ func (r *Running) Migrations() []*Migration {
 	return append([]*Migration(nil), r.migs...)
 }
 
-// Close stops every running circuit (the overlay network itself is owned
-// by the caller).
+// SharedStats is a snapshot of the engine's shared-execution state.
+type SharedStats struct {
+	// Instances counts services currently executing with at least one
+	// cross-circuit subscriber.
+	Instances int
+	// Subscribers counts subscriptions (consumer-circuit taps) across
+	// those instances.
+	Subscribers int
+	// Zombies counts cancelled provider circuits kept alive, trimmed to
+	// their shared subtrees, until their last subscriber releases.
+	Zombies int
+}
+
+// SharedStats reports the engine's current shared-execution state.
+func (e *Engine) SharedStats() SharedStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := SharedStats{Zombies: len(e.zombies)}
+	count := func(r *Running) {
+		for i := range r.svcs {
+			if n := len(r.svcs[i].taps); n > 0 {
+				st.Instances++
+				st.Subscribers += n
+			}
+		}
+	}
+	for _, r := range e.running {
+		count(r)
+	}
+	for z := range e.zombies {
+		count(z)
+	}
+	return st
+}
+
+// Close stops every running circuit, including zombies (the overlay
+// network itself is owned by the caller).
 func (e *Engine) Close() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -465,6 +877,11 @@ func (e *Engine) Close() {
 		e.teardownLocked(r)
 		delete(e.running, id)
 	}
+	for z := range e.zombies {
+		e.teardownLocked(z)
+		delete(e.zombies, z)
+	}
+	e.shared = make(map[*optimizer.ServiceInstance]*sharedExec)
 }
 
 // Measurement is a snapshot of a running circuit's delivered output and
@@ -481,7 +898,9 @@ type Measurement struct {
 	MeanLatencyMs float64
 	P95LatencyMs  float64
 	// NetworkUsage is measured Σ rate·latency (KB·ms/s): the usage
-	// integral divided by elapsed simulated time.
+	// integral divided by elapsed simulated time. Links from shared
+	// instances into this circuit are charged here (to the subscriber),
+	// mirroring the control plane's accounting.
 	NetworkUsage float64
 }
 

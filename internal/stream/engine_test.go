@@ -183,17 +183,30 @@ func TestEngineDeployErrors(t *testing.T) {
 	}
 }
 
-func TestEngineRejectsReusedServices(t *testing.T) {
+func TestEngineRejectsUnresolvableReuse(t *testing.T) {
 	s := newEngineSetup(t, 5)
 	q := query.Query{ID: 6, Consumer: s.env.Topo.StubNodeIDs()[1], Streams: []query.StreamID{0, 1}}
 	c := s.optimize(t, q)
-	// Mark a service reused artificially.
+	// A reused service without an instance is a malformed circuit.
+	var marked *optimizer.PlacedService
 	for _, svc := range c.UnpinnedServices() {
 		svc.Reused = true
+		marked = svc
 		break
 	}
-	if _, err := s.engine.Deploy(c); !errors.Is(err, ErrReusedServices) {
-		t.Fatalf("Deploy = %v, want ErrReusedServices", err)
+	if _, err := s.engine.Deploy(c); err == nil {
+		t.Fatal("Deploy accepted a reused service without an instance")
+	}
+	// A reused service whose owning circuit is not executing cannot be
+	// wired; the engine names the missing provider.
+	marked.ReusedFrom = &optimizer.ServiceInstance{
+		Signature: marked.Signature,
+		Node:      marked.Node,
+		Owner:     999,
+		RefCount:  2,
+	}
+	if _, err := s.engine.Deploy(c); !errors.Is(err, ErrProviderNotRunning) {
+		t.Fatalf("Deploy = %v, want ErrProviderNotRunning", err)
 	}
 }
 

@@ -106,8 +106,10 @@ const statePortSuffix = ".state"
 // sleep the clock past ScheduledEnd for deterministic settles).
 //
 // Only operator services migrate: producers and the consumer are pinned,
-// and a service already mid-handoff is refused until its previous
-// migration tears down. The source host must be alive; draining a node
+// reused services move with their owning circuit (the migration of a
+// shared instance re-routes every subscriber at cutover), and a service
+// already mid-handoff is refused until its previous migration tears
+// down. The source host must be alive; draining a node
 // therefore has to happen before the node is marked down, which is
 // exactly the order the adaptation layer enforces.
 func (e *Engine) Migrate(id query.QueryID, svc int, to topology.NodeID) (*Migration, error) {
@@ -119,6 +121,9 @@ func (e *Engine) Migrate(id query.QueryID, svc int, to topology.NodeID) (*Migrat
 	}
 	if svc < 0 || svc >= len(r.svcs) {
 		return nil, fmt.Errorf("stream: query %d has no service %d", id, svc)
+	}
+	if r.Circuit.Services[svc].Reused {
+		return nil, fmt.Errorf("stream: query %d service %d reuses a shared instance; migrate it through its owning circuit", id, svc)
 	}
 	rt := &r.svcs[svc]
 	if rt.operator == nil {
@@ -237,6 +242,14 @@ func (m *Migration) cutover() {
 
 	// Execution moves: emissions now originate from the target.
 	r.host[svc].Store(int32(m.To))
+	// A shared service flips for every subscriber at the same instant:
+	// each consumer circuit's view of the reused service follows the
+	// host, atomically under the engine mutex, so no subscriber ever
+	// observes the instance on the old node after cutover.
+	for _, t := range rt.taps {
+		t.consumer.route[t.svc].Store(int32(m.To))
+		t.consumer.host[t.svc].Store(int32(m.To))
+	}
 
 	// Install the live handler, then replay the queue while holding the
 	// gate: tuples that arrive concurrently (real clock) serialize

@@ -15,6 +15,14 @@
 // measurement windows complete instantly and same-seed runs reproduce
 // bit-identically (internal/simtime).
 //
+// Multi-query reuse (§3.4) executes for real: a circuit that reuses
+// another's service instance deploys without instantiating the shared
+// subtree — the engine taps the owning circuit's operator output and
+// fans it out to every subscriber, cancelling an owner hands the
+// instance to a surviving consumer, and migrating a shared instance
+// re-routes all subscribers atomically at cutover (see
+// System.SharedExecution and the X14 experiment).
+//
 // Running circuits adapt while they execute: System.Adapt plans service
 // moves over the cost space (a typed MigrationPlan), charges in-flight
 // load on both hosts through a two-phase deployment protocol, and
@@ -86,6 +94,10 @@ type (
 	MigrationPlan = optimizer.MigrationPlan
 	// AdaptStats reports one sweep→migrate→settle adaptation round.
 	AdaptStats = adapt.SweepStats
+	// SharedStats is a snapshot of the engine's shared-execution state:
+	// instances executing once for multiple circuits, their
+	// subscribers, and zombie providers awaiting their last release.
+	SharedStats = stream.SharedStats
 )
 
 // Options configures a System.
@@ -401,12 +413,27 @@ func (s *System) StartEngine() error {
 }
 
 // Run executes a circuit on the engine (StartEngine must have been
-// called) and returns a handle for measurement.
+// called) and returns a handle for measurement. Circuits with reused
+// services execute without duplicating the shared operators: the engine
+// taps the owning circuit's operator output, so run providers before
+// their consumers (OptimizeShared results reuse instances of circuits
+// deployed earlier).
 func (s *System) Run(c *Circuit) (*stream.Running, error) {
 	if s.engine == nil {
 		return nil, fmt.Errorf("sbon: engine not started; call StartEngine first")
 	}
 	return s.engine.Deploy(c)
+}
+
+// SharedExecution reports how many shared service instances the engine
+// is executing once for multiple circuits, how many circuits subscribe
+// to them, and how many cancelled providers linger for their
+// subscribers. Zero value when the engine is not started.
+func (s *System) SharedExecution() SharedStats {
+	if s.engine == nil {
+		return SharedStats{}
+	}
+	return s.engine.SharedStats()
 }
 
 // StopRun halts an executing circuit.

@@ -2,19 +2,21 @@
 # bench.sh — run the paper-artifact and batch benchmark suites and emit a
 # JSON snapshot for the bench trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_3.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_4.json)
 #
 # BENCH_0.json (pre-spatial-index), BENCH_1.json (pre-virtual-time),
-# and BENCH_2.json (pre-live-migration) are committed baselines; the
-# default output BENCH_3.json sits alongside them so the trajectory
-# stays in the repo. Bump the default for later milestones.
+# BENCH_2.json (pre-live-migration), and BENCH_3.json (pre-shared-
+# execution) are committed baselines; the default output BENCH_4.json
+# — which includes X14, the shared-execution comparison — sits
+# alongside them so the trajectory stays in the repo. Bump the default
+# for later milestones.
 #
 # Each benchmark runs once (-benchtime 1x): the suites are end-to-end
 # experiment regenerations, so a single iteration is already seconds of
 # work and the numbers are for trajectory tracking, not microbenchmarking.
 set -eu
 
-out=${1:-BENCH_3.json}
+out=${1:-BENCH_4.json}
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp)
