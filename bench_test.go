@@ -1,12 +1,17 @@
 package sbon_test
 
 import (
+	"math/rand"
 	"strconv"
 	"testing"
 	"time"
 
 	sbon "github.com/hourglass/sbon"
 	"github.com/hourglass/sbon/internal/exp"
+	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/workload"
 )
 
 // Benchmarks regenerating every paper artifact (see DESIGN.md §5). Each
@@ -384,4 +389,148 @@ func BenchmarkX14_SharedExecution1024(b *testing.B) {
 	if offUsage > 0 {
 		b.ReportMetric(100*(1-onUsage/offUsage), "usage-saved-%")
 	}
+}
+
+// BenchmarkX15_IncrementalReplanning1024 regenerates the incremental
+// re-planning comparison (1024 nodes, 200 circuits, drift rounds from
+// 0.5% to 30% of nodes). The reported metric is the services-evaluated
+// speedup the delta path buys on the 1%-node drift round.
+func BenchmarkX15_IncrementalReplanning1024(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.X15(exp.DefaultX15Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	for _, row := range last.Rows {
+		if row[0] == "1" {
+			if v, err := strconv.ParseFloat(row[5], 64); err == nil {
+				b.ReportMetric(v, "speedup@1%")
+			}
+		}
+	}
+}
+
+// Re-planning benchmarks: the cost of one re-optimization round on the
+// 1024-node, 200-circuit deployment after a 1%-node load drift — full
+// sweep vs delta-driven incremental sweep over the same sequence of
+// drifts. The services-evaluated metric is the work ratio the wall
+// clock should track.
+
+func planBench(b *testing.B) (*topology.Topology, *optimizer.Env, *optimizer.Deployment, *optimizer.Reoptimizer) {
+	b.Helper()
+	topoCfg := topology.DefaultConfig()
+	topoCfg.StubNodes = 21 // 1024 nodes
+	topo, err := topology.Generate(topoCfg, rand.New(rand.NewSource(31)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31 * 3))
+	sCfg := workload.DefaultStreamConfig()
+	sCfg.NumStreams = 16
+	stats, err := workload.GenerateStats(topo, sCfg, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qCfg := workload.DefaultQueryConfig()
+	qCfg.NumQueries = 200
+	qCfg.StreamsPerQuery = [2]int{2, 3}
+	qCfg.AggregateProb = 0
+	qs, err := workload.GenerateQueries(topo, stats, qCfg, rng, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	envCfg := optimizer.DefaultEnvConfig(31)
+	envCfg.UseDHT = false
+	env, err := optimizer.NewEnv(topo, stats, envCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, err := optimizer.OptimizeBatch(env, qs, optimizer.BatchOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep := optimizer.NewDeployment(env, nil)
+	for i := range results {
+		if err := dep.Deploy(results[i].Circuit); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ro := optimizer.NewReoptimizer(dep)
+	ro.Mapper = placement.OracleMapper{Source: env}
+	ro.ImprovementThreshold = 0.35
+	// Prime the delta watermark and settle initial slack so iterations
+	// measure drift response only.
+	for i := 0; ; i++ {
+		plan, _, err := ro.PlanIncremental()
+		if err != nil {
+			b.Fatal(err)
+		}
+		applyBenchPlan(b, dep, plan)
+		if len(plan.Moves) == 0 {
+			break
+		}
+		if i > 20 {
+			b.Fatal("deployment did not settle")
+		}
+	}
+	return topo, env, dep, ro
+}
+
+func applyBenchPlan(b *testing.B, dep *optimizer.Deployment, plan optimizer.MigrationPlan) {
+	b.Helper()
+	for _, m := range plan.Moves {
+		tk, err := dep.BeginMigration(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tk.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanFull1024(b *testing.B) {
+	topo, env, dep, ro := planBench(b)
+	churn := rand.New(rand.NewSource(31 * 11))
+	evaluated := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		workload.ApplyChurn(topo, env, workload.Churn{LoadFraction: 0.01, LoadMax: 0.4}, churn)
+		b.StartTimer()
+		plan, err := ro.Plan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		evaluated += plan.ServicesEvaluated
+		applyBenchPlan(b, dep, plan)
+		env.CompactDirty(env.Epoch()) // keep the unconsumed log bounded
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(evaluated)/float64(b.N), "services-evaluated")
+}
+
+func BenchmarkPlanIncremental1024(b *testing.B) {
+	topo, env, dep, ro := planBench(b)
+	churn := rand.New(rand.NewSource(31 * 11))
+	evaluated := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		workload.ApplyChurn(topo, env, workload.Churn{LoadFraction: 0.01, LoadMax: 0.4}, churn)
+		b.StartTimer()
+		plan, _, err := ro.PlanIncremental()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		evaluated += plan.ServicesEvaluated
+		applyBenchPlan(b, dep, plan)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(evaluated)/float64(b.N), "services-evaluated")
 }

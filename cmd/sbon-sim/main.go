@@ -30,6 +30,15 @@
 // circuits keep processing tuples:
 //
 //	sbon-sim -queries 40 -execute -virtual-time -adapt 4 -adapt-budget 16
+//
+// With -adapt-continuous the sweeps instead run as a clock-driven
+// continuous loop of incremental re-optimizations: background load
+// drifts between rounds via scheduled events, and each round consumes
+// the environment's delta log, re-planning only the circuits the drift
+// can affect. Requires -virtual-time (the loop and its drift schedule
+// are discrete events):
+//
+//	sbon-sim -queries 40 -virtual-time -adapt 8 -adapt-continuous
 package main
 
 import (
@@ -77,6 +86,8 @@ func main() {
 		adaptSweeps = flag.Int("adapt", 0, "run this many live adaptation sweeps (with -execute: circuits migrate under traffic)")
 		adaptBudget = flag.Int("adapt-budget", 16, "max migrations per adaptation sweep")
 		adaptDrift  = flag.Float64("adapt-drift", 0.1, "fraction of nodes whose background load drifts before each sweep")
+		adaptCont   = flag.Bool("adapt-continuous", false, "run adaptation as a continuous clock-driven loop of incremental sweeps (requires -virtual-time); -adapt N sets the rounds")
+		adaptIntMs  = flag.Int("adapt-interval-ms", 500, "continuous adaptation interval (simulated milliseconds)")
 	)
 	flag.Parse()
 
@@ -162,8 +173,12 @@ func main() {
 		totalPlans, totalReuse, totalExamined, reg.Len())
 
 	if *adaptSweeps > 0 {
+		if *adaptCont && !*virtualTime {
+			fail(fmt.Errorf("-adapt-continuous requires -virtual-time: the loop and its drift schedule are discrete events"))
+		}
 		runAdaptation(topo, env, dep, circuits, truth,
-			*adaptSweeps, *adaptBudget, *adaptDrift, *execute, *virtualTime, *simSeconds, *seed)
+			*adaptSweeps, *adaptBudget, *adaptDrift, *execute, *virtualTime, *simSeconds, *seed,
+			*adaptCont, *adaptIntMs)
 		return
 	}
 
@@ -271,18 +286,22 @@ func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth 
 // without it the moves commit on the control plane only.
 func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.Deployment,
 	circuits []*optimizer.Circuit, truth optimizer.TrueLatency,
-	sweeps, budget int, drift float64, execute, virtual bool, simSeconds float64, seed int64) {
+	sweeps, budget int, drift float64, execute, virtual bool, simSeconds float64, seed int64,
+	continuous bool, intervalMs int) {
 
 	var engine *stream.Engine
 	var net *overlay.Network
 	var clk simtime.Clock = simtime.Real()
+	var vclk *simtime.VirtualClock
+	if virtual {
+		vclk = simtime.NewVirtual()
+		defer vclk.Drive()()
+		clk = vclk
+	}
 	var runs []*stream.Running
 	if execute {
 		netCfg := overlay.Config{TimeScale: 50 * time.Microsecond, InboxSize: 8192}
 		if virtual {
-			vclk := simtime.NewVirtual()
-			defer vclk.Drive()()
-			clk = vclk
 			netCfg = overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: vclk}
 		}
 		net = overlay.NewNetwork(topo, netCfg)
@@ -309,6 +328,36 @@ func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.D
 	if engine != nil {
 		mode = fmt.Sprintf("%d circuits executing", len(runs))
 	}
+	if continuous {
+		interval := time.Duration(intervalMs) * time.Millisecond
+		fmt.Printf("\ncontinuous adaptation: %d rounds every %v, budget %d, drift %.0f%% (%s)\n",
+			sweeps, interval, budget, drift*100, mode)
+		// Drift lands mid-interval as scheduled events; each round's
+		// incremental sweep then consumes exactly that delta. Stop fires
+		// (deterministically, through the virtual clock) after the last
+		// round.
+		for i := 0; i < sweeps; i++ {
+			clk.AfterFunc(time.Duration(i)*interval+interval/2, func() {
+				workload.ApplyChurn(topo, env, churn, driftRng)
+			})
+		}
+		stop := make(chan struct{})
+		clk.AfterFunc(time.Duration(sweeps)*interval+interval/4, func() { vclk.Signal(stop) })
+		rs, err := co.Run(interval, stop)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("rounds=%d full-sweeps=%d migrated=%d services-evaluated=%d usage=%11.1f\n",
+			rs.Sweeps, rs.FullSweeps, rs.Migrated, rs.ServicesEvaluated, dep.TotalUsage(truth))
+		fmt.Printf("last round: dirty-nodes=%d affected-circuits=%d planned=%d migrated=%d\n",
+			rs.Last.DirtyNodes, rs.Last.AffectedCircuits, rs.Last.Planned, rs.Last.Migrated)
+		if net != nil {
+			fmt.Printf("loss counters: unrouted=%.0f data-to-dead=%.0f (must be 0)\n",
+				net.Metrics.Counter("msgs.unrouted").Value(), net.Metrics.Counter("msgs.down_dropped").Value())
+		}
+		return
+	}
+
 	fmt.Printf("\nadaptation: %d sweeps, budget %d, drift %.0f%% (%s)\n",
 		sweeps, budget, drift*100, mode)
 	for i := 1; i <= sweeps; i++ {

@@ -27,6 +27,12 @@
 // consumer circuit while the engine flips all subscribers' routes at
 // cutover.
 //
+// SweepIncremental is the delta-cost variant: the re-optimizer consumes
+// the environment's delta log and re-plans only affected circuits, and
+// Run strings such rounds into a clock-paced continuous adaptation
+// loop — the paper's continuous optimization running at the cost of
+// what changed, not of what is deployed.
+//
 // Under simtime.VirtualClock the whole loop is deterministic: same seed,
 // same plan, same handoff timings, same settled state.
 package adapt
@@ -75,6 +81,11 @@ type Coordinator struct {
 	Placer placement.VirtualPlacer
 	Mapper placement.Mapper
 	Model  optimizer.LatencyModel
+
+	// ro is the coordinator's persistent re-optimizer: incremental
+	// sweeps carry an epoch watermark and a pending-move set across
+	// rounds, so the same instance must serve every sweep.
+	ro *optimizer.Reoptimizer
 }
 
 // SweepStats reports one adaptation round.
@@ -104,21 +115,32 @@ type SweepStats struct {
 	// cancel channel; tickets are still committed so the control plane
 	// matches the handoffs already in flight.
 	Cancelled bool
+	// DirtyNodes, AffectedCircuits, and FullSweep carry the incremental
+	// planner's statistics (SweepIncremental only): how large the
+	// consumed delta was, how many circuits it forced back through
+	// planning, and whether the round degenerated to a full sweep.
+	DirtyNodes       int
+	AffectedCircuits int
+	FullSweep        bool
 }
 
 // settleGrace bounds the extra per-migration wait granted to straggling
 // teardown timers under the real clock.
 const settleGrace = 100 * time.Millisecond
 
-// reopt assembles the configured re-optimizer.
+// reopt returns the coordinator's re-optimizer, refreshed with the
+// current configuration. The instance persists across sweeps: it holds
+// the incremental bookkeeping (delta-log watermark, pending moves).
 func (co *Coordinator) reopt() *optimizer.Reoptimizer {
-	ro := optimizer.NewReoptimizer(co.Dep)
-	ro.Placer = co.Placer
-	ro.Mapper = co.Mapper
-	ro.Model = co.Model
-	ro.ImprovementThreshold = co.Threshold
-	ro.Exclude = co.Exclude
-	return ro
+	if co.ro == nil {
+		co.ro = optimizer.NewReoptimizer(co.Dep)
+	}
+	co.ro.Placer = co.Placer
+	co.ro.Mapper = co.Mapper
+	co.ro.Model = co.Model
+	co.ro.ImprovementThreshold = co.Threshold
+	co.ro.Exclude = co.Exclude
+	return co.ro
 }
 
 func (co *Coordinator) clock() simtime.Clock {
@@ -136,6 +158,76 @@ func (co *Coordinator) Sweep(cancel <-chan struct{}) (SweepStats, error) {
 		return SweepStats{}, err
 	}
 	return co.execute(plan, cancel, co.Budget)
+}
+
+// SweepIncremental runs one incremental sweep→migrate→settle round:
+// the re-optimizer consumes the environment's delta log and re-plans
+// only the circuits the delta can affect (optimizer.PlanIncremental),
+// producing the same moves a full Sweep would. The first round, and any
+// round whose delta is too large to track, degenerates to a full sweep.
+func (co *Coordinator) SweepIncremental(cancel <-chan struct{}) (SweepStats, error) {
+	plan, ist, err := co.reopt().PlanIncremental()
+	if err != nil {
+		return SweepStats{}, err
+	}
+	stats, err := co.execute(plan, cancel, co.Budget)
+	stats.DirtyNodes = ist.DirtyNodes
+	stats.AffectedCircuits = ist.AffectedCircuits
+	stats.FullSweep = ist.FullSweep
+	return stats, err
+}
+
+// RunStats aggregates a continuous adaptation run.
+type RunStats struct {
+	// Sweeps counts completed rounds; FullSweeps of those degenerated
+	// to a full re-plan.
+	Sweeps     int
+	FullSweeps int
+	// Migrated, ServicesEvaluated, PredictedGain, and UsageGain sum the
+	// per-round statistics; Last is the final round's.
+	Migrated          int
+	ServicesEvaluated int
+	PredictedGain     float64
+	UsageGain         float64
+	Last              SweepStats
+}
+
+// Run drives continuous adaptation: every interval the coordinator
+// consumes the environment's delta log and runs one incremental
+// sweep→migrate→settle round, until stop fires (during a wait or a
+// settle). This is the paper's "continuous optimization" made
+// operational at delta cost: a quiet overlay re-plans nothing.
+//
+// The wait is a tracked SleepOrDone, so under a virtual clock the
+// caller must be a registered actor and the loop is deterministic:
+// same seed, same delta schedule, same rounds, same moves.
+func (co *Coordinator) Run(interval time.Duration, stop <-chan struct{}) (RunStats, error) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	clk := co.clock()
+	var rs RunStats
+	for {
+		if clk.SleepOrDone(interval, stop) {
+			return rs, nil
+		}
+		st, err := co.SweepIncremental(stop)
+		if err != nil {
+			return rs, err
+		}
+		rs.Sweeps++
+		if st.FullSweep {
+			rs.FullSweeps++
+		}
+		rs.Migrated += st.Migrated
+		rs.ServicesEvaluated += st.ServicesEvaluated
+		rs.PredictedGain += st.PredictedGain
+		rs.UsageGain += st.UsageGain
+		rs.Last = st
+		if st.Cancelled {
+			return rs, nil
+		}
+	}
 }
 
 // Evacuate force-migrates every unpinned service off the victim nodes —

@@ -204,6 +204,12 @@ func (c *Catalog) removeStored(e Entry) {
 // NumPublished returns the number of nodes with a published coordinate.
 func (c *Catalog) NumPublished() int { return len(c.published) }
 
+// Mutations returns how many times the catalog's published set changed
+// (Publish or Unpublish) since construction. Queries never move it —
+// the counter instruments guards asserting that pure read paths (e.g.
+// re-optimization planning) perform zero republishes.
+func (c *Catalog) Mutations() uint64 { return c.version }
+
 // PublishedEntry returns the current entry for a node.
 func (c *Catalog) PublishedEntry(node topology.NodeID) (Entry, bool) {
 	e, ok := c.published[node]

@@ -416,11 +416,11 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("bogus"); ok {
 		t.Fatal("bogus found")
 	}
-	if _, ok := Lookup("x14"); !ok {
-		t.Fatal("x14 missing")
+	if _, ok := Lookup("x15"); !ok {
+		t.Fatal("x15 missing")
 	}
-	if len(All()) != 18 {
-		t.Fatalf("All() = %d experiments, want 18", len(All()))
+	if len(All()) != 19 {
+		t.Fatalf("All() = %d experiments, want 19", len(All()))
 	}
 }
 
@@ -659,6 +659,83 @@ func TestX14FullScale(t *testing.T) {
 	for r := 0; r < 2; r++ {
 		if loss := cell(t, tb, r, 8); loss != 0 {
 			t.Fatalf("row %d lost %v messages", r, loss)
+		}
+	}
+}
+
+// smallX15 is the CI-scale incremental re-planning configuration.
+func smallX15() X15Params {
+	p := DefaultX15Params()
+	p.StubNodes = 5 // 256 nodes
+	p.Queries = 40
+	return p
+}
+
+func TestX15SmallShape(t *testing.T) {
+	tb, err := X15(smallX15())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(smallX15().DeltaFractions) {
+		t.Fatalf("rows = %d, want one per delta fraction", len(tb.Rows))
+	}
+	// Small deltas must stay incremental and evaluate strictly fewer
+	// services than the full sweep; X15 itself errors if any round's
+	// plans diverge, so finishing at all certifies equivalence.
+	for i := 0; i < 2; i++ {
+		if tb.Rows[i][6] != "true" && cell(t, tb, i, 5) <= 1 {
+			t.Fatalf("delta row %d: speedup %v, want > 1 (row %v)", i, cell(t, tb, i, 5), tb.Rows[i])
+		}
+		if tb.Rows[i][6] == "true" {
+			t.Fatalf("delta row %d degenerated to a full sweep: %v", i, tb.Rows[i])
+		}
+	}
+	// The oversized last delta must trip the full-sweep fallback.
+	last := len(tb.Rows) - 1
+	if tb.Rows[last][6] != "true" {
+		t.Fatalf("oversized delta did not fall back to a full sweep: %v", tb.Rows[last])
+	}
+}
+
+func TestX15Deterministic(t *testing.T) {
+	run := func() [][]string {
+		tb, err := X15(smallX15())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Rows
+	}
+	a, b := run(), run()
+	for r := range a {
+		for c := range a[r] {
+			if a[r][c] != b[r][c] {
+				t.Fatalf("same-seed X15 diverged at (%d,%d): %q vs %q", r, c, a[r][c], b[r][c])
+			}
+		}
+	}
+}
+
+// TestX15FullScaleSpeedup runs the acceptance-criterion configuration:
+// on 1024 nodes with 200 circuits, a 1%-node delta must re-evaluate at
+// least 10x fewer services than the full sweep while producing the
+// identical plan.
+func TestX15FullScaleSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node scenario skipped in -short")
+	}
+	tb, err := X15(DefaultX15Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range DefaultX15Params().DeltaFractions {
+		if f != 0.01 {
+			continue
+		}
+		if speedup := cell(t, tb, i, 5); speedup < 10 {
+			t.Fatalf("1%%-delta speedup %.1fx, want >= 10x (row %v)", speedup, tb.Rows[i])
+		}
+		if tb.Rows[i][6] != "false" {
+			t.Fatalf("1%%-delta round was not incremental: %v", tb.Rows[i])
 		}
 	}
 }

@@ -83,6 +83,14 @@ func All() []Experiment {
 			}
 			return X14(p)
 		}},
+		{"x15", func(s Scale) (*Table, error) {
+			p := DefaultX15Params()
+			if s == Small {
+				p.StubNodes = 5 // 256 nodes
+				p.Queries = 40
+			}
+			return X15(p)
+		}},
 		{"x9", func(s Scale) (*Table, error) {
 			p := DefaultX9Params()
 			p.Scale = s

@@ -167,7 +167,11 @@ func (b *Builder) Skeleton(q query.Query, root *query.PlanNode, reuse reuseFn) (
 // state owned by the Builder: they are valid until the next problemFor
 // call. Unpinned vertices always start with a nil coordinate so the
 // placer's seeding is independent of whatever the scratch held before.
-func (b *Builder) problemFor(c *Circuit) (*placement.Problem, []int) {
+//
+// nodeOf resolves a pinned service's host; nil means live bindings. A
+// shadow sweep passes its simulated resolver so re-bound shared
+// instances anchor later placements at their simulated positions.
+func (b *Builder) problemFor(c *Circuit, nodeOf func(*PlacedService) topology.NodeID) (*placement.Problem, []int) {
 	s := &b.scratch
 	p := &s.prob
 	p.Vertices = p.Vertices[:0]
@@ -178,7 +182,11 @@ func (b *Builder) problemFor(c *Circuit) (*placement.Problem, []int) {
 		vi := len(p.Vertices)
 		v := placement.Vertex{Pinned: svc.Pinned}
 		if svc.Pinned {
-			src := b.Env.VecCoord(svc.Node)
+			node := svc.Node
+			if nodeOf != nil {
+				node = nodeOf(svc)
+			}
+			src := b.Env.VecCoord(node)
 			for len(s.coords) <= vi {
 				s.coords = append(s.coords, nil)
 			}
@@ -211,7 +219,13 @@ func (b *Builder) problemFor(c *Circuit) (*placement.Problem, []int) {
 // PlaceVirtual runs the virtual placer over the circuit and records the
 // resulting coordinates on its unpinned services.
 func (b *Builder) PlaceVirtual(c *Circuit, placer placement.VirtualPlacer) error {
-	prob, vertexToSvc := b.problemFor(c)
+	return b.placeVirtualAs(c, placer, nil)
+}
+
+// placeVirtualAs is PlaceVirtual with pinned hosts resolved through
+// nodeOf (nil = live bindings) — the shadow-sweep entry point.
+func (b *Builder) placeVirtualAs(c *Circuit, placer placement.VirtualPlacer, nodeOf func(*PlacedService) topology.NodeID) error {
+	prob, vertexToSvc := b.problemFor(c, nodeOf)
 	if err := placer.PlaceVirtual(prob); err != nil {
 		return err
 	}

@@ -32,7 +32,7 @@ func TestProblemForReusesScratch(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() {
 		c := skels[i%len(skels)]
 		i++
-		prob, backMap := b.problemFor(c)
+		prob, backMap := b.problemFor(c, nil)
 		if len(prob.Vertices) != len(c.Services) || len(backMap) != len(c.Services) {
 			t.Fatalf("problem shape wrong: %d vertices / %d back-map for %d services",
 				len(prob.Vertices), len(backMap), len(c.Services))

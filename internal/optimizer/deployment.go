@@ -18,6 +18,25 @@ type Deployment struct {
 
 	circuits  map[query.QueryID]*Circuit
 	instances map[query.QueryID][]*ServiceInstance // instances owned per query
+
+	// gen counts membership/binding mutations (Deploy, Cancel, committed
+	// migrations); the lazily rebuilt lookup indexes below invalidate on
+	// it, PlanCache-style.
+	gen    uint64
+	idxGen uint64
+	// incident maps a node to the deployed circuits with any service
+	// bound to it — how an incremental sweep turns a dirty node into
+	// affected circuits. consumers maps a shared instance to the reused
+	// placements (and their circuits) referencing it — how a sweep
+	// propagates an owner move to its consumers.
+	incident  map[topology.NodeID][]query.QueryID
+	consumers map[*ServiceInstance][]consumerRef
+}
+
+// consumerRef is one circuit's reused placement of a shared instance.
+type consumerRef struct {
+	svc *PlacedService
+	id  query.QueryID
 }
 
 // NewDeployment returns an empty deployment over the environment.
@@ -67,6 +86,59 @@ func (d *Deployment) Deploy(c *Circuit) error {
 		d.instances[c.Query.ID] = append(d.instances[c.Query.ID], inst)
 	}
 	d.circuits[c.Query.ID] = c
+	d.gen++
+	return nil
+}
+
+// rebuildIndexes refreshes the incident and consumer lookup maps when
+// the deployment changed since they were last built. One O(services)
+// rebuild is far cheaper than the sweep evaluations the indexes save,
+// so no finer-grained maintenance is attempted.
+func (d *Deployment) rebuildIndexes() {
+	if d.incident != nil && d.idxGen == d.gen {
+		return
+	}
+	d.incident = make(map[topology.NodeID][]query.QueryID, len(d.circuits))
+	d.consumers = make(map[*ServiceInstance][]consumerRef)
+	for _, c := range d.circuitsInOrder() {
+		id := c.Query.ID
+		for _, s := range c.Services {
+			if s.Reused && s.ReusedFrom != nil {
+				d.consumers[s.ReusedFrom] = append(d.consumers[s.ReusedFrom], consumerRef{svc: s, id: id})
+			}
+			ids := d.incident[s.Node]
+			if len(ids) == 0 || ids[len(ids)-1] != id {
+				d.incident[s.Node] = append(ids, id)
+			}
+		}
+	}
+	d.idxGen = d.gen
+}
+
+// IncidentCircuits returns the IDs, in ascending order, of deployed
+// circuits with at least one service bound to the node. The slice is
+// owned by the deployment's index; callers must not mutate it.
+func (d *Deployment) IncidentCircuits(n topology.NodeID) []query.QueryID {
+	d.rebuildIndexes()
+	return d.incident[n]
+}
+
+// consumersOf returns the reused placements referencing the instance.
+// The slice is owned by the deployment's index.
+func (d *Deployment) consumersOf(inst *ServiceInstance) []consumerRef {
+	d.rebuildIndexes()
+	return d.consumers[inst]
+}
+
+// ownedInstance returns the shared instance the circuit's own (non-
+// reused) service executes, or nil if the service was never registered
+// (sources, consumer endpoints).
+func (d *Deployment) ownedInstance(c *Circuit, s *PlacedService) *ServiceInstance {
+	for _, inst := range d.instances[c.Query.ID] {
+		if inst.Signature == s.Signature && inst.Node == s.Node {
+			return inst
+		}
+	}
 	return nil
 }
 
@@ -136,6 +208,7 @@ func (d *Deployment) Cancel(id query.QueryID) error {
 		d.transferOwnership(inst)
 	}
 	delete(d.instances, id)
+	d.gen++
 	return nil
 }
 
@@ -189,6 +262,7 @@ func (d *Deployment) circuitsInOrder() []*Circuit {
 // instance, so consumers' usage and latency accounting follows the
 // move instead of silently pointing at the old host.
 func (d *Deployment) updateInstance(c *Circuit, s *PlacedService, oldNode topology.NodeID) {
+	d.gen++
 	for _, inst := range d.instances[c.Query.ID] {
 		if inst.Signature == s.Signature && inst.Node == oldNode {
 			d.Registry.UpdateInstance(inst, s.Node, d.Env.Point(s.Node).Clone())

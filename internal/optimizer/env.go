@@ -20,6 +20,7 @@ package optimizer
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 
 	"github.com/hourglass/sbon/internal/costindex"
@@ -123,6 +124,14 @@ type Env struct {
 	base []float64 // background load component
 	rng  *rand.Rand
 
+	// dirty is the delta log incremental re-optimization consumes: for
+	// every node mutated since the last CompactDirty, the epoch of its
+	// latest mutation and its cost-space point as of the last
+	// compaction. dirtyFloor is the compaction watermark: entries at or
+	// below it have been consumed and dropped.
+	dirty      map[topology.NodeID]dirtyRec
+	dirtyFloor uint64
+
 	// frozen marks an Env produced by Freeze: a shared read-only view
 	// whose mutators panic instead of corrupting concurrent readers.
 	frozen bool
@@ -180,8 +189,9 @@ func NewEnv(topo *topology.Topology, stats *query.Catalog, cfg EnvConfig) (*Env,
 			nodeIDs: makeNodeIDs(n),
 			cfg:     cfg,
 		},
-		base: make([]float64, n),
-		rng:  rng,
+		base:  make([]float64, n),
+		rng:   rng,
+		dirty: make(map[topology.NodeID]dirtyRec),
 	}
 	e.EmbeddingQuality = emb.Evaluate(func(i, j int) float64 { return m[i][j] }, 2000, rng)
 	for i := 0; i < n; i++ {
@@ -403,7 +413,7 @@ func (e *Env) SetBackgroundLoad(n topology.NodeID, l float64) {
 	delta := l - e.base[n]
 	e.base[n] = l
 	e.load[n] += delta
-	e.refreshPoint(n)
+	e.refreshPoint(n, true)
 }
 
 // AddServiceLoad charges a hosted service processing `inputRate` KB/s to
@@ -412,7 +422,7 @@ func (e *Env) AddServiceLoad(n topology.NodeID, inputRate float64) {
 	e.mutable("AddServiceLoad")
 	e.epoch++
 	e.load[n] += inputRate * e.cfg.LoadPerRate
-	e.refreshPoint(n)
+	e.refreshPoint(n, true)
 }
 
 // RemoveServiceLoad reverses AddServiceLoad.
@@ -423,10 +433,15 @@ func (e *Env) RemoveServiceLoad(n topology.NodeID, inputRate float64) {
 	if e.load[n] < e.base[n] {
 		e.load[n] = e.base[n]
 	}
-	e.refreshPoint(n)
+	e.refreshPoint(n, true)
 }
 
-func (e *Env) refreshPoint(n topology.NodeID) {
+// refreshPoint rebuilds the node's cost-space point after a mutation.
+// loadOnly declares that only the scalar (load) components changed —
+// the delta-log tag incremental re-planning uses to skip circuits whose
+// incidence on the node is latency-only.
+func (e *Env) refreshPoint(n topology.NodeID, loadOnly bool) {
+	e.markDirty(n, loadOnly)
 	e.pts[n] = e.space.NewPoint(e.vec[n], []float64{e.load[n]})
 	e.patchIndex(n)
 	if e.catalog != nil {
@@ -437,6 +452,92 @@ func (e *Env) refreshPoint(n topology.NodeID) {
 			panic(fmt.Sprintf("optimizer: republish node %d: %v", n, err))
 		}
 	}
+}
+
+// dirtyRec is one delta-log entry: the epoch of the node's latest
+// mutation, its point as of the last compaction, and whether every
+// mutation since then touched only the load components.
+type dirtyRec struct {
+	epoch    uint64
+	prev     costspace.Point
+	loadOnly bool
+}
+
+// markDirty records the node in the delta log before its point is
+// replaced. The pre-mutation point is captured only on the node's first
+// dirtying after a compaction, so an entry's Prev is always the point
+// the log's consumer last saw. No clone is needed: refreshPoint
+// replaces pts[n] with a freshly built point, never mutates it in
+// place.
+func (e *Env) markDirty(n topology.NodeID, loadOnly bool) {
+	if rec, ok := e.dirty[n]; ok {
+		rec.epoch = e.epoch
+		rec.loadOnly = rec.loadOnly && loadOnly
+		e.dirty[n] = rec
+		return
+	}
+	e.dirty[n] = dirtyRec{epoch: e.epoch, prev: e.pts[n], loadOnly: loadOnly}
+}
+
+// DirtyNode is one consumed delta-log entry: a node whose load or
+// coordinate changed, plus its cost-space point as of the log's last
+// compaction — the "before" coordinate incremental re-planning compares
+// against.
+type DirtyNode struct {
+	Node topology.NodeID
+	Prev costspace.Point
+	// LoadOnly reports that every logged mutation of the node changed
+	// only its load (scalar) components: latency coordinates — and with
+	// them every link cost the node participates in — are exactly as the
+	// log's consumer last saw them.
+	LoadOnly bool
+}
+
+// DirtySince returns the nodes mutated after epoch since, sorted by
+// node id. The caller's since must be at least DirtyCompactedThrough,
+// or entries it needs have already been dropped — consumers detect that
+// case and fall back to a full sweep.
+func (e *Env) DirtySince(since uint64) []DirtyNode {
+	var out []DirtyNode
+	for n, rec := range e.dirty {
+		if rec.epoch > since {
+			out = append(out, DirtyNode{Node: n, Prev: rec.prev, LoadOnly: rec.loadOnly})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// CompactDirty drops delta-log entries with mutation epoch <= upTo and
+// records upTo as the new compaction floor. The log is single-consumer:
+// the compacting sweep declares it has seen all state through upTo, and
+// Prev points captured afterwards describe the state as of that sweep.
+func (e *Env) CompactDirty(upTo uint64) {
+	for n, rec := range e.dirty {
+		if rec.epoch <= upTo {
+			delete(e.dirty, n)
+		}
+	}
+	if upTo > e.dirtyFloor {
+		e.dirtyFloor = upTo
+	}
+}
+
+// DirtyCompactedThrough returns the delta log's compaction floor: the
+// highest epoch a consumer has declared consumed.
+func (e *Env) DirtyCompactedThrough() uint64 { return e.dirtyFloor }
+
+// NumDirty returns the delta log's current size.
+func (e *Env) NumDirty() int { return len(e.dirty) }
+
+// BackgroundLoad returns the node's background load component — the
+// floor service-load release clamps to. Frozen snapshots do not carry
+// it and report zero.
+func (e *Env) BackgroundLoad(n topology.NodeID) float64 {
+	if e.base == nil {
+		return 0
+	}
+	return e.base[n]
 }
 
 // ReembedCoordinates reruns Vivaldi against the topology's current
@@ -459,7 +560,7 @@ func (e *Env) ReembedCoordinates() error {
 		e.catalog.InvalidateExactIndex()
 	}
 	for i := range e.pts {
-		e.refreshPoint(topology.NodeID(i))
+		e.refreshPoint(topology.NodeID(i), false)
 	}
 	return nil
 }

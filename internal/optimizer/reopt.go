@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"github.com/hourglass/sbon/internal/costspace"
 	"github.com/hourglass/sbon/internal/placement"
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/topology"
@@ -11,17 +12,27 @@ import (
 // node can re-run placement and mapping for any service that it hosts.
 // The result may be to migrate the service to a cooperating node."
 //
-// Each Step re-runs, per deployed unpinned service, a local virtual
-// placement against the current coordinates of its circuit neighbors and
-// remaps; the service migrates only when the estimated incident usage
-// improves by more than ImprovementThreshold (hysteresis against
-// oscillation under noisy coordinates).
+// Planning is pure: every sweep runs against a copy-on-write ShadowEnv
+// over the live environment, so simulated load shifts, re-bindings, and
+// mapper lookups never mutate live loads, the k-NN index, or the DHT
+// catalog — there is no rollback because there is nothing to roll back.
+// A service migrates only when the estimated incident usage improves by
+// more than ImprovementThreshold (hysteresis against oscillation under
+// noisy coordinates).
+//
+// Plan re-plans everything; PlanIncremental consumes the environment's
+// delta log and re-plans only the circuits the delta can affect — the
+// incremental view maintenance that makes continuous adaptation cheap.
 type Reoptimizer struct {
 	Dep *Deployment
 	// Placer recomputes local virtual coordinates (default Relaxation).
 	Placer placement.VirtualPlacer
-	// Mapper remaps coordinates to nodes (default: env's DHT, else
-	// oracle).
+	// Mapper remaps coordinates to nodes. Default: an exact oracle over
+	// the sweep's shadow. Source-backed mappers (OracleMapper,
+	// VectorOnlyMapper) are retargeted at the shadow so candidate
+	// lookups see simulated loads; other mappers (e.g. DHTMapper) are
+	// used as configured — their lookups are pure reads, but they see
+	// the pre-sweep catalog view.
 	Mapper placement.Mapper
 	// Model estimates link latencies (default CoordLatency).
 	Model LatencyModel
@@ -33,6 +44,28 @@ type Reoptimizer struct {
 	// excluded node are still evaluated (and, with EvacuateExcluded on
 	// the adaptation layer, forced off).
 	Exclude map[topology.NodeID]bool
+	// FullSweepFraction is the dirty-node fraction above which
+	// PlanIncremental gives up on delta tracking and runs a full sweep
+	// (default 0.25).
+	FullSweepFraction float64
+
+	// Incremental bookkeeping: the epoch watermark of the last
+	// incremental sweep, the circuits whose planned moves were not yet
+	// observed as applied, and the Exclude set the watermark was taken
+	// under.
+	primed      bool
+	lastEpoch   uint64
+	pending     []query.QueryID
+	lastExclude map[topology.NodeID]bool
+	// winnerDist caches, per evaluated service, the cost-space distance
+	// from its ideal target to the mapping winner's point at the last
+	// sweep that evaluated it (the mapping error). This is the exact
+	// ball radius for delta tests: a node whose point stays farther
+	// from the target than the last winner can neither win the mapping
+	// nor enter the accept decision, so only deltas intruding inside
+	// this radius (or touching the winner itself, caught by its logged
+	// pre-delta point) can change the service's outcome.
+	winnerDist map[*PlacedService]float64
 }
 
 // NewReoptimizer returns a re-optimizer over the deployment with default
@@ -63,6 +96,22 @@ func (r *Reoptimizer) components() (placement.VirtualPlacer, placement.Mapper, L
 		thresh = 0.05
 	}
 	return placer, mapper, model, thresh
+}
+
+// sweepMapper resolves the mapper a shadow sweep costs candidates with.
+// Source-backed mappers are retargeted at the shadow; a custom mapper
+// (DHTMapper, experiment instrumentation) is used as given.
+func (r *Reoptimizer) sweepMapper(sh *ShadowEnv) placement.Mapper {
+	switch m := r.Mapper.(type) {
+	case nil:
+		return placement.OracleMapper{Source: sh}
+	case placement.OracleMapper:
+		return placement.OracleMapper{Source: sh}
+	case placement.VectorOnlyMapper:
+		return placement.VectorOnlyMapper{Source: sh}
+	default:
+		return m
+	}
 }
 
 // StepStats reports one re-optimization sweep.
@@ -106,53 +155,341 @@ type MigrationPlan struct {
 	Unmovable int
 }
 
+// IncrementalStats describes how much of a sweep PlanIncremental
+// actually ran.
+type IncrementalStats struct {
+	// DirtyNodes is the delta-log size consumed (0 on a full sweep
+	// forced by bookkeeping rather than delta size).
+	DirtyNodes int
+	// AffectedCircuits counts the circuits marked for evaluation,
+	// including in-sweep worklist expansions.
+	AffectedCircuits int
+	TotalCircuits    int
+	// FullSweep reports that the sweep degenerated to a full re-plan;
+	// Reason says why.
+	FullSweep bool
+	Reason    string
+}
+
 // Plan performs one re-optimization sweep over every deployed circuit —
 // virtual re-placement, re-mapping, and hysteresis-thresholded move
 // selection — and returns the selected moves without touching the
-// deployment. Internally the sweep simulates each accepted move (loads
-// shifted, service re-bound) so later candidates see its effect, then
-// rolls every mutation back before returning: loads, node bindings, and
-// instances are exactly as before the call. Unpinned services' Virtual
-// coordinates are the one exception — they are derived placement
-// scratch and hold the sweep's re-relaxed values afterwards (every
-// sweep recomputes them from scratch).
+// deployment. The sweep simulates each accepted move on a private
+// ShadowEnv (loads shifted, services re-bound, shared-instance
+// consumers re-bound with their owner) so later candidates see its
+// effect; live loads, bindings, the k-NN index, and the DHT catalog are
+// never mutated. Unpinned services' Virtual coordinates are the one
+// exception — they are derived placement scratch and hold the sweep's
+// re-relaxed values afterwards (every sweep recomputes them from
+// scratch).
 //
 // Circuits are swept in ascending query order, so a fixed environment
 // yields a deterministic plan.
 func (r *Reoptimizer) Plan() (MigrationPlan, error) {
-	plan, err := r.sweep(false)
-	return plan, err
+	sh := NewShadow(r.Dep.Env)
+	return r.sweepShadow(sh, r.Dep.circuitsInOrder(), nil)
 }
 
-// Step performs one re-optimization sweep and immediately applies every
-// selected move to the deployment — the classic plan-then-freeze
-// behaviour, kept for control-plane-only callers. Live systems instead
-// use Plan and hand the moves to the adaptation layer, which walks each
-// one through the two-phase Begin/Commit protocol while the data plane
-// migrates.
-func (r *Reoptimizer) Step() (StepStats, error) {
-	plan, err := r.sweep(true)
-	return StepStats{ServicesEvaluated: plan.ServicesEvaluated, Migrations: len(plan.Moves)}, err
-}
-
-// sweep is the shared sweep body: evaluate every unpinned deployed
-// service, accept moves that clear the hysteresis threshold, and either
-// keep the accepted moves applied (apply=true) or roll them back.
-func (r *Reoptimizer) sweep(apply bool) (MigrationPlan, error) {
-	placer, mapper, model, thresh := r.components()
-	var plan MigrationPlan
+// PlanIncremental is Plan restricted to the circuits the environment's
+// delta log can affect. It consumes the log (single-consumer: the log
+// is compacted to the current epoch on success) and maintains an epoch
+// watermark; the first call, a watermark invalidation (another consumer
+// compacted past it), a change of the Exclude set, a non-source-backed
+// custom Mapper, or a delta touching more than FullSweepFraction of all
+// nodes each degenerate to a full sweep.
+//
+// The affected set is exact, not heuristic: a circuit is re-planned if
+// (a) any of its services sits on a dirty node (for a load-only delta,
+// any of its movable services — pinned and reused incidence only enters
+// link latencies, which a load change cannot move), (b) a dirty node's old
+// or new point intrudes into the cost-space ball around one of its
+// movable services' ideal targets (radius: the last evaluation's
+// mapping error — the region where the mapping winner or the accept
+// decision can change), or (c) an in-sweep accepted move perturbs it
+// (load shift on the move's endpoints, or a shared-instance rebind).
+// Circuits with moves planned but not yet observed as applied are
+// carried into the next sweep's set. Everything else provably
+// re-evaluates to "no move", so the returned plan is bit-identical to
+// what a full Plan would produce on the same state.
+func (r *Reoptimizer) PlanIncremental() (MigrationPlan, IncrementalStats, error) {
 	env := r.Dep.Env
-	b := &Builder{Env: env}
-	defer func() {
-		if !apply {
-			r.rollback(plan.Moves)
+	circuits := r.Dep.circuitsInOrder()
+	st := IncrementalStats{TotalCircuits: len(circuits)}
+	epochNow := env.Epoch()
+
+	full, reason := false, ""
+	switch {
+	case !r.primed:
+		full, reason = true, "first sweep"
+	case env.DirtyCompactedThrough() > r.lastEpoch:
+		full, reason = true, "delta log compacted past watermark"
+	case !r.supportedMapper():
+		full, reason = true, "custom mapper"
+	case !sameExclude(r.Exclude, r.lastExclude):
+		full, reason = true, "exclude set changed"
+	}
+	var delta []DirtyNode
+	if !full {
+		delta = env.DirtySince(r.lastEpoch)
+		st.DirtyNodes = len(delta)
+		frac := r.FullSweepFraction
+		if frac <= 0 {
+			frac = 0.25
 		}
-	}()
-	for _, c := range r.Dep.circuitsInOrder() {
+		if float64(len(delta)) > frac*float64(len(env.NodeIDs())) {
+			full, reason = true, "delta too large"
+		}
+	}
+
+	sh := NewShadow(env)
+	var plan MigrationPlan
+	var err error
+	if full {
+		st.FullSweep, st.Reason = true, reason
+		st.AffectedCircuits = len(circuits)
+		plan, err = r.sweepShadow(sh, circuits, nil)
+	} else {
+		aff := r.affectedByDelta(delta, circuits)
+		for _, id := range r.pending {
+			aff[id] = true
+		}
+		plan, err = r.sweepShadow(sh, circuits, aff)
+		for _, c := range circuits {
+			if aff[c.Query.ID] {
+				st.AffectedCircuits++
+			}
+		}
+	}
+	if err != nil {
+		return plan, st, err
+	}
+
+	r.primed = true
+	r.lastEpoch = epochNow
+	env.CompactDirty(epochNow)
+	r.lastExclude = cloneExclude(r.Exclude)
+	r.pending = r.pending[:0]
+	for _, m := range plan.Moves {
+		if len(r.pending) == 0 || r.pending[len(r.pending)-1] != m.Query {
+			r.pending = append(r.pending, m.Query)
+		}
+	}
+	return plan, st, nil
+}
+
+// supportedMapper reports whether the configured mapper admits the
+// exact affected-set computation: the default (nil → shadow oracle) and
+// explicit oracle mappers do; approximate mappers (DHT walks, vector-
+// only ranking) do not, so incremental sweeps would not be equivalence-
+// preserving under them.
+func (r *Reoptimizer) supportedMapper() bool {
+	switch r.Mapper.(type) {
+	case nil, placement.OracleMapper:
+		return true
+	default:
+		return false
+	}
+}
+
+func sameExclude(a, b map[topology.NodeID]bool) bool {
+	na, nb := 0, 0
+	for n, v := range a {
+		if v {
+			na++
+			if !b[n] {
+				return false
+			}
+		}
+	}
+	for _, v := range b {
+		if v {
+			nb++
+		}
+	}
+	return na == nb
+}
+
+func cloneExclude(m map[topology.NodeID]bool) map[topology.NodeID]bool {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[topology.NodeID]bool, len(m))
+	for n, v := range m {
+		if v {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// affectedByDelta computes the exact pre-sweep affected set for the
+// delta: rule (a) incidence via the deployment's node index, rule (b)
+// the winner-ball test around each movable service's stored ideal
+// target, with the last evaluation's mapping error as the radius. A
+// delta node whose old and new points both stay outside that ball
+// cannot beat the last winner; the winner's own mutation is caught
+// because its logged pre-delta point sits exactly on the ball boundary
+// (hence <=, which also covers id tie-breaks), and the host's is rule
+// (a). Stored Virtual coordinates and winner distances are current for
+// unaffected circuits: virtual placement is deterministic and depends
+// only on the circuit's structure and its pinned hosts' vector
+// coordinates, and any change to those marks the circuit through rules
+// (a)/(c) or forces a full sweep (re-embedding dirties every node).
+func (r *Reoptimizer) affectedByDelta(delta []DirtyNode, circuits []*Circuit) map[query.QueryID]bool {
+	aff := make(map[query.QueryID]bool)
+	for _, d := range delta {
+		for _, id := range r.Dep.IncidentCircuits(d.Node) {
+			if aff[id] {
+				continue
+			}
+			// A load-only delta leaves the node's latency coordinates —
+			// and so every link cost — untouched; circuits present on the
+			// node only through pinned or reused services keep all their
+			// candidate costs, and only a movable service's own host
+			// scalar can shift its accept decision. (The ball test below
+			// still sees the node as a possible new mapping winner.)
+			if d.LoadOnly && !r.movableOn(id, d.Node) {
+				continue
+			}
+			aff[id] = true
+		}
+	}
+	env := r.Dep.Env
+	space := env.Space()
+	var buf costspace.Point
+	for _, c := range circuits {
+		if aff[c.Query.ID] {
+			continue
+		}
+		for _, s := range c.Services {
+			if s.Pinned || s.Reused || s.Plan == nil {
+				continue
+			}
+			wd, ok := r.winnerDist[s]
+			if !ok || len(s.Virtual) == 0 {
+				// Never evaluated by a recording sweep (or never
+				// virtually placed): no ball to test, re-plan
+				// conservatively.
+				aff[c.Query.ID] = true
+				break
+			}
+			buf = space.AppendIdealPoint(buf[:0], s.Virtual)
+			hit := false
+			for _, d := range delta {
+				if space.Distance(buf, d.Prev) <= wd || space.Distance(buf, env.Point(d.Node)) <= wd {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				aff[c.Query.ID] = true
+				break
+			}
+		}
+	}
+	return aff
+}
+
+// movableOn reports whether the circuit hosts a movable (unpinned,
+// non-reused, deployed) service on the node.
+func (r *Reoptimizer) movableOn(id query.QueryID, n topology.NodeID) bool {
+	c, ok := r.Dep.Circuit(id)
+	if !ok {
+		return true // unknown circuit: stay conservative
+	}
+	for _, s := range c.Services {
+		if s.Pinned || s.Reused || s.Plan == nil {
+			continue
+		}
+		if s.Node == n {
+			return true
+		}
+	}
+	return false
+}
+
+// expandAffected grows the affected set after an accepted in-sweep move:
+// the move's endpoints changed load (ball test against their pre/post
+// shadow points), and re-bound consumer circuits must re-cost. Only
+// circuits after the cursor matter — earlier ones were already
+// evaluated, exactly as a full sequential sweep would have seen them.
+// Unlike the pre-sweep delta test, incidence here is restricted to
+// movable services: a load shift touches only the scalar dimension, so
+// a circuit whose presence on the endpoints is all pinned or reused
+// services keeps every link latency and every candidate cost unchanged
+// (its movable hosts' scalars live elsewhere; intrusions into their
+// winner balls are what the point tests below catch).
+func (r *Reoptimizer) expandAffected(sh *ShadowEnv, circuits []*Circuit, cursor int, aff map[query.QueryID]bool,
+	from, to topology.NodeID, preFrom, preTo costspace.Point, consumers []query.QueryID) {
+	for _, id := range consumers {
+		aff[id] = true
+	}
+	space := sh.Space()
+	var buf costspace.Point
+	for j := cursor + 1; j < len(circuits); j++ {
+		c := circuits[j]
+		if aff[c.Query.ID] {
+			continue
+		}
+		marked := false
+		for _, s := range c.Services {
+			if s.Pinned || s.Reused || s.Plan == nil {
+				continue
+			}
+			if n := sh.NodeOf(s); n == from || n == to {
+				marked = true
+				break
+			}
+		}
+		if !marked {
+			for _, s := range c.Services {
+				if s.Pinned || s.Reused || s.Plan == nil {
+					continue
+				}
+				wd, ok := r.winnerDist[s]
+				if !ok || len(s.Virtual) == 0 {
+					marked = true
+					break
+				}
+				buf = space.AppendIdealPoint(buf[:0], s.Virtual)
+				if space.Distance(buf, preFrom) <= wd || space.Distance(buf, sh.Point(from)) <= wd ||
+					space.Distance(buf, preTo) <= wd || space.Distance(buf, sh.Point(to)) <= wd {
+					marked = true
+					break
+				}
+			}
+		}
+		if marked {
+			aff[c.Query.ID] = true
+		}
+	}
+}
+
+// sweepShadow is the shared sweep body: evaluate every unpinned
+// deployed service of the listed circuits against the shadow, accepting
+// moves that clear the hysteresis threshold. aff == nil sweeps every
+// circuit; otherwise only circuits marked in aff are evaluated and the
+// set is expanded as accepted moves perturb the shadow.
+func (r *Reoptimizer) sweepShadow(sh *ShadowEnv, circuits []*Circuit, aff map[query.QueryID]bool) (MigrationPlan, error) {
+	placer, _, model, thresh := r.components()
+	mapper := r.sweepMapper(sh)
+	b := &Builder{Env: r.Dep.Env}
+	if aff == nil {
+		// Full sweep: rebuild the winner-distance cache from scratch so
+		// entries for cancelled circuits' services don't accumulate.
+		r.winnerDist = make(map[*PlacedService]float64)
+	} else if r.winnerDist == nil {
+		r.winnerDist = make(map[*PlacedService]float64)
+	}
+	var plan MigrationPlan
+	for ci, c := range circuits {
+		if aff != nil && !aff[c.Query.ID] {
+			continue
+		}
 		// Recompute virtual coordinates for the whole circuit against
 		// current pinned/neighbor positions (a node with all affected
 		// services can do full local re-placement).
-		if err := b.PlaceVirtual(c, placer); err != nil {
+		if err := b.placeVirtualAs(c, placer, sh.NodeOf); err != nil {
 			return plan, err
 		}
 		for i, s := range c.Services {
@@ -165,29 +502,31 @@ func (r *Reoptimizer) sweep(apply bool) (MigrationPlan, error) {
 				continue
 			}
 			plan.ServicesEvaluated++
-			oldNode := s.Node
-			newNode, _, err := mapper.MapCoord(c.Query.Consumer, s.Virtual, r.Exclude)
+			oldNode := sh.NodeOf(s)
+			newNode, ms, err := mapper.MapCoord(c.Query.Consumer, s.Virtual, r.Exclude)
 			if err != nil {
 				return plan, err
 			}
+			// Record the mapping error — the distance from the ideal
+			// target to the winner's point — as this service's delta-test
+			// ball radius for the next incremental sweep.
+			r.winnerDist[s] = ms.Error
 			if newNode == oldNode {
 				continue
 			}
 			// Cost the incumbent only for actual move candidates: in a
 			// converged sweep nearly every service maps back to its
 			// current host and skips these link walks entirely.
-			oldCost := serviceCost(env, c, i, model)
-			oldUsage := incidentUsage(c, i, model)
-			s.Node = newNode
-			newCost := serviceCost(env, c, i, model)
+			oldCost := shadowServiceCost(sh, c, i, model)
+			oldUsage := shadowIncidentUsage(sh, c, i, model)
+			sh.Rebind(s, newNode)
+			newCost := shadowServiceCost(sh, c, i, model)
 			if newCost < oldCost*(1-thresh) {
-				// Accept: shift the load so later candidates see the
-				// move (rolled back afterwards unless applying).
-				env.RemoveServiceLoad(oldNode, s.InRate)
-				env.AddServiceLoad(newNode, s.InRate)
-				if apply {
-					r.Dep.updateInstance(c, s, oldNode)
-				}
+				// Accept: shift the load and propagate shared-instance
+				// re-bindings so later candidates see the move.
+				preFrom, preTo := sh.Point(oldNode), sh.Point(newNode)
+				sh.ShiftLoad(oldNode, newNode, s.InRate)
+				consumers := r.propagateRebind(sh, c, s, newNode)
 				plan.Moves = append(plan.Moves, Migration{
 					Query:         c.Query.ID,
 					Service:       i,
@@ -196,14 +535,61 @@ func (r *Reoptimizer) sweep(apply bool) (MigrationPlan, error) {
 					To:            newNode,
 					InRate:        s.InRate,
 					PredictedGain: oldCost - newCost,
-					UsageGain:     oldUsage - incidentUsage(c, i, model),
+					UsageGain:     oldUsage - shadowIncidentUsage(sh, c, i, model),
 				})
+				if aff != nil {
+					r.expandAffected(sh, circuits, ci, aff, oldNode, newNode, preFrom, preTo, consumers)
+				}
 			} else {
-				s.Node = oldNode
+				sh.Rebind(s, oldNode)
 			}
 		}
 	}
 	return plan, nil
+}
+
+// propagateRebind re-binds, in the shadow, every consumer circuit's
+// reused placement of the shared instance the accepted move carries —
+// the in-sweep equivalent of the re-binding Deployment.updateInstance
+// performs at Commit. Without it, later candidates in the same sweep
+// cost consumer circuits against the instance's stale host. Returns the
+// consumer circuits for worklist expansion.
+func (r *Reoptimizer) propagateRebind(sh *ShadowEnv, c *Circuit, s *PlacedService, to topology.NodeID) []query.QueryID {
+	inst := r.Dep.ownedInstance(c, s)
+	if inst == nil {
+		return nil
+	}
+	var ids []query.QueryID
+	for _, ref := range r.Dep.consumersOf(inst) {
+		sh.Rebind(ref.svc, to)
+		ids = append(ids, ref.id)
+	}
+	return ids
+}
+
+// Step performs one re-optimization sweep and immediately applies every
+// selected move to the deployment through the two-phase protocol — the
+// classic plan-then-freeze behaviour, kept for control-plane-only
+// callers. Live systems instead use Plan and hand the moves to the
+// adaptation layer, which walks each one through Begin/Commit while the
+// data plane migrates.
+func (r *Reoptimizer) Step() (StepStats, error) {
+	plan, err := r.Plan()
+	stats := StepStats{ServicesEvaluated: plan.ServicesEvaluated}
+	if err != nil {
+		return stats, err
+	}
+	for _, m := range plan.Moves {
+		ticket, err := r.Dep.BeginMigration(m)
+		if err != nil {
+			return stats, err
+		}
+		if err := ticket.Commit(); err != nil {
+			return stats, err
+		}
+		stats.Migrations++
+	}
+	return stats, nil
 }
 
 // PlanEvacuation plans the forced relocation of every unpinned service
@@ -214,10 +600,11 @@ func (r *Reoptimizer) sweep(apply bool) (MigrationPlan, error) {
 // Pinned services (producers, consumers) on victim nodes cannot move
 // and are counted in the plan's Unmovable field.
 //
-// Like Plan, the sweep simulates accepted moves and rolls everything
-// back before returning.
+// Like Plan, the sweep is pure: accepted moves are simulated on a
+// ShadowEnv (with shared-instance consumers re-bound in-sweep) and the
+// live environment is untouched.
 func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (MigrationPlan, error) {
-	placer, mapper, model, _ := r.components()
+	placer, _, model, _ := r.components()
 	exclude := victims
 	if len(r.Exclude) > 0 {
 		exclude = make(map[topology.NodeID]bool, len(victims)+len(r.Exclude))
@@ -228,19 +615,19 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 			exclude[n] = true
 		}
 	}
-	env := r.Dep.Env
-	b := &Builder{Env: env}
+	sh := NewShadow(r.Dep.Env)
+	mapper := r.sweepMapper(sh)
+	b := &Builder{Env: r.Dep.Env}
 	var plan MigrationPlan
-	defer func() { r.rollback(plan.Moves) }()
 	for _, c := range r.Dep.circuitsInOrder() {
 		hit := false
 		for _, s := range c.Services {
-			if victims[s.Node] {
+			if victims[sh.NodeOf(s)] {
 				if s.Reused {
 					// Moves with its owning circuit; the owner's own
-					// evacuation entry relocates it (and Commit re-binds
-					// this consumer), so it is neither a victim of this
-					// circuit nor unmovable.
+					// evacuation entry relocates it (and the sweep
+					// re-binds this consumer in the shadow), so it is
+					// neither a victim of this circuit nor unmovable.
 					continue
 				}
 				if s.Pinned || s.Plan == nil {
@@ -253,25 +640,25 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 		if !hit {
 			continue
 		}
-		if err := b.PlaceVirtual(c, placer); err != nil {
+		if err := b.placeVirtualAs(c, placer, sh.NodeOf); err != nil {
 			return plan, err
 		}
 		for i, s := range c.Services {
-			if s.Pinned || s.Reused || s.Plan == nil || !victims[s.Node] {
+			if s.Pinned || s.Reused || s.Plan == nil || !victims[sh.NodeOf(s)] {
 				continue
 			}
 			plan.ServicesEvaluated++
-			oldNode := s.Node
-			oldCost := serviceCost(env, c, i, model)
-			oldUsage := incidentUsage(c, i, model)
+			oldNode := sh.NodeOf(s)
+			oldCost := shadowServiceCost(sh, c, i, model)
+			oldUsage := shadowIncidentUsage(sh, c, i, model)
 			newNode, _, err := mapper.MapCoord(c.Query.Consumer, s.Virtual, exclude)
 			if err != nil {
 				return plan, err
 			}
-			s.Node = newNode
-			newCost := serviceCost(env, c, i, model)
-			env.RemoveServiceLoad(oldNode, s.InRate)
-			env.AddServiceLoad(newNode, s.InRate)
+			sh.Rebind(s, newNode)
+			newCost := shadowServiceCost(sh, c, i, model)
+			sh.ShiftLoad(oldNode, newNode, s.InRate)
+			r.propagateRebind(sh, c, s, newNode)
 			plan.Moves = append(plan.Moves, Migration{
 				Query:         c.Query.ID,
 				Service:       i,
@@ -280,28 +667,11 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 				To:            newNode,
 				InRate:        s.InRate,
 				PredictedGain: oldCost - newCost, // may be negative: forced move
-				UsageGain:     oldUsage - incidentUsage(c, i, model),
+				UsageGain:     oldUsage - shadowIncidentUsage(sh, c, i, model),
 			})
 		}
 	}
 	return plan, nil
-}
-
-// rollback undoes the sweep's simulated moves in reverse order,
-// restoring loads and service bindings.
-func (r *Reoptimizer) rollback(moves []Migration) {
-	env := r.Dep.Env
-	for i := len(moves) - 1; i >= 0; i-- {
-		m := moves[i]
-		c, ok := r.Dep.circuits[m.Query]
-		if !ok {
-			continue
-		}
-		s := c.Services[m.Service]
-		s.Node = m.From
-		env.RemoveServiceLoad(m.To, m.InRate)
-		env.AddServiceLoad(m.From, m.InRate)
-	}
 }
 
 // incidentUsage is the usage of the links touching service index i.

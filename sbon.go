@@ -94,6 +94,9 @@ type (
 	MigrationPlan = optimizer.MigrationPlan
 	// AdaptStats reports one sweep→migrate→settle adaptation round.
 	AdaptStats = adapt.SweepStats
+	// AdaptRunStats aggregates a continuous adaptation loop
+	// (AdaptContinuously).
+	AdaptRunStats = adapt.RunStats
 	// SharedStats is a snapshot of the engine's shared-execution state:
 	// instances executing once for multiple circuits, their
 	// subscribers, and zombie providers awaiting their last release.
@@ -136,6 +139,11 @@ type System struct {
 	engine    *stream.Engine
 	vclk      *simtime.VirtualClock
 	planCache *optimizer.PlanCache
+
+	// adaptCo is the persistent adaptation coordinator: incremental
+	// sweeps carry a delta-log watermark across Adapt/AdaptContinuously
+	// calls, so one instance must serve them all.
+	adaptCo *adapt.Coordinator
 }
 
 // New builds a System: generates the topology, embeds coordinates,
@@ -342,6 +350,29 @@ func (s *System) Adapt(opts AdaptOptions) ([]AdaptStats, error) {
 	return out, nil
 }
 
+// AdaptContinuously runs the clock-driven continuous adaptation loop
+// (the paper's §3.3 continuous optimization at delta cost): every
+// interval, the coordinator consumes the environment's delta log —
+// every load change, deploy, cancel, and committed migration since the
+// last round — and re-plans only the circuits the delta can affect,
+// then migrates and settles as Adapt does. The first round is a full
+// sweep; later rounds cost O(delta), so a quiet overlay re-plans
+// nothing.
+//
+// The call blocks until stop fires. Under Options.VirtualTime it is
+// deterministic: fire stop through the virtual clock (e.g. a timer
+// scheduled with AfterFunc) and same-seed runs reproduce bit-identical
+// round statistics. The coordinator's incremental watermark persists
+// across Adapt and AdaptContinuously calls on the same System.
+func (s *System) AdaptContinuously(interval time.Duration, stop <-chan struct{}, opts AdaptOptions) (AdaptRunStats, error) {
+	co := s.coordinator(opts)
+	if s.vclk != nil {
+		s.vclk.Register()
+		defer s.vclk.Unregister()
+	}
+	return co.Run(interval, stop)
+}
+
 // Evacuate force-migrates every service off the given nodes (graceful
 // drain before decommissioning them), with live handoff for executing
 // circuits. The drained nodes are also excluded as targets of the
@@ -358,16 +389,20 @@ func (s *System) Evacuate(nodes []NodeID) (AdaptStats, error) {
 	return s.coordinator(opts).Evacuate(nodes, nil)
 }
 
-// coordinator assembles the adaptation layer over the System's current
-// deployment, engine, and clock.
+// coordinator returns the System's persistent adaptation coordinator,
+// refreshed with the current options, engine, and clock. One instance
+// serves every call so incremental sweep bookkeeping survives between
+// rounds.
 func (s *System) coordinator(opts AdaptOptions) *adapt.Coordinator {
-	co := &adapt.Coordinator{
-		Dep:       s.Deployment,
-		Engine:    s.engine,
-		Threshold: opts.Threshold,
-		Budget:    opts.Budget,
-		Exclude:   opts.Exclude,
+	if s.adaptCo == nil {
+		s.adaptCo = &adapt.Coordinator{Dep: s.Deployment}
 	}
+	co := s.adaptCo
+	co.Engine = s.engine
+	co.Threshold = opts.Threshold
+	co.Budget = opts.Budget
+	co.Exclude = opts.Exclude
+	co.Clock = nil
 	if s.vclk != nil {
 		co.Clock = s.vclk
 	} else if s.net != nil {

@@ -2,27 +2,28 @@
 # bench.sh — run the paper-artifact and batch benchmark suites and emit a
 # JSON snapshot for the bench trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_4.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_5.json)
 #
 # BENCH_0.json (pre-spatial-index), BENCH_1.json (pre-virtual-time),
-# BENCH_2.json (pre-live-migration), and BENCH_3.json (pre-shared-
-# execution) are committed baselines; the default output BENCH_4.json
-# — which includes X14, the shared-execution comparison — sits
-# alongside them so the trajectory stays in the repo. Bump the default
-# for later milestones.
+# BENCH_2.json (pre-live-migration), BENCH_3.json (pre-shared-
+# execution), and BENCH_4.json (pre-incremental-replanning) are
+# committed baselines; the default output BENCH_5.json — which includes
+# X15 and the full-vs-incremental re-planning pair — sits alongside
+# them so the trajectory stays in the repo. Bump the default for later
+# milestones.
 #
 # Each benchmark runs once (-benchtime 1x): the suites are end-to-end
 # experiment regenerations, so a single iteration is already seconds of
 # work and the numbers are for trajectory tracking, not microbenchmarking.
 set -eu
 
-out=${1:-BENCH_4.json}
+out=${1:-BENCH_5.json}
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFig|BenchmarkX|BenchmarkIntegrated|BenchmarkTwoStep|BenchmarkOptimize' \
+go test -run '^$' -bench 'BenchmarkFig|BenchmarkX|BenchmarkIntegrated|BenchmarkTwoStep|BenchmarkOptimize|BenchmarkPlan' \
   -benchtime 1x -timeout 30m . | tee "$tmp"
 
 awk '
