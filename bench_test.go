@@ -413,6 +413,30 @@ func BenchmarkX15_IncrementalReplanning1024(b *testing.B) {
 	}
 }
 
+// BenchmarkX16_FailureRepair1024 regenerates the unplanned-failure
+// scenario (1024 nodes, 5% staggered crashes under 1% ambient message
+// loss): heartbeat detection, automatic circuit repair, bounded tuple
+// loss. Reported metrics are the total services repaired and the mean
+// per-round detections — both must stay stable across same-seed runs.
+func BenchmarkX16_FailureRepair1024(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.X16(exp.DefaultX16Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	repaired := 0.0
+	for i := range last.Rows {
+		if v, err := strconv.ParseFloat(last.Rows[i][4], 64); err == nil {
+			repaired += v
+		}
+	}
+	b.ReportMetric(repaired, "services-repaired")
+	b.ReportMetric(colMean(b, last, 2), "detections/round")
+}
+
 // Re-planning benchmarks: the cost of one re-optimization round on the
 // 1024-node, 200-circuit deployment after a 1%-node load drift — full
 // sweep vs delta-driven incremental sweep over the same sequence of

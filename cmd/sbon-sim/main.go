@@ -39,6 +39,16 @@
 // are discrete events):
 //
 //	sbon-sim -queries 40 -virtual-time -adapt 8 -adapt-continuous
+//
+// With -crash-frac (and optionally -drop-prob) the run becomes the
+// unplanned-failure scenario: that fraction of nodes crashes without
+// warning, staggered across the window, while every message rides
+// through the seeded drop probability. Heartbeats feed the failure
+// detector and the coordinator repairs affected circuits onto live
+// nodes automatically — no Evacuate calls. Requires -execute
+// -virtual-time; same seed reproduces the identical run:
+//
+//	sbon-sim -queries 40 -execute -virtual-time -crash-frac 0.05 -drop-prob 0.01
 package main
 
 import (
@@ -52,6 +62,7 @@ import (
 	"time"
 
 	"github.com/hourglass/sbon/internal/adapt"
+	"github.com/hourglass/sbon/internal/failure"
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
@@ -88,6 +99,9 @@ func main() {
 		adaptDrift  = flag.Float64("adapt-drift", 0.1, "fraction of nodes whose background load drifts before each sweep")
 		adaptCont   = flag.Bool("adapt-continuous", false, "run adaptation as a continuous clock-driven loop of incremental sweeps (requires -virtual-time); -adapt N sets the rounds")
 		adaptIntMs  = flag.Int("adapt-interval-ms", 500, "continuous adaptation interval (simulated milliseconds)")
+
+		crashFrac = flag.Float64("crash-frac", 0, "fraction of nodes crashing unannounced mid-run; circuits repair automatically (requires -execute -virtual-time)")
+		dropProb  = flag.Float64("drop-prob", 0, "ambient per-message drop probability for the failure scenario")
 	)
 	flag.Parse()
 
@@ -171,6 +185,14 @@ func main() {
 		dep.NumDeployed(), dep.TotalUsage(truth), dep.TotalLoadPenalty())
 	fmt.Printf("plans considered %d, services reused %d, registry instances examined %d, registered services %d\n",
 		totalPlans, totalReuse, totalExamined, reg.Len())
+
+	if *crashFrac > 0 || *dropProb > 0 {
+		if !*execute || !*virtualTime {
+			fail(fmt.Errorf("-crash-frac/-drop-prob require -execute -virtual-time: crashes, detection, and repair are discrete events"))
+		}
+		runFailureScenario(topo, env, dep, circuits, truth, *crashFrac, *dropProb, *simSeconds, *seed)
+		return
+	}
 
 	if *adaptSweeps > 0 {
 		if *adaptCont && !*virtualTime {
@@ -378,6 +400,122 @@ func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.D
 		fmt.Printf("loss counters: unrouted=%.0f data-to-dead=%.0f (must be 0)\n",
 			net.Metrics.Counter("msgs.unrouted").Value(), net.Metrics.Counter("msgs.down_dropped").Value())
 	}
+}
+
+// runFailureScenario executes the circuits under ambient message loss
+// while a fraction of the nodes crashes unannounced, staggered across
+// the first half of the window. Heartbeats feed the failure detector
+// and the coordinator's repair loop re-places every affected service
+// onto live nodes automatically; the scenario reports repair activity
+// and the bounded loss counters. Deterministic for a given seed.
+func runFailureScenario(topo *topology.Topology, env *optimizer.Env, dep *optimizer.Deployment,
+	circuits []*optimizer.Circuit, truth optimizer.TrueLatency,
+	crashFrac, dropProb, simSeconds float64, seed int64) {
+
+	vclk := simtime.NewVirtual()
+	defer vclk.Drive()()
+	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: vclk})
+	net.Start()
+	defer net.Stop()
+	ecfg := stream.DefaultEngineConfig()
+	ecfg.Seed = seed
+	engine := stream.NewEngine(net, topo, ecfg)
+	defer engine.Close()
+	var runs []*stream.Running
+	for _, c := range circuits {
+		run, err := engine.Deploy(c)
+		if err != nil {
+			fail(err)
+		}
+		runs = append(runs, run)
+	}
+
+	// Victims: non-endpoint nodes only — a dead pinned producer or
+	// consumer cancels its circuit by definition; this scenario measures
+	// repair.
+	endpoint := map[topology.NodeID]bool{}
+	for _, c := range circuits {
+		for _, s := range c.Services {
+			if s.Pinned {
+				endpoint[s.Node] = true
+			}
+		}
+	}
+	var candidates []topology.NodeID
+	for i := 0; i < topo.NumNodes(); i++ {
+		if n := topology.NodeID(i); !endpoint[n] {
+			candidates = append(candidates, n)
+		}
+	}
+	vrng := rand.New(rand.NewSource(seed * 13))
+	vrng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	crashCount := int(crashFrac*float64(topo.NumNodes()) + 0.5)
+	if crashCount > len(candidates) {
+		crashCount = len(candidates)
+	}
+	victims := candidates[:crashCount]
+	warmup := time.Duration(simSeconds/4*1000) * time.Millisecond
+	spread := warmup
+	crashes := make([]overlay.NodeCrash, len(victims))
+	for i, n := range victims {
+		at := warmup
+		if len(victims) > 1 {
+			at += time.Duration(int64(spread) * int64(i) / int64(len(victims)-1))
+		}
+		crashes[i] = overlay.NodeCrash{Node: n, At: at}
+	}
+	fi := net.InstallFaults(overlay.FaultPlan{Seed: seed, DropProb: dropProb, Crashes: crashes})
+	defer fi.Stop()
+
+	beat := 200 * time.Millisecond
+	hb := net.StartHeartbeatsOpts(beat, 0.05, overlay.HeartbeatOpts{SkipDownTargets: true})
+	det := failure.New(net, failure.DefaultConfig(beat))
+	defer func() { det.Stop(); hb.Stop() }()
+	co := &adapt.Coordinator{
+		Dep: dep, Engine: engine, Clock: vclk,
+		Threshold: 0.3, TicketTTL: 5 * time.Second,
+	}
+
+	usageBefore := dep.TotalUsage(truth)
+	fmt.Printf("\nfailure scenario: crashing %d/%d nodes (%.1f%%) under %.1f%% message loss over %.1f simulated seconds\n",
+		len(victims), topo.NumNodes(), 100*float64(len(victims))/float64(topo.NumNodes()), 100*dropProb, simSeconds)
+	stop := make(chan struct{})
+	vclk.AfterFunc(time.Duration(simSeconds*1000)*time.Millisecond, func() { vclk.Signal(stop) })
+	wallStart := time.Now()
+	rs, rep, err := co.RunWithRepair(det, 500*time.Millisecond, stop)
+	if err != nil {
+		fail(err)
+	}
+	for _, run := range runs {
+		run.HaltProducers()
+	}
+	vclk.Sleep(time.Second)
+	wall := time.Since(wallStart)
+
+	var produced, delivered int
+	for _, run := range runs {
+		produced += run.TuplesProduced()
+		delivered += run.Measure().TuplesOut
+	}
+	fmt.Printf("detector: %d dead confirmed; repair: %d services re-placed (%d zombie, %d adopted), %d circuits cancelled, %d moves aborted\n",
+		rep.DeadNodes, rep.Repaired, rep.ZombieRepaired, rep.Adopted, rep.CancelledCircuits, rep.Aborted)
+	fmt.Printf("adaptation: %d rounds, %d migrations alongside repair\n", rs.Sweeps, rs.Migrated)
+	fmt.Printf("bounded loss: %.0f injector-dropped + %.0f at-dead-nodes + %.0f unrouted + %d handoff-buffered; state lost %.0f KB (produced %d, delivered %d)\n",
+		net.Metrics.Counter("faults.dropped").Value(), net.Metrics.Counter("msgs.down_dropped").Value(),
+		net.Metrics.Counter("msgs.unrouted").Value(), rep.BufferedLost, rep.StateLostKB, produced, delivered)
+	fmt.Printf("network usage: %.1f pre-crash vs %.1f post-repair; wall time %v\n",
+		usageBefore, dep.TotalUsage(truth), wall.Round(time.Millisecond))
+	for _, n := range victims {
+		for id, c := range dep.Circuits() {
+			for i, s := range c.Services {
+				if s.Node == n {
+					fail(fmt.Errorf("q%d service %d still placed on crashed node %d", id, i, n))
+				}
+			}
+		}
+	}
+	fmt.Printf("all deployed services verified off the crashed nodes (zero manual evacuations)\n")
+	_ = env
 }
 
 // runBatchScenario tiles the distinct query shapes out to n queries and

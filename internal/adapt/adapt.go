@@ -75,6 +75,13 @@ type Coordinator struct {
 	// is NOT assumed — default 0; callers add margin when their model
 	// needs it).
 	SettleMargin time.Duration
+	// TicketTTL, when positive, stamps every migration ticket with a
+	// deadline that far past Begin. A handoff still pending at commit
+	// time past its deadline — a host died mid-flight, or a teardown
+	// stalled — is failed over instead of committed blind: the engine
+	// restores a consistent route (AbortForFailure) and the ticket
+	// commits or aborts to match where the operator actually ended up.
+	TicketTTL time.Duration
 
 	// Placer, Mapper, Model override the re-optimizer's components
 	// (defaults as in optimizer.Reoptimizer).
@@ -86,6 +93,14 @@ type Coordinator struct {
 	// sweeps carry an epoch watermark and a pending-move set across
 	// rounds, so the same instance must serve every sweep.
 	ro *optimizer.Reoptimizer
+
+	// dead is the cumulative confirmed-dead set. Repair plans over all
+	// of it, not just the newest deaths, so a move aborted in one round
+	// (its target died undetected, say) is retried in the next instead
+	// of stranding the service on the corpse. A Recovered event clears
+	// the node. retryRepair marks that the last round left strands.
+	dead        map[topology.NodeID]bool
+	retryRepair bool
 }
 
 // SweepStats reports one adaptation round.
@@ -139,6 +154,16 @@ func (co *Coordinator) reopt() *optimizer.Reoptimizer {
 	co.ro.Mapper = co.Mapper
 	co.ro.Model = co.Model
 	co.ro.ImprovementThreshold = co.Threshold
+	// Confirmed-dead nodes stay excluded even when the caller swaps in a
+	// fresh Exclude set between rounds (the facade does this per call).
+	if len(co.dead) > 0 {
+		if co.Exclude == nil {
+			co.Exclude = make(map[topology.NodeID]bool, len(co.dead))
+		}
+		for n := range co.dead {
+			co.Exclude[n] = true
+		}
+	}
 	co.ro.Exclude = co.Exclude
 	return co.ro
 }
@@ -301,6 +326,9 @@ func (co *Coordinator) execute(plan optimizer.MigrationPlan, cancel <-chan struc
 			stats.Aborted++
 			continue
 		}
+		if co.TicketTTL > 0 {
+			ticket.Deadline = clk.Now().Add(co.TicketTTL)
+		}
 		fl := inflight{ticket: ticket, gain: m.PredictedGain, usage: m.UsageGain}
 		if co.Engine != nil {
 			mig, err := co.Engine.Migrate(m.Query, m.Service, m.To)
@@ -368,6 +396,18 @@ func (co *Coordinator) execute(plan optimizer.MigrationPlan, cancel <-chan struc
 					continue
 				}
 			default:
+				// A handoff still pending past its ticket deadline has
+				// lost a host or stalled: fail it over now rather than
+				// committing blind. AbortForFailure reports whether the
+				// operator reached the target, which decides the ticket.
+				if fl.ticket.Expired(clk.Now()) {
+					if !fl.mig.AbortForFailure() {
+						stats.Buffered += fl.mig.Buffered
+						_ = fl.ticket.Abort()
+						stats.Aborted++
+						continue
+					}
+				}
 			}
 			stats.DataPlane++
 		}

@@ -57,6 +57,16 @@ func (p *Peer) storeAddAll(k ID, entries []Entry) {
 	p.flat = append(p.flat, entries...)
 }
 
+// storeHas reports whether the peer stores the entry for (key, node).
+func (p *Peer) storeHas(key ID, node topology.NodeID) bool {
+	for _, se := range p.store[key] {
+		if se.Node == node {
+			return true
+		}
+	}
+	return false
+}
+
 // storeRemove deletes the entry for (key, node), reporting whether it
 // was present.
 func (p *Peer) storeRemove(key ID, node topology.NodeID) bool {
@@ -119,6 +129,11 @@ func PeerID(n topology.NodeID) ID {
 type Ring struct {
 	peers  []*Peer // sorted by id
 	byNode map[topology.NodeID]*Peer
+
+	// faults is the installed RPC fault configuration (zero value: no
+	// injection); fstats accumulates RPC outcomes under it.
+	faults RingFaults
+	fstats RingFaultStats
 }
 
 // NewRing returns an empty ring.
@@ -373,7 +388,10 @@ func inHalfOpenInterval(a, b, x ID) bool {
 
 // Lookup routes from the given start node to the owner of key k, counting
 // forwarding hops (Chord's iterative find_successor). It returns the
-// owning peer and the hop count.
+// owning peer and the hop count. Under an installed fault oracle every
+// hop is an RPC retried with capped backoff; a hop whose retry budget
+// is exhausted degrades to the next-best finger, and the lookup fails
+// only when no candidate answers at all.
 func (r *Ring) Lookup(start topology.NodeID, k ID) (*Peer, int, error) {
 	cur, ok := r.byNode[start]
 	if !ok {
@@ -386,29 +404,19 @@ func (r *Ring) Lookup(start topology.NodeID, k ID) (*Peer, int, error) {
 	for limit := 2 * len(r.peers); limit > 0; limit-- {
 		succ := r.successorAfter(cur)
 		if inHalfOpenInterval(cur.id, succ.id, k) {
+			if !r.rpc(cur, succ) {
+				return nil, hops, fmt.Errorf("dht: lookup for %#x: owner unreachable from node %d", uint64(k), cur.node)
+			}
 			return succ, hops + 1, nil
 		}
-		next := cur.closestPrecedingFinger(k)
-		if next == cur {
-			// Fingers give no progress; fall over to the successor.
-			next = succ
+		next := r.nextHop(cur, k, succ)
+		if next == nil {
+			return nil, hops, fmt.Errorf("dht: lookup for %#x: no reachable hop from node %d", uint64(k), cur.node)
 		}
 		cur = next
 		hops++
 	}
 	return nil, hops, fmt.Errorf("dht: lookup for %#x did not converge", uint64(k))
-}
-
-// closestPrecedingFinger returns the highest finger strictly between p
-// and k on the circle, or p itself if none.
-func (p *Peer) closestPrecedingFinger(k ID) *Peer {
-	for i := len(p.fingers) - 1; i >= 0; i-- {
-		f := p.fingers[i]
-		if f != nil && f != p && inOpenInterval(p.id, k, f.id) {
-			return f
-		}
-	}
-	return p
 }
 
 // Owner returns the peer owning key k without routing (oracle access for

@@ -419,8 +419,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("x15"); !ok {
 		t.Fatal("x15 missing")
 	}
-	if len(All()) != 19 {
-		t.Fatalf("All() = %d experiments, want 19", len(All()))
+	if len(All()) != 20 {
+		t.Fatalf("All() = %d experiments, want 20", len(All()))
 	}
 }
 
@@ -755,5 +755,92 @@ func TestX14Deterministic(t *testing.T) {
 				t.Fatalf("same-seed X14 diverged at (%d,%d): %q vs %q", r, c, a[r][c], b[r][c])
 			}
 		}
+	}
+}
+
+// smallX16 is the CI-scale failure-recovery configuration (256 nodes,
+// ~13 crashes).
+func smallX16() X16Params {
+	p := DefaultX16Params()
+	p.StubNodes = 5 // 256 nodes
+	p.Queries = 30
+	p.WarmupSimSeconds = 2
+	p.CrashSpreadSimSeconds = 2
+	p.RunSimSeconds = 6
+	return p
+}
+
+func TestX16SmallShape(t *testing.T) {
+	tb, err := X16(smallX16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X16 itself errors when any crash goes undetected, a circuit is
+	// cancelled, a service remains on a corpse, or nothing was lost —
+	// the rows here are the per-round activity trace.
+	if len(tb.Rows) == 0 {
+		t.Fatal("no active repair rounds recorded")
+	}
+	died, repaired, aborted := 0.0, 0.0, 0.0
+	for i := range tb.Rows {
+		died += cell(t, tb, i, 2)
+		repaired += cell(t, tb, i, 4)
+		aborted += cell(t, tb, i, 6)
+	}
+	if died == 0 {
+		t.Fatal("no deaths detected")
+	}
+	if repaired == 0 {
+		t.Fatal("no services repaired")
+	}
+	if repaired < aborted {
+		t.Fatalf("more aborts (%v) than repairs (%v)", aborted, repaired)
+	}
+}
+
+func TestX16Deterministic(t *testing.T) {
+	run := func() [][]string {
+		tb, err := X16(smallX16())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Rows
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("same-seed X16 row counts diverged: %d vs %d", len(a), len(b))
+	}
+	for r := range a {
+		for c := range a[r] {
+			if a[r][c] != b[r][c] {
+				t.Fatalf("same-seed X16 diverged at (%d,%d): %q vs %q", r, c, a[r][c], b[r][c])
+			}
+		}
+	}
+}
+
+// TestX16FullScale runs the acceptance-criterion configuration: 1024
+// nodes, 5% staggered crashes under 1% ambient message loss. Every
+// affected circuit must repair onto live nodes with zero manual
+// Evacuate calls and zero cancellations (X16 errors otherwise), with
+// deaths detected for every crashed node.
+func TestX16FullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node scenario skipped in -short")
+	}
+	tb, err := X16(DefaultX16Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	died, repaired := 0.0, 0.0
+	for i := range tb.Rows {
+		died += cell(t, tb, i, 2)
+		repaired += cell(t, tb, i, 4)
+	}
+	if want := 51.0; died != want { // 5% of 1024, rounded
+		t.Fatalf("deaths detected = %v, want %v", died, want)
+	}
+	if repaired == 0 {
+		t.Fatal("no services repaired at full scale")
 	}
 }

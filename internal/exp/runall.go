@@ -91,6 +91,17 @@ func All() []Experiment {
 			}
 			return X15(p)
 		}},
+		{"x16", func(s Scale) (*Table, error) {
+			p := DefaultX16Params()
+			if s == Small {
+				p.StubNodes = 5 // 256 nodes
+				p.Queries = 30
+				p.WarmupSimSeconds = 2
+				p.CrashSpreadSimSeconds = 2
+				p.RunSimSeconds = 6
+			}
+			return X16(p)
+		}},
 		{"x9", func(s Scale) (*Table, error) {
 			p := DefaultX9Params()
 			p.Scale = s

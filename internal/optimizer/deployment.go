@@ -1,12 +1,20 @@
 package optimizer
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/topology"
 )
+
+// ErrTicketExpired is returned by MigrationTicket.CommitAt when the
+// ticket's deadline passed before the commit: the ticket is aborted
+// (the target's provisional charge returned) and the service stays on
+// its source.
+var ErrTicketExpired = errors.New("optimizer: migration ticket deadline expired")
 
 // Deployment tracks the circuits currently running in the SBON: it
 // applies service load to hosting nodes, registers shareable instances,
@@ -321,6 +329,17 @@ type MigrationTicket struct {
 	// charge even if the plan's InRate field was stale or edited.
 	charged float64
 	open    bool
+	// inst is set for adopted-owner moves: the shared instance this
+	// ticket relocates (the owning circuit holds only a Reused
+	// placement of it — a trimmed zombie on the data plane).
+	inst *ServiceInstance
+
+	// Deadline, when set, bounds the ticket's life: CommitAt past it
+	// aborts instead of committing. A crashed host mid-handoff (or a
+	// wedged data plane) then can't leak the double-charged in-flight
+	// load forever — the adaptation layer stamps deadlines on every
+	// ticket it opens.
+	Deadline time.Time
 }
 
 // Move returns the migration this ticket tracks.
@@ -340,14 +359,28 @@ func (d *Deployment) BeginMigration(m Migration) (*MigrationTicket, error) {
 	}
 	s := c.Services[m.Service]
 	if s.Reused {
+		inst := s.ReusedFrom
+		if inst != nil && inst.Owner == m.Query {
+			// Adopted-owner move: the original owner cancelled and this
+			// circuit inherited the instance, but its placement here is
+			// Reused (the executing operator is a trimmed zombie on the
+			// data plane). The adopter is the instance's owner of record,
+			// so it — and only it — may relocate the instance.
+			if inst.Node != m.From {
+				return nil, fmt.Errorf("optimizer: query %d's adopted instance %q is on node %d, not %d",
+					m.Query, inst.Signature, inst.Node, m.From)
+			}
+			d.Env.AddServiceLoad(m.To, inst.InRate)
+			return &MigrationTicket{dep: d, move: m, charged: inst.InRate, open: true, inst: inst}, nil
+		}
 		// A non-owner circuit must never move a shared instance: the
 		// move would double-charge the instance's load on the target
 		// while the operator keeps executing inside its owner. Shared
 		// instances migrate through the owning circuit's own (non-
 		// reused) service, which re-binds every consumer at Commit.
 		owner := query.QueryID(-1)
-		if s.ReusedFrom != nil {
-			owner = s.ReusedFrom.Owner
+		if inst != nil {
+			owner = inst.Owner
 		}
 		return nil, fmt.Errorf("optimizer: query %d service %d reuses an instance owned by query %d; only the owner may migrate it",
 			m.Query, m.Service, owner)
@@ -377,11 +410,45 @@ func (t *MigrationTicket) Commit() error {
 	if !ok {
 		return fmt.Errorf("optimizer: query %d vanished mid-migration", m.Query)
 	}
-	s := c.Services[m.Service]
 	d.Env.RemoveServiceLoad(m.From, t.charged)
+	if t.inst != nil {
+		// Adopted-owner move: re-bind the instance and every consuming
+		// placement (including the adopter's own Reused entry).
+		d.Registry.UpdateInstance(t.inst, m.To, d.Env.Point(m.To).Clone())
+		for _, cc := range d.circuits {
+			for _, cs := range cc.Services {
+				if cs.Reused && cs.ReusedFrom == t.inst {
+					cs.Node = m.To
+				}
+			}
+		}
+		d.gen++
+		return nil
+	}
+	s := c.Services[m.Service]
 	s.Node = m.To
 	d.updateInstance(c, s, m.From)
 	return nil
+}
+
+// Expired reports whether the ticket has a deadline in the past at
+// `now`.
+func (t *MigrationTicket) Expired(now time.Time) bool {
+	return !t.Deadline.IsZero() && now.After(t.Deadline)
+}
+
+// CommitAt is Commit with deadline enforcement: a ticket whose
+// deadline passed is aborted instead — the target's provisional
+// charge returns and ErrTicketExpired is reported, leaving the load
+// accounting exactly where it was before Begin.
+func (t *MigrationTicket) CommitAt(now time.Time) error {
+	if t.open && t.Expired(now) {
+		if err := t.Abort(); err != nil {
+			return err
+		}
+		return ErrTicketExpired
+	}
+	return t.Commit()
 }
 
 // Abort cancels the migration, releasing the target's provisional

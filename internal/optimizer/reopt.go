@@ -139,6 +139,12 @@ type Migration struct {
 	// overloaded host at the price of longer links.
 	PredictedGain float64
 	UsageGain     float64
+	// Adopted marks the move of an adopted-owner shared instance: the
+	// circuit owns the instance but holds only a Reused placement of it
+	// (the executing operator is a trimmed zombie on the data plane).
+	// The data plane must relocate the zombie's service, not one of the
+	// circuit's own.
+	Adopted bool
 }
 
 // MigrationPlan is the output of one re-optimization sweep before
@@ -624,9 +630,16 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 		for _, s := range c.Services {
 			if victims[sh.NodeOf(s)] {
 				if s.Reused {
-					// Moves with its owning circuit; the owner's own
-					// evacuation entry relocates it (and the sweep
-					// re-binds this consumer in the shadow), so it is
+					if s.ReusedFrom != nil && s.ReusedFrom.Owner == c.Query.ID {
+						// Adopted-owner zombie: the original owner is gone
+						// and no other circuit will ever move this instance
+						// — plan its relocation here or the node stays
+						// un-evacuable.
+						hit = true
+					}
+					// Otherwise it moves with its owning circuit; the
+					// owner's own evacuation entry relocates it (and the
+					// sweep re-binds this consumer in the shadow), so it is
 					// neither a victim of this circuit nor unmovable.
 					continue
 				}
@@ -644,20 +657,39 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 			return plan, err
 		}
 		for i, s := range c.Services {
-			if s.Pinned || s.Reused || s.Plan == nil || !victims[sh.NodeOf(s)] {
+			adopted := s.Reused && s.ReusedFrom != nil && s.ReusedFrom.Owner == c.Query.ID
+			if adopted {
+				// Builders pin reused placements, but an adopted one is
+				// movable by its owner of record — the pin only bars
+				// non-owner moves.
+				if !victims[sh.NodeOf(s)] {
+					continue
+				}
+			} else if s.Pinned || s.Reused || s.Plan == nil || !victims[sh.NodeOf(s)] {
 				continue
 			}
 			plan.ServicesEvaluated++
 			oldNode := sh.NodeOf(s)
+			inRate := s.InRate
+			vec := s.Virtual
+			if adopted {
+				// The zombie's subtree is not part of this circuit, so
+				// virtual placement computed nothing for it; the best
+				// stand-in for its ideal target is its current host's
+				// vector coordinate — "the nearest live node to where it
+				// was".
+				inRate = s.ReusedFrom.InRate
+				vec = r.Dep.Env.VecCoord(oldNode)
+			}
 			oldCost := shadowServiceCost(sh, c, i, model)
 			oldUsage := shadowIncidentUsage(sh, c, i, model)
-			newNode, _, err := mapper.MapCoord(c.Query.Consumer, s.Virtual, exclude)
+			newNode, _, err := mapper.MapCoord(c.Query.Consumer, vec, exclude)
 			if err != nil {
 				return plan, err
 			}
 			sh.Rebind(s, newNode)
 			newCost := shadowServiceCost(sh, c, i, model)
-			sh.ShiftLoad(oldNode, newNode, s.InRate)
+			sh.ShiftLoad(oldNode, newNode, inRate)
 			r.propagateRebind(sh, c, s, newNode)
 			plan.Moves = append(plan.Moves, Migration{
 				Query:         c.Query.ID,
@@ -665,9 +697,10 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 				Signature:     s.Signature,
 				From:          oldNode,
 				To:            newNode,
-				InRate:        s.InRate,
+				InRate:        inRate,
 				PredictedGain: oldCost - newCost, // may be negative: forced move
 				UsageGain:     oldUsage - shadowIncidentUsage(sh, c, i, model),
+				Adopted:       adopted,
 			})
 		}
 	}

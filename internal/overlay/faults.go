@@ -1,0 +1,294 @@
+package overlay
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hourglass/sbon/internal/simtime"
+	"github.com/hourglass/sbon/internal/topology"
+)
+
+// FaultPlan scripts unplanned failures: per-message drop probability,
+// latency jitter, link cuts, partitions, and scheduled node crashes.
+// Everything is derived from Seed and the clock, so the same plan on
+// the same virtual-clock scenario replays bit-identically — faults are
+// part of the simulation, not noise on top of it.
+//
+// The plan is declarative; Network.InstallFaults arms it. Relative
+// times (LinkFault.At, NodeCrash.At, ...) are measured from the
+// install instant.
+type FaultPlan struct {
+	// Seed drives every probabilistic decision the injector makes.
+	Seed int64
+	// DropProb is the global per-message drop probability applied to
+	// every send (heartbeats included — the detector must ride through
+	// ambient loss, that is the point).
+	DropProb float64
+	// JitterMs adds uniform extra latency in [0, JitterMs) simulated
+	// milliseconds to every delivered message.
+	JitterMs float64
+	// Links are targeted per-link faults (cuts when DropProb == 1).
+	Links []LinkFault
+	// Partitions cut traffic crossing a group boundary during a window.
+	Partitions []PartitionFault
+	// Crashes schedules node deaths (and optional recoveries).
+	Crashes []NodeCrash
+}
+
+// LinkFault degrades one directed link (or both directions) during a
+// window. DropProb 1 is a clean cut.
+type LinkFault struct {
+	From, To      topology.NodeID
+	Bidirectional bool
+	DropProb      float64
+	// At..Until bound the active window relative to install time;
+	// Until == 0 means "until the end of the run".
+	At, Until time.Duration
+}
+
+// PartitionFault cuts every message crossing between Group and the
+// rest of the overlay during the window (Until == 0: forever).
+type PartitionFault struct {
+	Group     []topology.NodeID
+	At, Until time.Duration
+}
+
+// NodeCrash kills a node at At (SetNodeDown true) and, when RecoverAt
+// is positive, revives it at RecoverAt. Crashes are abrupt: no drain,
+// no goodbye — in-flight data messages still arrive (they left the
+// wire while the node lived), but post-mortem heartbeats are
+// suppressed at dispatch so the failure detector is never fooled by a
+// beat that outlived its sender.
+type NodeCrash struct {
+	Node      topology.NodeID
+	At        time.Duration
+	RecoverAt time.Duration
+}
+
+type linkKey struct{ from, to topology.NodeID }
+
+type linkWindow struct {
+	prob     float64
+	from, to time.Time // zero `to` = open-ended
+}
+
+type partitionWindow struct {
+	members  map[topology.NodeID]bool
+	from, to time.Time
+}
+
+// FaultInjector is an armed FaultPlan. It is consulted on the send
+// path and exposes the crash schedule (for detection-latency
+// measurement) and a side-channel RPC drop oracle for the in-process
+// DHT, which has no overlay messages of its own.
+type FaultInjector struct {
+	net  *Network
+	plan FaultPlan
+
+	mu     sync.Mutex
+	rng    *rand.Rand // send-path draws (drops, jitter)
+	rpcRng *rand.Rand // DHT oracle draws — a separate stream so DHT
+	// lookups during planning don't perturb the data-plane sequence
+	links      map[linkKey][]linkWindow
+	partitions []partitionWindow
+	installed  time.Time
+	timers     []simtime.Timer
+	stopped    bool
+	crashAt    map[topology.NodeID]time.Time
+	recoverAt  map[topology.NodeID]time.Time
+}
+
+// InstallFaults arms the plan on the runtime. Only one injector is
+// active at a time; installing replaces (and stops) any previous one.
+// New counters: faults.dropped / faults.hb_dropped for injected
+// message loss, faults.crashes / faults.recoveries for the node
+// schedule.
+func (n *Network) InstallFaults(plan FaultPlan) *FaultInjector {
+	fi := &FaultInjector{
+		net:       n,
+		plan:      plan,
+		rng:       rand.New(rand.NewSource(plan.Seed)),
+		rpcRng:    rand.New(rand.NewSource(plan.Seed*7919 + 1)),
+		links:     make(map[linkKey][]linkWindow),
+		crashAt:   make(map[topology.NodeID]time.Time),
+		recoverAt: make(map[topology.NodeID]time.Time),
+		installed: n.clock.Now(),
+	}
+	abs := func(d time.Duration, open bool) time.Time {
+		if open && d == 0 {
+			return time.Time{}
+		}
+		return fi.installed.Add(d)
+	}
+	for _, lf := range plan.Links {
+		w := linkWindow{prob: lf.DropProb, from: abs(lf.At, false), to: abs(lf.Until, true)}
+		fi.links[linkKey{lf.From, lf.To}] = append(fi.links[linkKey{lf.From, lf.To}], w)
+		if lf.Bidirectional {
+			fi.links[linkKey{lf.To, lf.From}] = append(fi.links[linkKey{lf.To, lf.From}], w)
+		}
+	}
+	for _, pf := range plan.Partitions {
+		members := make(map[topology.NodeID]bool, len(pf.Group))
+		for _, id := range pf.Group {
+			members[id] = true
+		}
+		fi.partitions = append(fi.partitions, partitionWindow{
+			members: members, from: abs(pf.At, false), to: abs(pf.Until, true),
+		})
+	}
+	crashes := n.Metrics.Counter("faults.crashes")
+	recoveries := n.Metrics.Counter("faults.recoveries")
+	for _, c := range plan.Crashes {
+		c := c
+		fi.timers = append(fi.timers, n.clock.AfterFunc(c.At, func() {
+			fi.mu.Lock()
+			dead := fi.stopped
+			if !dead {
+				fi.crashAt[c.Node] = n.clock.Now()
+			}
+			fi.mu.Unlock()
+			if dead {
+				return
+			}
+			n.SetNodeDown(c.Node, true)
+			crashes.Inc()
+		}))
+		if c.RecoverAt > 0 {
+			fi.timers = append(fi.timers, n.clock.AfterFunc(c.RecoverAt, func() {
+				fi.mu.Lock()
+				dead := fi.stopped
+				if !dead {
+					fi.recoverAt[c.Node] = n.clock.Now()
+				}
+				fi.mu.Unlock()
+				if dead {
+					return
+				}
+				n.SetNodeDown(c.Node, false)
+				recoveries.Inc()
+			}))
+		}
+	}
+	if prev := n.faults.Swap(fi); prev != nil {
+		prev.Stop()
+	}
+	return fi
+}
+
+// ClearFaults disarms the active injector, if any.
+func (n *Network) ClearFaults() {
+	if prev := n.faults.Swap(nil); prev != nil {
+		prev.Stop()
+	}
+}
+
+// Stop cancels the injector's pending crash/recovery timers. Already
+// applied faults stay applied.
+func (fi *FaultInjector) Stop() {
+	fi.mu.Lock()
+	fi.stopped = true
+	timers := fi.timers
+	fi.timers = nil
+	fi.mu.Unlock()
+	for _, t := range timers {
+		if t != nil {
+			t.Stop()
+		}
+	}
+}
+
+// CrashTime returns the clock instant the node was crashed by the
+// plan, and whether it has crashed yet.
+func (fi *FaultInjector) CrashTime(id topology.NodeID) (time.Time, bool) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	t, ok := fi.crashAt[id]
+	return t, ok
+}
+
+// CrashedNodes returns every node the plan has crashed so far, in the
+// order the crashes fired.
+func (fi *FaultInjector) CrashedNodes() []topology.NodeID {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	ids := make([]topology.NodeID, 0, len(fi.crashAt))
+	for id := range fi.crashAt {
+		ids = append(ids, id)
+	}
+	// Map order is random; sort by crash instant, ties by id.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j-1], ids[j]
+			ta, tb := fi.crashAt[a], fi.crashAt[b]
+			if tb.Before(ta) || (tb.Equal(ta) && b < a) {
+				ids[j-1], ids[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// RPCOracle returns a deterministic drop oracle for in-process RPC
+// layers (the DHT ring): each call draws from a dedicated seeded
+// stream and reports whether a message from->to would have been lost,
+// honoring the plan's global drop probability and any active
+// link/partition cuts.
+func (fi *FaultInjector) RPCOracle() func(from, to topology.NodeID) bool {
+	return func(from, to topology.NodeID) bool {
+		fi.mu.Lock()
+		defer fi.mu.Unlock()
+		p := fi.effectiveDropLocked(from, to)
+		if p <= 0 {
+			return false
+		}
+		if p >= 1 {
+			return true
+		}
+		return fi.rpcRng.Float64() < p
+	}
+}
+
+// onSend decides the fate of one message: drop (true) or deliver with
+// extraMs of injected latency. Called on the send path; under a
+// virtual clock sends are serialized on the scheduler/actor
+// goroutines, so the draw sequence — and therefore the run — is
+// deterministic for a fixed seed.
+func (fi *FaultInjector) onSend(from, to topology.NodeID) (drop bool, extraMs float64) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	p := fi.effectiveDropLocked(from, to)
+	if p >= 1 {
+		return true, 0
+	}
+	if p > 0 && fi.rng.Float64() < p {
+		return true, 0
+	}
+	if fi.plan.JitterMs > 0 {
+		extraMs = fi.rng.Float64() * fi.plan.JitterMs
+	}
+	return false, extraMs
+}
+
+func (fi *FaultInjector) effectiveDropLocked(from, to topology.NodeID) float64 {
+	p := fi.plan.DropProb
+	now := fi.net.clock.Now()
+	active := func(lo, hi time.Time) bool {
+		return !now.Before(lo) && (hi.IsZero() || now.Before(hi))
+	}
+	if ws, ok := fi.links[linkKey{from, to}]; ok {
+		for _, w := range ws {
+			if active(w.from, w.to) && w.prob > p {
+				p = w.prob
+			}
+		}
+	}
+	for _, pw := range fi.partitions {
+		if active(pw.from, pw.to) && pw.members[from] != pw.members[to] {
+			return 1
+		}
+	}
+	return p
+}

@@ -92,11 +92,21 @@ type Network struct {
 
 	stopOnce sync.Once
 
+	// faults is the armed fault injector, nil when no FaultPlan is
+	// installed (see faults.go).
+	faults atomic.Pointer[FaultInjector]
+	// hbObserver, when set, sees every delivered heartbeat — the hook
+	// failure detectors consume liveness traffic through.
+	hbObserver atomic.Pointer[func(Message)]
+
 	// Metrics is the runtime's registry: counters msgs.sent, msgs.dropped,
 	// kb.sent, usage.kbms (Σ sizeKB × latencyMs, the integral of
-	// data-in-transit), hb.sent/hb.recv once heartbeats start, and the
+	// data-in-transit), hb.sent/hb.recv once heartbeats start, the
 	// churn counters msgs.down_dropped / hb.down_dropped /
-	// msgs.down_refused once nodes are marked down.
+	// msgs.down_refused once nodes are marked down, and the injected
+	// fault counters faults.dropped / faults.hb_dropped /
+	// hb.postmortem_dropped / faults.crashes / faults.recoveries once a
+	// FaultPlan is installed.
 	Metrics *metrics.Registry
 }
 
@@ -162,6 +172,9 @@ func (n *Network) Stop() {
 
 // Node returns the runtime node for the overlay node id.
 func (n *Network) Node(id topology.NodeID) *Node { return n.nodes[id] }
+
+// NumNodes returns the overlay size.
+func (n *Network) NumNodes() int { return len(n.nodes) }
 
 // Config returns the runtime configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -246,11 +259,24 @@ func (nd *Node) Send(to topology.NodeID, port string, sizeKB float64, payload an
 		SentAt:  n.clock.Now(),
 	}
 	latMs := n.topo.Latency(nd.id, to)
-	delay := time.Duration(latMs * float64(n.cfg.TimeScale))
 
 	n.Metrics.Counter("msgs.sent").Inc()
 	n.Metrics.Counter("kb.sent").Add(sizeKB)
 	n.Metrics.Counter("usage.kbms").Add(sizeKB * latMs)
+
+	if fi := n.faults.Load(); fi != nil {
+		drop, extraMs := fi.onSend(nd.id, to)
+		if drop {
+			if port == HeartbeatPort {
+				n.Metrics.Counter("faults.hb_dropped").Inc()
+			} else {
+				n.Metrics.Counter("faults.dropped").Inc()
+			}
+			return nil // silent loss: the sender never learns
+		}
+		latMs += extraMs
+	}
+	delay := time.Duration(latMs * float64(n.cfg.TimeScale))
 
 	if n.virtual {
 		// Discrete-event path: the delivery is a clock event that
@@ -310,6 +336,15 @@ func (nd *Node) dispatch(msg Message) {
 		}
 		return
 	}
+	// A heartbeat is a liveness claim; one that outlives its sender (the
+	// node was killed while the beat was in flight) must never reach the
+	// failure detector, or a freshly dead node looks alive for an extra
+	// interval. Data messages from a dead source still deliver — they
+	// left the wire while the node lived.
+	if msg.Port == HeartbeatPort && nd.net.nodes[msg.From].down.Load() {
+		nd.net.Metrics.Counter("hb.postmortem_dropped").Inc()
+		return
+	}
 	nd.mu.RLock()
 	h := nd.handlers[msg.Port]
 	nd.mu.RUnlock()
@@ -322,6 +357,19 @@ func (nd *Node) dispatch(msg Message) {
 
 // HeartbeatPort is the reserved port heartbeat pings arrive on.
 const HeartbeatPort = "overlay.hb"
+
+// ObserveHeartbeats installs fn as the heartbeat observer: it is
+// called for every heartbeat delivered to any node (on the delivering
+// goroutine — the scheduler under a virtual clock). Pass nil to
+// remove. Failure detectors (package failure) consume liveness
+// traffic through this hook.
+func (n *Network) ObserveHeartbeats(fn func(Message)) {
+	if fn == nil {
+		n.hbObserver.Store(nil)
+		return
+	}
+	n.hbObserver.Store(&fn)
+}
 
 // Heartbeats is a running liveness-ping schedule; Stop cancels it.
 type Heartbeats struct {
@@ -337,6 +385,17 @@ type Heartbeats struct {
 	inflight sync.WaitGroup
 }
 
+// HeartbeatOpts tunes StartHeartbeatsOpts.
+type HeartbeatOpts struct {
+	// SkipDownTargets re-targets each beat to the next *live* successor
+	// in id order, the ring-stabilization analogue: a crashed receiver
+	// must not black-hole its predecessor's liveness signal, or a
+	// failure detector would condemn the (live) predecessor too. Off,
+	// beats keep their static successor and pings to a down node count
+	// hb.down_dropped.
+	SkipDownTargets bool
+}
+
 // StartHeartbeats begins periodic liveness traffic: every `every` of
 // clock time, each node sends a sizeKB ping to the node after it in id
 // order (wrapping), clock-driven so heartbeats are free under virtual
@@ -344,18 +403,27 @@ type Heartbeats struct {
 // charged to the usual traffic metrics. The first round fires after one
 // full interval.
 func (n *Network) StartHeartbeats(every time.Duration, sizeKB float64) *Heartbeats {
+	return n.StartHeartbeatsOpts(every, sizeKB, HeartbeatOpts{})
+}
+
+// StartHeartbeatsOpts is StartHeartbeats with explicit options.
+func (n *Network) StartHeartbeatsOpts(every time.Duration, sizeKB float64, opts HeartbeatOpts) *Heartbeats {
 	hb := &Heartbeats{net: n}
 	recv := n.Metrics.Counter("hb.recv")
 	sent := n.Metrics.Counter("hb.sent")
 	for _, nd := range n.nodes {
-		nd.Register(HeartbeatPort, func(Message) { recv.Inc() })
+		nd.Register(HeartbeatPort, func(m Message) {
+			recv.Inc()
+			if ob := n.hbObserver.Load(); ob != nil {
+				(*ob)(m)
+			}
+		})
 	}
 	hb.timers = make([]simtime.Timer, len(n.nodes))
 	hb.mu.Lock()
 	defer hb.mu.Unlock() // early real-clock fires block until setup completes
 	for i, nd := range n.nodes {
 		i, nd := i, nd
-		to := topology.NodeID((i + 1) % len(n.nodes))
 		var beat func()
 		beat = func() {
 			hb.mu.Lock()
@@ -371,6 +439,16 @@ func (n *Network) StartHeartbeats(every time.Duration, sizeKB float64) *Heartbea
 			}
 			hb.inflight.Add(1)
 			hb.mu.Unlock()
+			to := topology.NodeID((i + 1) % len(n.nodes))
+			if opts.SkipDownTargets {
+				for k := 1; k < len(n.nodes); k++ {
+					cand := topology.NodeID((i + k) % len(n.nodes))
+					if !n.nodes[cand].down.Load() {
+						to = cand
+						break
+					}
+				}
+			}
 			// Down nodes fall silent but keep their schedule, so a
 			// re-joined node resumes beating on the next round.
 			if nd.Send(to, HeartbeatPort, sizeKB, nil) == nil {

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"github.com/hourglass/sbon/internal/adapt"
+	"github.com/hourglass/sbon/internal/failure"
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
@@ -101,6 +102,23 @@ type (
 	// instances executing once for multiple circuits, their
 	// subscribers, and zombie providers awaiting their last release.
 	SharedStats = stream.SharedStats
+	// FaultPlan scripts deterministic fault injection on the overlay:
+	// seeded message loss, latency jitter, link/partition cuts, and
+	// unannounced node crashes (see InstallFaults).
+	FaultPlan = overlay.FaultPlan
+	// NodeCrash schedules one unannounced node death (and optional
+	// recovery) inside a FaultPlan.
+	NodeCrash = overlay.NodeCrash
+	// LinkFault is a windowed per-link cut or loss inside a FaultPlan.
+	LinkFault = overlay.LinkFault
+	// PartitionFault is a windowed group split inside a FaultPlan.
+	PartitionFault = overlay.PartitionFault
+	// FailureEvent is one failure-detector verdict (suspected, died,
+	// recovered).
+	FailureEvent = failure.Event
+	// RepairStats reports failure-repair rounds: circuits cancelled,
+	// services re-placed, and state/tuples counted lost.
+	RepairStats = adapt.RepairStats
 )
 
 // Options configures a System.
@@ -139,6 +157,8 @@ type System struct {
 	engine    *stream.Engine
 	vclk      *simtime.VirtualClock
 	planCache *optimizer.PlanCache
+	hb        *overlay.Heartbeats
+	det       *failure.Detector
 
 	// adaptCo is the persistent adaptation coordinator: incremental
 	// sweeps carry a delta-log watermark across Adapt/AdaptContinuously
@@ -389,6 +409,84 @@ func (s *System) Evacuate(nodes []NodeID) (AdaptStats, error) {
 	return s.coordinator(opts).Evacuate(nodes, nil)
 }
 
+// InstallFaults arms deterministic fault injection on the started
+// overlay runtime: seeded per-message loss, latency jitter, link and
+// partition cuts, and scheduled unannounced node crashes. Crash times
+// are relative to the call. Same plan, same seed → bit-identical fault
+// sequences under VirtualTime. Returns the injector for live control
+// (CrashNode, Partition, CrashTime) — it stops with the System.
+func (s *System) InstallFaults(plan FaultPlan) (*overlay.FaultInjector, error) {
+	if s.net == nil {
+		return nil, fmt.Errorf("sbon: engine not started; call StartEngine first")
+	}
+	return s.net.InstallFaults(plan), nil
+}
+
+// StartFailureDetection begins heartbeat emission (each node beats to
+// its ring successor among live nodes) and starts the failure detector
+// that consumes them: a node missing 2 beats is suspected, 4 confirmed
+// dead, and a dead node beating again is recovered. beat is the
+// heartbeat period (default 200 simulated ms); detection latency is
+// bounded by 5 beats plus one check period. The detector feeds
+// AdaptWithRepair; both stop with the System.
+func (s *System) StartFailureDetection(beat time.Duration) (*failure.Detector, error) {
+	if s.net == nil {
+		return nil, fmt.Errorf("sbon: engine not started; call StartEngine first")
+	}
+	if s.det != nil {
+		return nil, fmt.Errorf("sbon: failure detection already started")
+	}
+	if beat <= 0 {
+		beat = 200 * time.Millisecond
+	}
+	s.hb = s.net.StartHeartbeatsOpts(beat, 0.05, overlay.HeartbeatOpts{SkipDownTargets: true})
+	s.det = failure.New(s.net, failure.DefaultConfig(beat))
+	return s.det, nil
+}
+
+// AdaptWithRepair runs the continuous adaptation loop with automatic
+// failure recovery (StartFailureDetection must have been called): every
+// interval the coordinator first consumes the detector's verdicts —
+// cancelling circuits that lost a pinned endpoint, re-placing every
+// service stranded on a confirmed-dead node via an evacuation sweep
+// over live nodes, re-instantiating the lost operators fresh with
+// state and in-flight tuples counted lost — and then runs one
+// incremental sweep→migrate→settle round, until stop fires. No manual
+// Evacuate calls are needed for crashes. Deterministic under
+// VirtualTime, like AdaptContinuously.
+func (s *System) AdaptWithRepair(interval time.Duration, stop <-chan struct{}, opts AdaptOptions) (AdaptRunStats, RepairStats, error) {
+	if s.det == nil {
+		return AdaptRunStats{}, RepairStats{}, fmt.Errorf("sbon: failure detection not started; call StartFailureDetection first")
+	}
+	co := s.coordinator(opts)
+	if co.TicketTTL <= 0 {
+		co.TicketTTL = 5 * time.Second
+	}
+	if s.vclk != nil {
+		s.vclk.Register()
+		defer s.vclk.Unregister()
+	}
+	return co.RunWithRepair(s.det, interval, stop)
+}
+
+// StopAfter returns a channel signalled after simSeconds of simulated
+// time — a deterministic stop trigger for AdaptContinuously and
+// AdaptWithRepair. Under VirtualTime the signal is a discrete event of
+// the virtual clock; otherwise a wall-clock timer fires it.
+func (s *System) StopAfter(simSeconds float64) (<-chan struct{}, error) {
+	if s.net == nil {
+		return nil, fmt.Errorf("sbon: engine not started; call StartEngine first")
+	}
+	stop := make(chan struct{})
+	d := time.Duration(simSeconds * 1000 * float64(s.net.Config().TimeScale))
+	if s.vclk != nil {
+		s.vclk.AfterFunc(d, func() { s.vclk.Signal(stop) })
+	} else {
+		time.AfterFunc(d, func() { close(stop) })
+	}
+	return stop, nil
+}
+
 // coordinator returns the System's persistent adaptation coordinator,
 // refreshed with the current options, engine, and clock. One instance
 // serves every call so incremental sweep bookkeeping survives between
@@ -499,6 +597,14 @@ func (s *System) RunFor(simSeconds float64) error {
 
 // Close shuts down the engine and overlay runtime if they were started.
 func (s *System) Close() {
+	if s.det != nil {
+		s.det.Stop()
+		s.det = nil
+	}
+	if s.hb != nil {
+		s.hb.Stop()
+		s.hb = nil
+	}
 	if s.engine != nil {
 		s.engine.Close()
 		s.engine = nil

@@ -541,3 +541,71 @@ func TestFacadeEvacuate(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeCrashRepairEndToEnd drives the whole unplanned-failure
+// pipeline through the facade: fault injection crashes an operator
+// host, heartbeats feed the detector, and AdaptWithRepair re-places
+// the stranded services onto live nodes — no Evacuate calls.
+func TestFacadeCrashRepairEndToEnd(t *testing.T) {
+	sys, _ := adaptSystem(t, 13)
+	pinned := map[NodeID]bool{}
+	for _, c := range sys.Deployment.Circuits() {
+		for _, s := range c.Services {
+			if s.Pinned {
+				pinned[s.Node] = true
+			}
+		}
+	}
+	var victim NodeID = -1
+	for _, c := range sys.Deployment.Circuits() {
+		for _, s := range c.UnpinnedServices() {
+			if !pinned[s.Node] && (victim < 0 || s.Node < victim) {
+				victim = s.Node
+			}
+		}
+	}
+	if victim < 0 {
+		t.Skip("no crashable operator host at this seed")
+	}
+	if _, _, err := sys.AdaptWithRepair(0, nil, AdaptOptions{}); err == nil {
+		t.Fatal("AdaptWithRepair before StartFailureDetection accepted")
+	}
+	if _, err := sys.InstallFaults(FaultPlan{
+		Seed:     13,
+		DropProb: 0.01,
+		Crashes:  []NodeCrash{{Node: victim, At: time.Second}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.StartFailureDetection(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := sys.StopAfter(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := sys.AdaptWithRepair(500*time.Millisecond, stop, AdaptOptions{Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadNodes != 1 {
+		t.Fatalf("DeadNodes = %d, want 1", rep.DeadNodes)
+	}
+	if rep.Repaired == 0 {
+		t.Fatal("no services repaired after the crash")
+	}
+	if rep.CancelledCircuits != 0 {
+		t.Fatalf("cancelled %d circuits; victim hosted no endpoint", rep.CancelledCircuits)
+	}
+	if dead := det.DeadNodes(); len(dead) != 1 || dead[0] != victim {
+		t.Fatalf("detector dead set = %v, want [%d]", dead, victim)
+	}
+	for id, c := range sys.Deployment.Circuits() {
+		for i, s := range c.Services {
+			if s.Node == victim {
+				t.Fatalf("q%d service %d still on crashed node %d", id, i, victim)
+			}
+		}
+	}
+}

@@ -2,22 +2,22 @@
 # bench.sh — run the paper-artifact and batch benchmark suites and emit a
 # JSON snapshot for the bench trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_5.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_6.json)
 #
 # BENCH_0.json (pre-spatial-index), BENCH_1.json (pre-virtual-time),
 # BENCH_2.json (pre-live-migration), BENCH_3.json (pre-shared-
-# execution), and BENCH_4.json (pre-incremental-replanning) are
-# committed baselines; the default output BENCH_5.json — which includes
-# X15 and the full-vs-incremental re-planning pair — sits alongside
-# them so the trajectory stays in the repo. Bump the default for later
-# milestones.
+# execution), BENCH_4.json (pre-incremental-replanning), and
+# BENCH_5.json (pre-failure-repair) are committed baselines; the
+# default output BENCH_6.json — which adds X16, the crash-detection and
+# automatic-repair scenario — sits alongside them so the trajectory
+# stays in the repo. Bump the default for later milestones.
 #
 # Each benchmark runs once (-benchtime 1x): the suites are end-to-end
 # experiment regenerations, so a single iteration is already seconds of
 # work and the numbers are for trajectory tracking, not microbenchmarking.
 set -eu
 
-out=${1:-BENCH_5.json}
+out=${1:-BENCH_6.json}
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp)
