@@ -10,7 +10,9 @@ import (
 	"github.com/hourglass/sbon/internal/exp"
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 	"github.com/hourglass/sbon/internal/workload"
 )
 
@@ -435,6 +437,47 @@ func BenchmarkX16_FailureRepair1024(b *testing.B) {
 	}
 	b.ReportMetric(repaired, "services-repaired")
 	b.ReportMetric(colMean(b, last, 2), "detections/round")
+}
+
+// Tracer micro-benchmarks: the disabled (nil) path is the cost every
+// instrumented call site pays in production, so it must stay within
+// noise; the enabled path bounds the per-event recording cost.
+
+func BenchmarkTraceEmitDisabled(b *testing.B) {
+	var tr *trace.Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() && tr.Sample() {
+			tr.Emit("bench", "hop", trace.Int("i", i))
+		}
+	}
+}
+
+func BenchmarkTraceEmitEnabled(b *testing.B) {
+	tr := trace.New(simtime.NewVirtual())
+	tr.SetLimit(1 << 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit("bench", "hop", trace.Int("i", i), trace.Num("v", 1.5))
+	}
+}
+
+// BenchmarkX16_FailureRepair1024Traced runs the same crash/repair
+// scenario as BenchmarkX16_FailureRepair1024 with a tracer attached —
+// the pairing quantifies the enabled-tracer overhead, while the
+// untraced variant vs its pre-trace baseline bounds the disabled cost.
+func BenchmarkX16_FailureRepair1024Traced(b *testing.B) {
+	events := 0
+	for i := 0; i < b.N; i++ {
+		p := exp.DefaultX16Params()
+		p.Trace = trace.New(simtime.NewVirtual())
+		if _, err := exp.X16(p); err != nil {
+			b.Fatal(err)
+		}
+		events = p.Trace.Len()
+	}
+	b.ReportMetric(float64(events), "trace-events")
 }
 
 // Re-planning benchmarks: the cost of one re-optimization round on the

@@ -49,6 +49,17 @@
 // -virtual-time; same seed reproduces the identical run:
 //
 //	sbon-sim -queries 40 -execute -virtual-time -crash-frac 0.05 -drop-prob 0.01
+//
+// Observability: -trace FILE writes the run's structured events as a
+// Chrome trace-event file (load it in Perfetto or chrome://tracing),
+// -trace-jsonl FILE writes the same events as JSON Lines, and
+// -metrics-dump prints one JSON report merging the overlay's metric
+// registry with the trace to stdout. Traces cover optimizer decisions,
+// migration phases, repair rounds, fault injections, and failure
+// verdicts; under -virtual-time the serialized bytes are bit-identical
+// for a fixed seed:
+//
+//	sbon-sim -queries 40 -execute -virtual-time -adapt 4 -trace out.json -metrics-dump
 package main
 
 import (
@@ -63,14 +74,76 @@ import (
 
 	"github.com/hourglass/sbon/internal/adapt"
 	"github.com/hourglass/sbon/internal/failure"
+	"github.com/hourglass/sbon/internal/metrics"
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 	"github.com/hourglass/sbon/internal/workload"
 )
+
+// traceSink gathers the observability flags and the tracer they imply.
+// attach creates the tracer on the scenario's clock (so virtual-time
+// runs stamp events deterministically); finish writes the requested
+// exports once the run completes.
+type traceSink struct {
+	chrome string
+	jsonl  string
+	dump   bool
+	tr     *trace.Tracer
+}
+
+func (s *traceSink) wanted() bool { return s.chrome != "" || s.jsonl != "" || s.dump }
+
+func (s *traceSink) attach(clk simtime.Clock) *trace.Tracer {
+	if !s.wanted() {
+		return nil
+	}
+	if s.tr == nil {
+		s.tr = trace.New(clk)
+	}
+	return s.tr
+}
+
+func (s *traceSink) finish(reg *metrics.Registry) {
+	writeFile := func(path string, write func(*os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if s.chrome != "" {
+		writeFile(s.chrome, func(f *os.File) error { return s.tr.WriteChromeTrace(f) })
+		fmt.Printf("trace: %d events -> %s (Chrome trace-event format; open in Perfetto)\n", s.tr.Len(), s.chrome)
+	}
+	if s.jsonl != "" {
+		writeFile(s.jsonl, func(f *os.File) error { return s.tr.WriteJSONL(f) })
+		fmt.Printf("trace: %d events -> %s (JSON Lines)\n", s.tr.Len(), s.jsonl)
+	}
+	if s.dump {
+		if reg == nil {
+			reg = metrics.NewRegistry()
+		}
+		rep := metrics.Report{Label: "sbon-sim", Registry: reg}
+		if s.tr != nil {
+			rep.Trace = s.tr.WriteEventsJSON
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+}
 
 func main() {
 	var (
@@ -102,8 +175,13 @@ func main() {
 
 		crashFrac = flag.Float64("crash-frac", 0, "fraction of nodes crashing unannounced mid-run; circuits repair automatically (requires -execute -virtual-time)")
 		dropProb  = flag.Float64("drop-prob", 0, "ambient per-message drop probability for the failure scenario")
+
+		traceFile   = flag.String("trace", "", "write the run's structured events to this file in Chrome trace-event format (Perfetto-loadable)")
+		traceJSONL  = flag.String("trace-jsonl", "", "write the run's structured events to this file as JSON Lines")
+		metricsDump = flag.Bool("metrics-dump", false, "print a JSON report merging the metric registry with the trace to stdout at exit")
 	)
 	flag.Parse()
+	sink := &traceSink{chrome: *traceFile, jsonl: *traceJSONL, dump: *metricsDump}
 
 	topoCfg := topology.DefaultConfig()
 	topoCfg.StubNodes = *stubNodes
@@ -190,7 +268,7 @@ func main() {
 		if !*execute || !*virtualTime {
 			fail(fmt.Errorf("-crash-frac/-drop-prob require -execute -virtual-time: crashes, detection, and repair are discrete events"))
 		}
-		runFailureScenario(topo, env, dep, circuits, truth, *crashFrac, *dropProb, *simSeconds, *seed)
+		sink.finish(runFailureScenario(topo, env, dep, circuits, truth, *crashFrac, *dropProb, *simSeconds, *seed, sink))
 		return
 	}
 
@@ -198,19 +276,21 @@ func main() {
 		if *adaptCont && !*virtualTime {
 			fail(fmt.Errorf("-adapt-continuous requires -virtual-time: the loop and its drift schedule are discrete events"))
 		}
-		runAdaptation(topo, env, dep, circuits, truth,
+		sink.finish(runAdaptation(topo, env, dep, circuits, truth,
 			*adaptSweeps, *adaptBudget, *adaptDrift, *execute, *virtualTime, *simSeconds, *seed,
-			*adaptCont, *adaptIntMs)
+			*adaptCont, *adaptIntMs, sink))
 		return
 	}
 
+	var runReg *metrics.Registry
 	if *execute {
-		runDataPlane(topo, circuits, truth, *virtualTime, *simSeconds, *heartbeatMs, *seed)
+		runReg = runDataPlane(topo, circuits, truth, *virtualTime, *simSeconds, *heartbeatMs, *seed, sink)
 	}
 
 	if *churnSteps > 0 {
 		fmt.Printf("\nchurn + re-optimization (%d steps):\n", *churnSteps)
 		ro := optimizer.NewReoptimizer(dep)
+		ro.Tracer = sink.attach(simtime.Real())
 		churnRng := rand.New(rand.NewSource(*seed * 5))
 		churn := workload.Churn{LoadFraction: 0.25, LoadMax: 0.95}
 		for step := 1; step <= *churnSteps; step++ {
@@ -223,6 +303,7 @@ func main() {
 				step, st.Migrations, dep.TotalUsage(truth), dep.TotalLoadPenalty())
 		}
 	}
+	sink.finish(runReg)
 }
 
 // runDataPlane deploys the circuits on the stream engine and measures
@@ -230,7 +311,7 @@ func main() {
 // the whole window is a deterministic discrete-event run that finishes
 // in milliseconds regardless of the simulated duration.
 func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth optimizer.TrueLatency,
-	virtual bool, simSeconds, heartbeatMs float64, seed int64) {
+	virtual bool, simSeconds, heartbeatMs float64, seed int64, sink *traceSink) *metrics.Registry {
 	netCfg := overlay.Config{TimeScale: 50 * time.Microsecond, InboxSize: 8192}
 	var clk simtime.Clock = simtime.Real()
 	if virtual {
@@ -239,11 +320,14 @@ func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth 
 		clk = vclk
 		netCfg = overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: vclk}
 	}
+	tr := sink.attach(clk)
 	net := overlay.NewNetwork(topo, netCfg)
+	net.SetTracer(tr)
 	net.Start()
 	defer net.Stop()
 	ecfg := stream.DefaultEngineConfig()
 	ecfg.Seed = seed
+	ecfg.Tracer = tr
 	engine := stream.NewEngine(net, topo, ecfg)
 	defer engine.Close()
 
@@ -300,6 +384,7 @@ func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth 
 		analyticRate, measuredRate, measuredRate/analyticRate)
 	fmt.Printf("aggregate usage: analytic %9.1f KB·ms/s measured %9.1f KB·ms/s (ratio %.3f)\n",
 		analyticUsage, measuredUsage, measuredUsage/analyticUsage)
+	return net.Metrics
 }
 
 // runAdaptation runs sweep→migrate→settle rounds over the deployed
@@ -309,7 +394,7 @@ func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth 
 func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.Deployment,
 	circuits []*optimizer.Circuit, truth optimizer.TrueLatency,
 	sweeps, budget int, drift float64, execute, virtual bool, simSeconds float64, seed int64,
-	continuous bool, intervalMs int) {
+	continuous bool, intervalMs int, sink *traceSink) *metrics.Registry {
 
 	var engine *stream.Engine
 	var net *overlay.Network
@@ -320,6 +405,7 @@ func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.D
 		defer vclk.Drive()()
 		clk = vclk
 	}
+	tr := sink.attach(clk)
 	var runs []*stream.Running
 	if execute {
 		netCfg := overlay.Config{TimeScale: 50 * time.Microsecond, InboxSize: 8192}
@@ -327,10 +413,12 @@ func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.D
 			netCfg = overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: vclk}
 		}
 		net = overlay.NewNetwork(topo, netCfg)
+		net.SetTracer(tr)
 		net.Start()
 		defer net.Stop()
 		ecfg := stream.DefaultEngineConfig()
 		ecfg.Seed = seed
+		ecfg.Tracer = tr
 		engine = stream.NewEngine(net, topo, ecfg)
 		defer engine.Close()
 		for _, c := range circuits {
@@ -343,7 +431,7 @@ func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.D
 		clk.Sleep(time.Duration(simSeconds * 1000 * float64(netCfg.TimeScale)))
 	}
 
-	co := &adapt.Coordinator{Dep: dep, Engine: engine, Clock: clk, Budget: budget}
+	co := &adapt.Coordinator{Dep: dep, Engine: engine, Clock: clk, Budget: budget, Tracer: tr}
 	driftRng := rand.New(rand.NewSource(seed * 11))
 	churn := workload.Churn{LoadFraction: drift, LoadMax: 0.9}
 	mode := "control-plane only"
@@ -376,8 +464,9 @@ func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.D
 		if net != nil {
 			fmt.Printf("loss counters: unrouted=%.0f data-to-dead=%.0f (must be 0)\n",
 				net.Metrics.Counter("msgs.unrouted").Value(), net.Metrics.Counter("msgs.down_dropped").Value())
+			return net.Metrics
 		}
-		return
+		return nil
 	}
 
 	fmt.Printf("\nadaptation: %d sweeps, budget %d, drift %.0f%% (%s)\n",
@@ -399,7 +488,9 @@ func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.D
 	if net != nil {
 		fmt.Printf("loss counters: unrouted=%.0f data-to-dead=%.0f (must be 0)\n",
 			net.Metrics.Counter("msgs.unrouted").Value(), net.Metrics.Counter("msgs.down_dropped").Value())
+		return net.Metrics
 	}
+	return nil
 }
 
 // runFailureScenario executes the circuits under ambient message loss
@@ -410,15 +501,18 @@ func runAdaptation(topo *topology.Topology, env *optimizer.Env, dep *optimizer.D
 // and the bounded loss counters. Deterministic for a given seed.
 func runFailureScenario(topo *topology.Topology, env *optimizer.Env, dep *optimizer.Deployment,
 	circuits []*optimizer.Circuit, truth optimizer.TrueLatency,
-	crashFrac, dropProb, simSeconds float64, seed int64) {
+	crashFrac, dropProb, simSeconds float64, seed int64, sink *traceSink) *metrics.Registry {
 
 	vclk := simtime.NewVirtual()
 	defer vclk.Drive()()
+	tr := sink.attach(vclk)
 	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: vclk})
+	net.SetTracer(tr)
 	net.Start()
 	defer net.Stop()
 	ecfg := stream.DefaultEngineConfig()
 	ecfg.Seed = seed
+	ecfg.Tracer = tr
 	engine := stream.NewEngine(net, topo, ecfg)
 	defer engine.Close()
 	var runs []*stream.Running
@@ -469,11 +563,14 @@ func runFailureScenario(topo *topology.Topology, env *optimizer.Env, dep *optimi
 
 	beat := 200 * time.Millisecond
 	hb := net.StartHeartbeatsOpts(beat, 0.05, overlay.HeartbeatOpts{SkipDownTargets: true})
-	det := failure.New(net, failure.DefaultConfig(beat))
+	dcfg := failure.DefaultConfig(beat)
+	dcfg.Tracer = tr
+	det := failure.New(net, dcfg)
 	defer func() { det.Stop(); hb.Stop() }()
 	co := &adapt.Coordinator{
 		Dep: dep, Engine: engine, Clock: vclk,
 		Threshold: 0.3, TicketTTL: 5 * time.Second,
+		Tracer: tr,
 	}
 
 	usageBefore := dep.TotalUsage(truth)
@@ -516,6 +613,7 @@ func runFailureScenario(topo *topology.Topology, env *optimizer.Env, dep *optimi
 	}
 	fmt.Printf("all deployed services verified off the crashed nodes (zero manual evacuations)\n")
 	_ = env
+	return net.Metrics
 }
 
 // runBatchScenario tiles the distinct query shapes out to n queries and

@@ -47,6 +47,7 @@ import (
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // Coordinator drives sweep→migrate→settle loops over a deployment and
@@ -88,6 +89,12 @@ type Coordinator struct {
 	Placer placement.VirtualPlacer
 	Mapper placement.Mapper
 	Model  optimizer.LatencyModel
+
+	// Tracer, when non-nil, records the adaptation loop's spans — one
+	// per plan→migrate→settle round, one per repair round with
+	// per-circuit outcomes — and is handed to the re-optimizer for its
+	// per-move decision records.
+	Tracer *trace.Tracer
 
 	// ro is the coordinator's persistent re-optimizer: incremental
 	// sweeps carry an epoch watermark and a pending-move set across
@@ -154,6 +161,7 @@ func (co *Coordinator) reopt() *optimizer.Reoptimizer {
 	co.ro.Mapper = co.Mapper
 	co.ro.Model = co.Model
 	co.ro.ImprovementThreshold = co.Threshold
+	co.ro.Tracer = co.Tracer
 	// Confirmed-dead nodes stay excluded even when the caller swaps in a
 	// fresh Exclude set between rounds (the facade does this per call).
 	if len(co.dead) > 0 {
@@ -236,10 +244,13 @@ func (co *Coordinator) Run(interval time.Duration, stop <-chan struct{}) (RunSta
 		if clk.SleepOrDone(interval, stop) {
 			return rs, nil
 		}
+		sp := co.Tracer.Begin("adapt", "round", trace.Int("n", rs.Sweeps+1))
 		st, err := co.SweepIncremental(stop)
 		if err != nil {
+			sp.End(trace.Str("error", err.Error()))
 			return rs, err
 		}
+		sp.End(trace.Int("migrated", st.Migrated), trace.Int("evaluated", st.ServicesEvaluated))
 		rs.Sweeps++
 		if st.FullSweep {
 			rs.FullSweeps++
@@ -308,6 +319,7 @@ func (co *Coordinator) execute(plan optimizer.MigrationPlan, cancel <-chan struc
 		return stats, nil
 	}
 
+	sp := co.Tracer.Begin("adapt", "migrate", trace.Int("planned", len(moves)))
 	clk := co.clock()
 	start := clk.Now()
 	type inflight struct {
@@ -359,7 +371,13 @@ func (co *Coordinator) execute(plan optimizer.MigrationPlan, cancel <-chan struc
 	if !settleUntil.IsZero() {
 		wait := settleUntil.Sub(clk.Now()) + co.SettleMargin + time.Nanosecond
 		if wait > 0 {
+			ssp := co.Tracer.Begin("adapt", "settle", trace.Dur("wait_ms", wait))
 			stats.Cancelled = clk.SleepOrDone(wait, cancel)
+			if stats.Cancelled {
+				ssp.End(trace.Str("outcome", "cancelled"))
+			} else {
+				ssp.End()
+			}
 		}
 	}
 
@@ -420,5 +438,7 @@ func (co *Coordinator) execute(plan optimizer.MigrationPlan, cancel <-chan struc
 		stats.UsageGain += fl.usage
 	}
 	stats.SettleDuration = clk.Since(start)
+	sp.End(trace.Int("migrated", stats.Migrated), trace.Int("aborted", stats.Aborted),
+		trace.Int("data_plane", stats.DataPlane), trace.Num("gain", stats.PredictedGain))
 	return stats, nil
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // RepairStats reports one failure-repair round.
@@ -115,6 +116,13 @@ func (co *Coordinator) Repair(dead []topology.NodeID, cancel <-chan struct{}) (R
 		return stats, nil
 	}
 	co.retryRepair = false
+	sp := co.Tracer.Begin("adapt", "repair", trace.Int("dead_now", stats.DeadNodes),
+		trace.Int("dead_total", len(co.dead)))
+	defer func() {
+		sp.End(trace.Int("cancelled", stats.CancelledCircuits), trace.Int("repaired", stats.Repaired),
+			trace.Int("zombie", stats.ZombieRepaired), trace.Int("aborted", stats.Aborted),
+			trace.Int("buffered_lost", stats.BufferedLost), trace.Num("state_lost_kb", stats.StateLostKB))
+	}()
 	// The sweep below covers the whole cumulative dead set, not just
 	// this round's deaths: a move aborted earlier (its target itself
 	// died undetected, say) is retried instead of stranding the service
@@ -151,6 +159,7 @@ func (co *Coordinator) Repair(dead []topology.NodeID, cancel <-chan struct{}) (R
 			return stats, err
 		}
 		stats.CancelledCircuits++
+		sp.Emit("cancel_circuit", trace.Int("q", int(id)))
 	}
 
 	// One evacuation sweep over the dead set re-places everything
@@ -166,6 +175,8 @@ func (co *Coordinator) Repair(dead []topology.NodeID, cancel <-chan struct{}) (R
 		ticket, err := co.Dep.BeginMigration(m)
 		if err != nil {
 			stats.Aborted++
+			sp.Emit("repair_abort", trace.Int("q", int(m.Query)), trace.Int("svc", m.Service),
+				trace.Str("stage", "begin"))
 			continue
 		}
 		if co.TicketTTL > 0 {
@@ -201,14 +212,26 @@ func (co *Coordinator) Repair(dead []topology.NodeID, cancel <-chan struct{}) (R
 			default:
 				_ = ticket.Abort()
 				stats.Aborted++
+				sp.Emit("repair_abort", trace.Int("q", int(m.Query)), trace.Int("svc", m.Service),
+					trace.Str("stage", "engine"))
 				continue
 			}
 		}
 		if err := ticket.CommitAt(clk.Now()); err != nil {
 			stats.Aborted++
+			sp.Emit("repair_abort", trace.Int("q", int(m.Query)), trace.Int("svc", m.Service),
+				trace.Str("stage", "commit"))
 			continue
 		}
 		stats.Repaired++
+		if sp.Active() {
+			adopted := 0
+			if m.Adopted {
+				adopted = 1
+			}
+			sp.Emit("repair_move", trace.Int("q", int(m.Query)), trace.Int("svc", m.Service),
+				trace.Int("from", int(m.From)), trace.Int("to", int(m.To)), trace.Int("adopted", adopted))
+		}
 	}
 
 	// Trimmed zombies execute services no deployed circuit accounts for
@@ -226,12 +249,16 @@ func (co *Coordinator) Repair(dead []topology.NodeID, cancel <-chan struct{}) (R
 			rec, err := co.Engine.RepairZombieService(z.Query, z.Service, to)
 			if err != nil {
 				stats.Aborted++
+				sp.Emit("repair_abort", trace.Int("q", int(z.Query)), trace.Int("svc", z.Service),
+					trace.Str("stage", "zombie"))
 				continue
 			}
 			stats.DataPlane++
 			stats.ZombieRepaired++
 			stats.BufferedLost += rec.BufferedLost
 			stats.StateLostKB += rec.StateLostKB
+			sp.Emit("repair_zombie", trace.Int("q", int(z.Query)), trace.Int("svc", z.Service),
+				trace.Int("from", int(z.Node)), trace.Int("to", int(to)))
 		}
 	}
 	// Aborted moves leave services stranded on dead hosts; the next

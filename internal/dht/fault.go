@@ -17,6 +17,7 @@ import (
 
 	"github.com/hourglass/sbon/internal/costspace"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // RingFaults configures fault-injected RPC behavior for ring lookups.
@@ -83,16 +84,28 @@ func (r *Ring) rpc(from, to *Peer) bool {
 	}
 	r.fstats.RPCs++
 	backoff := r.faults.BackoffBase
+	var waited time.Duration
 	for attempt := 0; ; attempt++ {
 		if !r.faults.Drop(from.node, to.node) {
+			if attempt > 0 && r.tracer.Enabled() {
+				r.tracer.Emit("dht", "rpc_retried",
+					trace.Int("from", int(from.node)), trace.Int("to", int(to.node)),
+					trace.Int("retries", attempt), trace.Dur("backoff_ms", waited))
+			}
 			return true
 		}
 		if attempt >= r.faults.MaxRetries {
 			r.fstats.Failed++
+			if r.tracer.Enabled() {
+				r.tracer.Emit("dht", "rpc_failed",
+					trace.Int("from", int(from.node)), trace.Int("to", int(to.node)),
+					trace.Int("attempts", attempt+1), trace.Dur("backoff_ms", waited))
+			}
 			return false
 		}
 		r.fstats.Retries++
 		r.fstats.Backoff += backoff
+		waited += backoff
 		backoff *= 2
 		if backoff > r.faults.BackoffCap {
 			backoff = r.faults.BackoffCap

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // ID is a position on the 64-bit identifier circle.
@@ -134,7 +135,16 @@ type Ring struct {
 	// injection); fstats accumulates RPC outcomes under it.
 	faults RingFaults
 	fstats RingFaultStats
+
+	// tracer, when set, records lookup spans with their hop chains and
+	// RPC retry/failure events. Nil (the default) costs one pointer
+	// check per lookup.
+	tracer *trace.Tracer
 }
+
+// SetTracer installs (or, with nil, removes) the trace sink for lookup
+// spans and RPC fault events.
+func (r *Ring) SetTracer(t *trace.Tracer) { r.tracer = t }
 
 // NewRing returns an empty ring.
 func NewRing() *Ring {
@@ -393,11 +403,18 @@ func inHalfOpenInterval(a, b, x ID) bool {
 // is exhausted degrades to the next-best finger, and the lookup fails
 // only when no candidate answers at all.
 func (r *Ring) Lookup(start topology.NodeID, k ID) (*Peer, int, error) {
+	var sp trace.Span
+	if r.tracer.Enabled() {
+		sp = r.tracer.Begin("dht", "lookup",
+			trace.Str("key", fmt.Sprintf("%#x", uint64(k))), trace.Int("start", int(start)))
+	}
 	cur, ok := r.byNode[start]
 	if !ok {
+		sp.End(trace.Str("outcome", "bad_start"))
 		return nil, 0, fmt.Errorf("dht: lookup start node %d not in ring", start)
 	}
 	if len(r.peers) == 1 {
+		sp.End(trace.Str("outcome", "owner"), trace.Int("hops", 0))
 		return cur, 0, nil
 	}
 	hops := 0
@@ -405,17 +422,27 @@ func (r *Ring) Lookup(start topology.NodeID, k ID) (*Peer, int, error) {
 		succ := r.successorAfter(cur)
 		if inHalfOpenInterval(cur.id, succ.id, k) {
 			if !r.rpc(cur, succ) {
+				sp.End(trace.Str("outcome", "owner_unreachable"), trace.Int("hops", hops))
 				return nil, hops, fmt.Errorf("dht: lookup for %#x: owner unreachable from node %d", uint64(k), cur.node)
+			}
+			if sp.Active() {
+				sp.Emit("hop", trace.Int("from", int(cur.node)), trace.Int("to", int(succ.node)))
+				sp.End(trace.Str("outcome", "owner"), trace.Int("hops", hops+1))
 			}
 			return succ, hops + 1, nil
 		}
 		next := r.nextHop(cur, k, succ)
 		if next == nil {
+			sp.End(trace.Str("outcome", "no_route"), trace.Int("hops", hops))
 			return nil, hops, fmt.Errorf("dht: lookup for %#x: no reachable hop from node %d", uint64(k), cur.node)
+		}
+		if sp.Active() {
+			sp.Emit("hop", trace.Int("from", int(cur.node)), trace.Int("to", int(next.node)))
 		}
 		cur = next
 		hops++
 	}
+	sp.End(trace.Str("outcome", "diverged"), trace.Int("hops", hops))
 	return nil, hops, fmt.Errorf("dht: lookup for %#x did not converge", uint64(k))
 }
 

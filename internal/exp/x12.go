@@ -13,6 +13,7 @@ import (
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 	"github.com/hourglass/sbon/internal/workload"
 )
 
@@ -33,6 +34,9 @@ type X12Params struct {
 	HeartbeatEvery time.Duration
 	// TupleSizeKB sets producer tuple granularity.
 	TupleSizeKB float64
+	// Trace, when set, records the run's structured events (drain
+	// migrations, adaptation rounds, sampled tuple hops).
+	Trace *trace.Tracer
 }
 
 // DefaultX12Params returns the full-scale configuration.
@@ -115,13 +119,16 @@ func X12(p X12Params) (*Table, error) {
 
 	clk := simtime.NewVirtual()
 	defer clk.Drive()()
+	p.Trace.Rebase(clk)
 	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: clk})
+	net.SetTracer(p.Trace)
 	net.Start()
 	defer net.Stop()
 	ecfg := stream.DefaultEngineConfig()
 	ecfg.Seed = p.Seed
 	ecfg.TupleSizeKB = p.TupleSizeKB
 	ecfg.Keyspace = 250
+	ecfg.Tracer = p.Trace
 	engine := stream.NewEngine(net, topo, ecfg)
 	defer engine.Close()
 
@@ -203,6 +210,7 @@ func X12(p X12Params) (*Table, error) {
 		Clock:   clk,
 		Mapper:  placement.OracleMapper{Source: env},
 		Exclude: seen,
+		Tracer:  p.Trace,
 	}
 	usageBefore := dep.TotalUsage(truth)
 

@@ -8,6 +8,7 @@ import (
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/placement"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 	"github.com/hourglass/sbon/internal/workload"
 )
 
@@ -25,6 +26,9 @@ type X15Params struct {
 	// The last default (0.30) exceeds the re-optimizer's
 	// FullSweepFraction, demonstrating the graceful fallback.
 	DeltaFractions []float64
+	// Trace, when set, records plan/plan_incremental spans with
+	// per-move decision events for every round.
+	Trace *trace.Tracer
 }
 
 // DefaultX15Params returns the full-scale 1024-node configuration.
@@ -104,6 +108,7 @@ func X15(p X15Params) (*Table, error) {
 
 	ro := optimizer.NewReoptimizer(dep)
 	ro.Mapper = placement.OracleMapper{Source: env}
+	ro.Tracer = p.Trace
 	// A generous hysteresis margin: the sweep's cost criterion charges a
 	// service's load to its current host but not yet to the candidate,
 	// so heavily loaded services can ping-pong between near-equal hosts

@@ -13,6 +13,7 @@ import (
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 	"github.com/hourglass/sbon/internal/workload"
 )
 
@@ -48,6 +49,10 @@ type X16Params struct {
 	CrashSpreadSimSeconds float64
 	RunSimSeconds         float64
 	TupleSizeKB           float64
+	// Trace, when set, records the run's structured events — fault
+	// injections, detector verdicts, repair rounds, migrations, sampled
+	// tuple hops. Nil (the default) traces nothing.
+	Trace *trace.Tracer
 }
 
 // DefaultX16Params returns the full-scale 1024-node configuration.
@@ -153,13 +158,16 @@ func X16(p X16Params) (*Table, error) {
 
 	clk := simtime.NewVirtual()
 	defer clk.Drive()()
+	p.Trace.Rebase(clk)
 	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: clk})
+	net.SetTracer(p.Trace)
 	net.Start()
 	defer net.Stop()
 	ecfg := stream.DefaultEngineConfig()
 	ecfg.Seed = p.Seed
 	ecfg.TupleSizeKB = p.TupleSizeKB
 	ecfg.Keyspace = 250
+	ecfg.Tracer = p.Trace
 	engine := stream.NewEngine(net, topo, ecfg)
 	defer engine.Close()
 
@@ -250,7 +258,9 @@ func X16(p X16Params) (*Table, error) {
 
 	beat := time.Duration(p.HeartbeatSimMillis * float64(time.Millisecond))
 	hb := net.StartHeartbeatsOpts(beat, 0.05, overlay.HeartbeatOpts{SkipDownTargets: true})
-	det := failure.New(net, failure.DefaultConfig(beat))
+	dcfg := failure.DefaultConfig(beat)
+	dcfg.Tracer = p.Trace
+	det := failure.New(net, dcfg)
 	defer func() { det.Stop(); hb.Stop() }()
 
 	co := &adapt.Coordinator{
@@ -261,6 +271,7 @@ func X16(p X16Params) (*Table, error) {
 		Model:     truth,
 		Threshold: 0.3,
 		TicketTTL: 5 * time.Second,
+		Tracer:    p.Trace,
 	}
 
 	t0 := clk.Now()

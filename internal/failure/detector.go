@@ -31,6 +31,7 @@ import (
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // State is a node's liveness verdict.
@@ -92,6 +93,9 @@ type Config struct {
 	DeadMissed    int
 	// CheckEvery is the verdict-sweep period (default Interval).
 	CheckEvery time.Duration
+	// Tracer, when set, receives one instant event per liveness
+	// transition (suspect/dead/recovered). Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns the standard tuning for a heartbeat interval.
@@ -189,21 +193,34 @@ func (d *Detector) checkLocked(now time.Time) {
 				d.state[i] = Alive
 				d.stats.Recoveries++
 				d.events = append(d.events, Event{Node: id, Kind: Recovered, At: now})
+				d.emitTransition(id, Recovered, silent)
 			}
 		case silent >= deadAfter:
 			if d.state[i] != Dead {
 				d.state[i] = Dead
 				d.stats.Deaths++
 				d.events = append(d.events, Event{Node: id, Kind: Died, At: now})
+				d.emitTransition(id, Died, silent)
 			}
 		default:
 			if d.state[i] == Alive {
 				d.state[i] = Suspect
 				d.stats.Suspects++
 				d.events = append(d.events, Event{Node: id, Kind: Suspected, At: now})
+				d.emitTransition(id, Suspected, silent)
 			}
 		}
 	}
+}
+
+// emitTransition mirrors a liveness transition into the trace (no-op
+// without a configured tracer).
+func (d *Detector) emitTransition(id topology.NodeID, k Kind, silent time.Duration) {
+	if !d.cfg.Tracer.Enabled() {
+		return
+	}
+	d.cfg.Tracer.Emit("failure", k.String(),
+		trace.Int("node", int(id)), trace.Dur("silent_ms", silent))
 }
 
 // Stop halts the check schedule and releases the observer hook.

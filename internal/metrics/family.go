@@ -1,0 +1,161 @@
+// Labeled metric families: a family is one metric name fanned out over
+// label values — migrations_total{reason="repair"}, per-node or
+// per-circuit series — resolved to ordinary Counter/Gauge/Series
+// children on first use. Children render in sorted label order, so
+// summaries and exports are deterministic regardless of creation
+// order.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// renderLabels formats label names/values as {k="v",k2="v2"}.
+func renderLabels(names, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// family is the shared label-resolution core.
+type family[T any] struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	kids   map[string]*T
+}
+
+func newFamily[T any](name string, labels []string) *family[T] {
+	return &family[T]{name: name, labels: labels, kids: make(map[string]*T)}
+}
+
+// with resolves the child for the label values, creating it if needed.
+// The number of values must match the family's label names.
+func (f *family[T]) with(values []string) *T {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: family %s has %d labels, got %d values",
+			f.name, len(f.labels), len(values)))
+	}
+	key := renderLabels(f.labels, values)
+	f.mu.RLock()
+	c, ok := f.kids[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.kids[key]; ok {
+		return c
+	}
+	c = new(T)
+	f.kids[key] = c
+	return c
+}
+
+// snapshot returns the children keyed by rendered label string, sorted.
+func (f *family[T]) snapshot() []Labeled[*T] {
+	f.mu.RLock()
+	out := make([]Labeled[*T], 0, len(f.kids))
+	for k, v := range f.kids {
+		out = append(out, Labeled[*T]{Labels: k, Metric: v})
+	}
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+	return out
+}
+
+// Labeled pairs one family child with its rendered label set.
+type Labeled[T any] struct {
+	// Labels is the rendered label set, e.g. `{reason="repair"}`.
+	Labels string
+	Metric T
+}
+
+// CounterFamily is a set of counters sharing a name, split by labels.
+type CounterFamily struct{ f *family[Counter] }
+
+// With returns the counter for the label values (in the family's label
+// order), creating it on first use.
+func (cf *CounterFamily) With(values ...string) *Counter { return cf.f.with(values) }
+
+// Name returns the family's metric name.
+func (cf *CounterFamily) Name() string { return cf.f.name }
+
+// Children returns the counters created so far, sorted by label set.
+func (cf *CounterFamily) Children() []Labeled[*Counter] { return cf.f.snapshot() }
+
+// GaugeFamily is a set of gauges sharing a name, split by labels.
+type GaugeFamily struct{ f *family[Gauge] }
+
+// With returns the gauge for the label values, creating it on first use.
+func (gf *GaugeFamily) With(values ...string) *Gauge { return gf.f.with(values) }
+
+// Name returns the family's metric name.
+func (gf *GaugeFamily) Name() string { return gf.f.name }
+
+// Children returns the gauges created so far, sorted by label set.
+func (gf *GaugeFamily) Children() []Labeled[*Gauge] { return gf.f.snapshot() }
+
+// SeriesFamily is a set of time series sharing a name, split by labels
+// (per-node or per-circuit series).
+type SeriesFamily struct{ f *family[TimeSeries] }
+
+// With returns the series for the label values, creating it on first use.
+func (sf *SeriesFamily) With(values ...string) *TimeSeries { return sf.f.with(values) }
+
+// Name returns the family's metric name.
+func (sf *SeriesFamily) Name() string { return sf.f.name }
+
+// Children returns the series created so far, sorted by label set.
+func (sf *SeriesFamily) Children() []Labeled[*TimeSeries] { return sf.f.snapshot() }
+
+// CounterFamily returns the labeled counter family with the given name
+// and label names, creating it if needed. The label names of repeated
+// registrations must match.
+func (r *Registry) CounterFamily(name string, labels ...string) *CounterFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cf, ok := r.counterFams[name]
+	if !ok {
+		cf = &CounterFamily{f: newFamily[Counter](name, labels)}
+		r.counterFams[name] = cf
+	}
+	return cf
+}
+
+// GaugeFamily returns the labeled gauge family with the given name and
+// label names, creating it if needed.
+func (r *Registry) GaugeFamily(name string, labels ...string) *GaugeFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gf, ok := r.gaugeFams[name]
+	if !ok {
+		gf = &GaugeFamily{f: newFamily[Gauge](name, labels)}
+		r.gaugeFams[name] = gf
+	}
+	return gf
+}
+
+// SeriesFamily returns the labeled time-series family with the given
+// name and label names, creating it if needed.
+func (r *Registry) SeriesFamily(name string, labels ...string) *SeriesFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sf, ok := r.seriesFams[name]
+	if !ok {
+		sf = &SeriesFamily{f: newFamily[TimeSeries](name, labels)}
+		r.seriesFams[name] = sf
+	}
+	return sf
+}

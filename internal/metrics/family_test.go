@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFamilyWithReturnsSameChild(t *testing.T) {
+	r := NewRegistry()
+	fam := r.CounterFamily("migrations_total", "reason")
+	a := fam.With("repair")
+	b := fam.With("repair")
+	if a != b {
+		t.Fatal("same labels returned distinct children")
+	}
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("value = %v, want 2", a.Value())
+	}
+	if fam.With("sweep") == a {
+		t.Fatal("distinct labels share a child")
+	}
+	if got := r.CounterFamily("migrations_total", "reason"); got != fam {
+		t.Fatal("registry returned a different family for the same name")
+	}
+}
+
+func TestFamilyArityMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	fam := r.GaugeFamily("depth", "layer", "node")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label arity mismatch did not panic")
+		}
+	}()
+	fam.With("only-one")
+}
+
+func TestFamilyChildrenSorted(t *testing.T) {
+	r := NewRegistry()
+	fam := r.CounterFamily("ops", "kind")
+	fam.With("zeta").Inc()
+	fam.With("alpha").Add(2)
+	fam.With("mid").Add(3)
+	kids := fam.Children()
+	if len(kids) != 3 {
+		t.Fatalf("got %d children", len(kids))
+	}
+	for i := 1; i < len(kids); i++ {
+		if kids[i-1].Labels >= kids[i].Labels {
+			t.Fatalf("children not sorted: %q before %q", kids[i-1].Labels, kids[i].Labels)
+		}
+	}
+	if kids[0].Labels != `{kind="alpha"}` {
+		t.Fatalf("label rendering = %q", kids[0].Labels)
+	}
+}
+
+// Labeled-family access must be safe under concurrent With/observe from
+// many goroutines (the -race proof for real-clock runs).
+func TestFamilyConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	cf := r.CounterFamily("hits", "shard")
+	sf := r.SeriesFamily("lat", "shard")
+	shards := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := shards[(g+i)%len(shards)]
+				cf.With(s).Inc()
+				sf.With(s).Record(float64(i), float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, kid := range cf.Children() {
+		total += kid.Metric.Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("counter family lost increments: %v", total)
+	}
+}
+
+func TestSummaryIncludesSeriesAndFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain").Inc()
+	ts := r.Series("usage")
+	ts.Record(1, 1.5)
+	ts.Record(2, 2.5)
+	r.CounterFamily("migrations_total", "reason").With("repair").Add(4)
+	s := r.Summary()
+	if !strings.Contains(s, "usage: n=2 last=2.5") {
+		t.Fatalf("summary omits registered series:\n%s", s)
+	}
+	if !strings.Contains(s, `migrations_total{reason="repair"} = 4`) {
+		t.Fatalf("summary omits labeled family:\n%s", s)
+	}
+}
+
+func TestHistogramReservoirBoundsMemory(t *testing.T) {
+	h := &Histogram{}
+	h.SetReservoir(100, 1)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Retained() != 100 {
+		t.Fatalf("retained %d samples, want 100", h.Retained())
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d, want the full 10000", h.Count())
+	}
+	// Running aggregates stay exact regardless of sampling.
+	if h.Min() != 0 || h.Max() != 9999 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 4999.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	wantSD := math.Sqrt((1e8 - 1) / 12)
+	if got := h.Stddev(); math.Abs(got-wantSD)/wantSD > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", got, wantSD)
+	}
+	// The reservoir is a uniform sample; its median is a loose estimate
+	// of the true one.
+	if q := h.Quantile(0.5); q < 2000 || q > 8000 {
+		t.Fatalf("reservoir p50 = %v, implausibly far from 5000", q)
+	}
+}
+
+func TestHistogramReservoirDeterministicForSeed(t *testing.T) {
+	obs := func() []float64 {
+		h := &Histogram{}
+		h.SetReservoir(10, 42)
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i * 7 % 997))
+		}
+		return h.Snapshot()
+	}
+	a, b := obs(), obs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed reservoirs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHistogramExactModeUnchanged(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 5; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 5 || h.Retained() != 5 {
+		t.Fatalf("count/retained = %d/%d", h.Count(), h.Retained())
+	}
+	if h.Quantile(0.5) != 3 {
+		t.Fatalf("p50 = %v", h.Quantile(0.5))
+	}
+}
+
+func TestReportWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("msgs.sent").Add(10)
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat").Observe(1)
+	r.Series("usage").Record(1, 7)
+	r.CounterFamily("migrations_total", "reason").With("repair").Add(2)
+
+	var buf bytes.Buffer
+	rep := Report{Label: "test-run", Registry: r}
+	rep.Trace = func(w io.Writer) error {
+		_, err := w.Write([]byte(`[{"seq":1}]`))
+		return err
+	}
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc["label"] != "test-run" {
+		t.Fatalf("label = %v", doc["label"])
+	}
+	m := doc["metrics"].(map[string]any)
+	fams := m["families"].([]any)
+	if len(fams) != 1 {
+		t.Fatalf("families = %v", fams)
+	}
+	tr := doc["trace"].([]any)
+	if len(tr) != 1 {
+		t.Fatalf("trace = %v", tr)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"github.com/hourglass/sbon/internal/placement"
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // Reoptimizer implements the paper's local re-optimization (§3.3): "each
@@ -48,6 +49,11 @@ type Reoptimizer struct {
 	// PlanIncremental gives up on delta tracking and runs a full sweep
 	// (default 0.25).
 	FullSweepFraction float64
+	// Tracer, when non-nil, records a span per Plan/PlanIncremental
+	// with one decision event per move candidate: accepted moves carry
+	// their predicted gain, rejected candidates their old/new costs —
+	// the audit trail for "why did this service move (or not)?".
+	Tracer *trace.Tracer
 
 	// Incremental bookkeeping: the epoch watermark of the last
 	// incremental sweep, the circuits whose planned moves were not yet
@@ -193,7 +199,11 @@ type IncrementalStats struct {
 // yields a deterministic plan.
 func (r *Reoptimizer) Plan() (MigrationPlan, error) {
 	sh := NewShadow(r.Dep.Env)
-	return r.sweepShadow(sh, r.Dep.circuitsInOrder(), nil)
+	circuits := r.Dep.circuitsInOrder()
+	sp := r.Tracer.Begin("optimizer", "plan", trace.Int("circuits", len(circuits)))
+	plan, err := r.sweepShadow(sh, circuits, nil, sp)
+	sp.End(trace.Int("evaluated", plan.ServicesEvaluated), trace.Int("moves", len(plan.Moves)))
+	return plan, err
 }
 
 // PlanIncremental is Plan restricted to the circuits the environment's
@@ -248,18 +258,21 @@ func (r *Reoptimizer) PlanIncremental() (MigrationPlan, IncrementalStats, error)
 	}
 
 	sh := NewShadow(env)
+	sp := r.Tracer.Begin("optimizer", "plan_incremental",
+		trace.Int("circuits", len(circuits)), trace.Int("dirty_nodes", st.DirtyNodes))
 	var plan MigrationPlan
 	var err error
 	if full {
 		st.FullSweep, st.Reason = true, reason
 		st.AffectedCircuits = len(circuits)
-		plan, err = r.sweepShadow(sh, circuits, nil)
+		sp.Emit("full_sweep", trace.Str("reason", reason))
+		plan, err = r.sweepShadow(sh, circuits, nil, sp)
 	} else {
 		aff := r.affectedByDelta(delta, circuits)
 		for _, id := range r.pending {
 			aff[id] = true
 		}
-		plan, err = r.sweepShadow(sh, circuits, aff)
+		plan, err = r.sweepShadow(sh, circuits, aff, sp)
 		for _, c := range circuits {
 			if aff[c.Query.ID] {
 				st.AffectedCircuits++
@@ -267,8 +280,11 @@ func (r *Reoptimizer) PlanIncremental() (MigrationPlan, IncrementalStats, error)
 		}
 	}
 	if err != nil {
+		sp.End(trace.Str("error", err.Error()))
 		return plan, st, err
 	}
+	sp.End(trace.Int("affected", st.AffectedCircuits),
+		trace.Int("evaluated", plan.ServicesEvaluated), trace.Int("moves", len(plan.Moves)))
 
 	r.primed = true
 	r.lastEpoch = epochNow
@@ -475,8 +491,10 @@ func (r *Reoptimizer) expandAffected(sh *ShadowEnv, circuits []*Circuit, cursor 
 // deployed service of the listed circuits against the shadow, accepting
 // moves that clear the hysteresis threshold. aff == nil sweeps every
 // circuit; otherwise only circuits marked in aff are evaluated and the
-// set is expanded as accepted moves perturb the shadow.
-func (r *Reoptimizer) sweepShadow(sh *ShadowEnv, circuits []*Circuit, aff map[query.QueryID]bool) (MigrationPlan, error) {
+// set is expanded as accepted moves perturb the shadow. sp is the
+// enclosing plan span; each move candidate that changes host emits one
+// accept/reject decision event into it.
+func (r *Reoptimizer) sweepShadow(sh *ShadowEnv, circuits []*Circuit, aff map[query.QueryID]bool, sp trace.Span) (MigrationPlan, error) {
 	placer, _, model, thresh := r.components()
 	mapper := r.sweepMapper(sh)
 	b := &Builder{Env: r.Dep.Env}
@@ -543,11 +561,22 @@ func (r *Reoptimizer) sweepShadow(sh *ShadowEnv, circuits []*Circuit, aff map[qu
 					PredictedGain: oldCost - newCost,
 					UsageGain:     oldUsage - shadowIncidentUsage(sh, c, i, model),
 				})
+				if sp.Active() {
+					sp.Emit("accept", trace.Int("q", int(c.Query.ID)), trace.Int("svc", i),
+						trace.Int("from", int(oldNode)), trace.Int("to", int(newNode)),
+						trace.Num("old_cost", oldCost), trace.Num("new_cost", newCost),
+						trace.Num("gain", oldCost-newCost))
+				}
 				if aff != nil {
 					r.expandAffected(sh, circuits, ci, aff, oldNode, newNode, preFrom, preTo, consumers)
 				}
 			} else {
 				sh.Rebind(s, oldNode)
+				if sp.Active() {
+					sp.Emit("reject", trace.Int("q", int(c.Query.ID)), trace.Int("svc", i),
+						trace.Int("from", int(oldNode)), trace.Int("candidate", int(newNode)),
+						trace.Num("old_cost", oldCost), trace.Num("new_cost", newCost))
+				}
 			}
 		}
 	}
@@ -624,6 +653,7 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 	sh := NewShadow(r.Dep.Env)
 	mapper := r.sweepMapper(sh)
 	b := &Builder{Env: r.Dep.Env}
+	sp := r.Tracer.Begin("optimizer", "plan_evacuation", trace.Int("victims", len(victims)))
 	var plan MigrationPlan
 	for _, c := range r.Dep.circuitsInOrder() {
 		hit := false
@@ -654,6 +684,7 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 			continue
 		}
 		if err := b.placeVirtualAs(c, placer, sh.NodeOf); err != nil {
+			sp.End(trace.Str("error", err.Error()))
 			return plan, err
 		}
 		for i, s := range c.Services {
@@ -685,6 +716,7 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 			oldUsage := shadowIncidentUsage(sh, c, i, model)
 			newNode, _, err := mapper.MapCoord(c.Query.Consumer, vec, exclude)
 			if err != nil {
+				sp.End(trace.Str("error", err.Error()))
 				return plan, err
 			}
 			sh.Rebind(s, newNode)
@@ -702,8 +734,15 @@ func (r *Reoptimizer) PlanEvacuation(victims map[topology.NodeID]bool) (Migratio
 				UsageGain:     oldUsage - shadowIncidentUsage(sh, c, i, model),
 				Adopted:       adopted,
 			})
+			if sp.Active() {
+				sp.Emit("evac_move", trace.Int("q", int(c.Query.ID)), trace.Int("svc", i),
+					trace.Int("from", int(oldNode)), trace.Int("to", int(newNode)),
+					trace.Num("gain", oldCost-newCost))
+			}
 		}
 	}
+	sp.End(trace.Int("evaluated", plan.ServicesEvaluated),
+		trace.Int("moves", len(plan.Moves)), trace.Int("unmovable", plan.Unmovable))
 	return plan, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // FaultPlan scripts unplanned failures: per-message drop probability,
@@ -153,6 +154,7 @@ func (n *Network) InstallFaults(plan FaultPlan) *FaultInjector {
 			}
 			n.SetNodeDown(c.Node, true)
 			crashes.Inc()
+			n.tracer.Load().Emit("overlay", "fault_crash", trace.Int("node", int(c.Node)))
 		}))
 		if c.RecoverAt > 0 {
 			fi.timers = append(fi.timers, n.clock.AfterFunc(c.RecoverAt, func() {
@@ -167,6 +169,7 @@ func (n *Network) InstallFaults(plan FaultPlan) *FaultInjector {
 				}
 				n.SetNodeDown(c.Node, false)
 				recoveries.Inc()
+				n.tracer.Load().Emit("overlay", "fault_recover", trace.Int("node", int(c.Node)))
 			}))
 		}
 	}

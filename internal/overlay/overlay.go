@@ -30,6 +30,7 @@ import (
 	"github.com/hourglass/sbon/internal/metrics"
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // Message is one unit of overlay traffic.
@@ -95,6 +96,10 @@ type Network struct {
 	// faults is the armed fault injector, nil when no FaultPlan is
 	// installed (see faults.go).
 	faults atomic.Pointer[FaultInjector]
+	// tracer, when set, receives sampled fault-drop events and the
+	// injected crash/recovery instants. Install before Start; nil (the
+	// default) costs one atomic load on the fault path only.
+	tracer atomic.Pointer[trace.Tracer]
 	// hbObserver, when set, sees every delivered heartbeat — the hook
 	// failure detectors consume liveness traffic through.
 	hbObserver atomic.Pointer[func(Message)]
@@ -238,6 +243,15 @@ func (n *Network) SetNodeDown(id topology.NodeID, down bool) {
 // NodeDown reports whether the node is currently marked down.
 func (n *Network) NodeDown(id topology.NodeID) bool { return n.nodes[id].down.Load() }
 
+// SetTracer installs (or, with nil, removes) the trace sink for fault
+// events. Safe to call at any time; the fault path reloads it per
+// message.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer.Store(t) }
+
+// Tracer returns the installed trace sink (nil when tracing is off) —
+// nil-receiver safe to use directly.
+func (n *Network) Tracer() *trace.Tracer { return n.tracer.Load() }
+
 // Send schedules delivery of a message to the port on the destination
 // node, after the topology latency (scaled). It never blocks; messages
 // sent after Stop — or from a node marked down — are dropped.
@@ -271,6 +285,11 @@ func (nd *Node) Send(to topology.NodeID, port string, sizeKB float64, payload an
 				n.Metrics.Counter("faults.hb_dropped").Inc()
 			} else {
 				n.Metrics.Counter("faults.dropped").Inc()
+			}
+			if tr := n.tracer.Load(); tr.Enabled() && tr.Sample() {
+				tr.Emit("overlay", "fault_drop",
+					trace.Int("from", int(nd.id)), trace.Int("to", int(to)),
+					trace.Str("port", port))
 			}
 			return nil // silent loss: the sender never learns
 		}

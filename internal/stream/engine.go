@@ -14,6 +14,7 @@ import (
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // EngineConfig tunes circuit execution.
@@ -26,6 +27,10 @@ type EngineConfig struct {
 	TupleSizeKB float64
 	// Seed drives producer key/value generation.
 	Seed int64
+	// Tracer, when non-nil, records migration phase spans and — behind
+	// the tracer's sampling gate — per-tuple hop events on the emission
+	// path. A nil tracer costs one pointer check per emitted edge.
+	Tracer *trace.Tracer
 }
 
 // DefaultEngineConfig returns engine defaults.
@@ -453,6 +458,8 @@ func (e *Engine) rebuildSubsLocked(r *Running, svc int) {
 func (r *Running) emitFor(idx int) Emit {
 	e := r.engine
 	rt := &r.svcs[idx]
+	tr := e.cfg.Tracer // nil when tracing is off: Sample() is then one nil check
+	q := int(r.Circuit.Query.ID)
 	return func(t Tuple) {
 		from := topology.NodeID(r.host[idx].Load())
 		node := e.net.Node(from)
@@ -460,6 +467,11 @@ func (r *Running) emitFor(idx int) Emit {
 			for _, tgt := range *outs {
 				to := topology.NodeID(r.route[tgt.svc].Load())
 				r.usageKBms.Add(t.SizeKB * e.topo.Latency(from, to))
+				if tr.Sample() {
+					tr.Emit("engine", "hop", trace.Int("q", q), trace.Int("svc", idx),
+						trace.Int("from", int(from)), trace.Int("to", int(to)),
+						trace.Num("size_kb", t.SizeKB))
+				}
 				// Send never blocks; post-shutdown sends are dropped.
 				_ = node.Send(to, tgt.port, t.SizeKB, dataMsg{Side: tgt.side, T: t})
 			}
@@ -469,6 +481,12 @@ func (r *Running) emitFor(idx int) Emit {
 				to := topology.NodeID(sb.run.route[sb.svc].Load())
 				sb.run.sharedIn.Inc()
 				sb.run.usageKBms.Add(t.SizeKB * e.topo.Latency(from, to))
+				if tr.Sample() {
+					tr.Emit("engine", "hop_shared", trace.Int("q", q), trace.Int("svc", idx),
+						trace.Int("sub_q", int(sb.run.Circuit.Query.ID)),
+						trace.Int("from", int(from)), trace.Int("to", int(to)),
+						trace.Num("size_kb", t.SizeKB))
+				}
 				_ = node.Send(to, sb.port, t.SizeKB, dataMsg{Side: sb.side, T: t})
 			}
 		}

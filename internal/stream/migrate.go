@@ -39,6 +39,7 @@ import (
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // migrationMargin is the extra drain slack added to each phase, in
@@ -80,6 +81,7 @@ type Migration struct {
 	tearTimer simtime.Timer
 	done      chan struct{}
 	doneOnce  sync.Once
+	sp        trace.Span
 }
 
 // Done is closed when the migration has fully completed (or been
@@ -184,6 +186,12 @@ func (e *Engine) Migrate(id query.QueryID, svc int, to topology.NodeID) (*Migrat
 		done:         make(chan struct{}),
 	}
 	rt.migrating = true
+	// The span opens at T0 and closes at T2 (or cancel), with the T1
+	// cutover marked by an instant event inside it.
+	m.sp = e.cfg.Tracer.Begin("engine", "migration",
+		trace.Int("q", int(id)), trace.Int("svc", svc),
+		trace.Int("from", int(from)), trace.Int("to", int(to)),
+		trace.Num("state_kb", m.StateKB))
 
 	// T0: open the buffer on the target, flip the route, ship state.
 	buf := m.buf
@@ -268,6 +276,7 @@ func (m *Migration) cutover() {
 	rt.gate.Unlock()
 	e.net.Node(m.To).Unregister(rt.port + statePortSuffix)
 	m.cutoverAt = e.clock.Now()
+	m.sp.Emit("cutover", trace.Int("buffered", m.Buffered))
 
 	m.tearTimer = e.clock.AfterFunc(m.ScheduledEnd.Sub(m.cutoverAt), m.teardown)
 }
@@ -288,6 +297,8 @@ func (m *Migration) teardown() {
 	m.Forwarded = int(m.fwd.Load())
 	m.rt.migrating = false
 	e.mu.Unlock()
+	m.sp.End(trace.Str("outcome", "done"),
+		trace.Int("buffered", m.Buffered), trace.Int("forwarded", m.Forwarded))
 	m.doneOnce.Do(func() { close(m.done) })
 }
 
@@ -315,5 +326,6 @@ func (m *Migration) cancel() {
 	e.net.Node(m.From).Unregister(m.rt.port)
 	e.net.Node(m.To).Unregister(m.rt.port)
 	m.rt.migrating = false
+	m.sp.End(trace.Str("outcome", "cancelled"), trace.Int("forwarded", m.Forwarded))
 	m.doneOnce.Do(func() { close(m.done) })
 }

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hourglass/sbon/internal/simtime"
+)
+
+// A nil tracer must be a safe, near-free no-op at every call site —
+// that is the contract every instrumented layer relies on.
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	if tr.Sample() {
+		t.Fatal("nil tracer reports Sample true")
+	}
+	tr.Emit("cat", "ev", Int("x", 1))
+	sp := tr.Begin("cat", "span")
+	if sp.Active() {
+		t.Fatal("span from nil tracer is Active")
+	}
+	sp.Emit("inner", Num("v", 2))
+	sp.End(Str("outcome", "done"))
+	tr.SetSampleEvery(8)
+	tr.SetLimit(10)
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer accumulated state")
+	}
+	var zero Span
+	zero.Emit("x")
+	zero.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil tracer JSONL wrote %q", buf.String())
+	}
+	buf.Reset()
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != `{"traceEvents":[]}` {
+		t.Fatalf("nil tracer Chrome trace = %q", buf.String())
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := New(simtime.NewVirtual())
+	sp := tr.Begin("opt", "plan", Int("circuits", 3))
+	sp.Emit("accept", Num("gain", 1.5))
+	sp.End(Int("moves", 1))
+	tr.Emit("opt", "note")
+
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Ph != Begin || evs[1].Ph != Instant || evs[2].Ph != End {
+		t.Fatalf("phases = %v %v %v", evs[0].Ph, evs[1].Ph, evs[2].Ph)
+	}
+	if evs[0].Span == 0 || evs[0].Span != evs[1].Span || evs[1].Span != evs[2].Span {
+		t.Fatalf("span ids not linked: %d %d %d", evs[0].Span, evs[1].Span, evs[2].Span)
+	}
+	if evs[3].Span != 0 {
+		t.Fatalf("plain Emit got span id %d", evs[3].Span)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	sp2 := tr.Begin("opt", "plan")
+	if id := tr.Events()[4].Span; id == evs[0].Span {
+		t.Fatalf("span ids reused: %d", id)
+	}
+	sp2.End()
+}
+
+func TestSampleEvery(t *testing.T) {
+	tr := New(simtime.NewVirtual())
+	tr.SetSampleEvery(4)
+	hits := 0
+	for i := 0; i < 16; i++ {
+		if tr.Sample() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("sampled %d of 16 at rate 1/4", hits)
+	}
+	tr.SetSampleEvery(1)
+	for i := 0; i < 3; i++ {
+		if !tr.Sample() {
+			t.Fatal("rate 1/1 must always sample")
+		}
+	}
+}
+
+// The buffer limit drops new Begin/Instant events but never End events,
+// so every opened span still closes in the export.
+func TestLimitKeepsSpanEnds(t *testing.T) {
+	tr := New(simtime.NewVirtual())
+	tr.SetLimit(2)
+	sp := tr.Begin("c", "outer")
+	tr.Emit("c", "fill")
+	tr.Emit("c", "over") // dropped
+	sp.End()             // recorded despite the full buffer
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[len(evs)-1].Ph != End {
+		t.Fatal("final event is not the span End")
+	}
+}
+
+func TestWriteJSONLShape(t *testing.T) {
+	tr := New(simtime.NewVirtual())
+	sp := tr.Begin("dht", "lookup", Str("key", "0xbeef"), Int("start", 7))
+	sp.Emit("hop", Int("from", 7), Int("to", 12))
+	sp.End(Str("outcome", "owner"), Int("hops", 1))
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3", len(lines))
+	}
+	for i, ln := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, ln)
+		}
+		for _, k := range []string{"seq", "t_us", "cat", "name", "ph"} {
+			if _, ok := obj[k]; !ok {
+				t.Fatalf("line %d missing %q: %s", i, k, ln)
+			}
+		}
+	}
+	var hop map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &hop); err != nil {
+		t.Fatal(err)
+	}
+	args := hop["args"].(map[string]any)
+	if args["from"].(float64) != 7 || args["to"].(float64) != 12 {
+		t.Fatalf("hop args = %v", args)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	tr := New(simtime.NewVirtual())
+	sp := tr.Begin("engine", "migration", Int("q", 1))
+	sp.Emit("cutover", Int("buffered", 2))
+	sp.End(Str("outcome", "done"))
+	tr.Emit("overlay", "fault_crash", Int("node", 9))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace is not JSON: %v", err)
+	}
+	// Two categories -> two thread_name metadata events, then the four
+	// real events.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d trace events, want 6", len(doc.TraceEvents))
+	}
+	meta := 0
+	tids := map[string]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" {
+			meta++
+			args := ev["args"].(map[string]any)
+			tids[args["name"].(string)] = ev["tid"].(float64)
+			continue
+		}
+		if ev["cat"] == "engine" && ev["tid"].(float64) != tids["engine"] {
+			t.Fatalf("engine event on tid %v, want %v", ev["tid"], tids["engine"])
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("got %d metadata events, want 2", meta)
+	}
+}
+
+// Concurrent emission must be race-free and lose nothing (under -race
+// this is the synchronization proof for real-clock scenarios).
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(nil)
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if g%2 == 0 {
+					sp := tr.Begin("load", "work", Int("g", g))
+					sp.End(Int("i", i))
+				} else {
+					tr.Emit("load", "tick", Int("g", g))
+					tr.Sample()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := goroutines / 2 * per * 2 // Begin+End pairs
+	want += goroutines / 2 * per     // instants
+	if tr.Len() != want {
+		t.Fatalf("len = %d, want %d", tr.Len(), want)
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range tr.Events() {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestResetClearsBuffer(t *testing.T) {
+	tr := New(simtime.NewVirtual())
+	tr.SetLimit(1)
+	tr.Emit("c", "a")
+	tr.Emit("c", "b") // dropped
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("after Reset: len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	tr.Emit("c", "c")
+	if tr.Events()[0].Seq != 1 {
+		t.Fatal("seq did not restart after Reset")
+	}
+}

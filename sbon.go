@@ -54,17 +54,20 @@ package sbon
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
 	"github.com/hourglass/sbon/internal/adapt"
 	"github.com/hourglass/sbon/internal/failure"
+	"github.com/hourglass/sbon/internal/metrics"
 	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/query"
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 )
 
 // Re-exported identifier and model types, so applications only import
@@ -142,6 +145,14 @@ type Options struct {
 	// clock (internal/simtime): RunFor windows complete instantly, and
 	// same-seed runs deliver bit-identical measurements.
 	VirtualTime bool
+	// Trace enables the structured event tracer: optimizer decisions,
+	// migration phases, repair rounds, DHT lookup hops, fault and
+	// failure-detector events, and sampled tuple hops, all stamped by
+	// the engine clock. Under VirtualTime the serialized trace is
+	// bit-identical for a fixed seed. The tracer starts with the engine
+	// (StartEngine); access it with Tracer, export with WriteReport or
+	// the tracer's own writers.
+	Trace bool
 }
 
 // System is a fully assembled SBON.
@@ -159,6 +170,7 @@ type System struct {
 	planCache *optimizer.PlanCache
 	hb        *overlay.Heartbeats
 	det       *failure.Detector
+	tracer    *trace.Tracer
 
 	// adaptCo is the persistent adaptation coordinator: incremental
 	// sweeps carry a delta-log watermark across Adapt/AdaptContinuously
@@ -440,7 +452,9 @@ func (s *System) StartFailureDetection(beat time.Duration) (*failure.Detector, e
 		beat = 200 * time.Millisecond
 	}
 	s.hb = s.net.StartHeartbeatsOpts(beat, 0.05, overlay.HeartbeatOpts{SkipDownTargets: true})
-	s.det = failure.New(s.net, failure.DefaultConfig(beat))
+	dcfg := failure.DefaultConfig(beat)
+	dcfg.Tracer = s.tracer
+	s.det = failure.New(s.net, dcfg)
 	return s.det, nil
 }
 
@@ -500,6 +514,7 @@ func (s *System) coordinator(opts AdaptOptions) *adapt.Coordinator {
 	co.Threshold = opts.Threshold
 	co.Budget = opts.Budget
 	co.Exclude = opts.Exclude
+	co.Tracer = s.tracer
 	co.Clock = nil
 	if s.vclk != nil {
 		co.Clock = s.vclk
@@ -536,13 +551,50 @@ func (s *System) StartEngine() error {
 		}
 	}
 	s.net = overlay.NewNetwork(s.Topo, cfg)
+	if s.opts.Trace {
+		s.tracer = trace.New(cfg.Clock)
+		s.net.SetTracer(s.tracer)
+		if cat := s.Env.Catalog(); cat != nil {
+			cat.Ring().SetTracer(s.tracer)
+		}
+	}
 	s.net.Start()
 	s.engine = stream.NewEngine(s.net, s.Topo, stream.EngineConfig{
 		Keyspace:    1000,
 		TupleSizeKB: 1.0,
 		Seed:        s.opts.Seed,
+		Tracer:      s.tracer,
 	})
 	return nil
+}
+
+// Tracer returns the structured event tracer, or nil when Options.Trace
+// is unset or the engine has not started. The nil return is safe to use
+// directly: every tracer method no-ops on a nil receiver.
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// Metrics returns the overlay runtime's metric registry (counters,
+// histograms, labeled families), or nil before StartEngine.
+func (s *System) Metrics() *metrics.Registry {
+	if s.net == nil {
+		return nil
+	}
+	return s.net.Metrics
+}
+
+// WriteReport writes one JSON document merging the runtime's metric
+// registry with the run's trace (when tracing is enabled) — the
+// run-scoped export behind sbon-sim's -metrics-dump flag. The engine
+// must be started.
+func (s *System) WriteReport(w io.Writer, label string) error {
+	if s.net == nil {
+		return fmt.Errorf("sbon: engine not started; call StartEngine first")
+	}
+	rep := metrics.Report{Label: label, Registry: s.net.Metrics}
+	if s.tracer != nil {
+		rep.Trace = s.tracer.WriteEventsJSON
+	}
+	return rep.WriteJSON(w)
 }
 
 // Run executes a circuit on the engine (StartEngine must have been

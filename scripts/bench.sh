@@ -2,22 +2,27 @@
 # bench.sh — run the paper-artifact and batch benchmark suites and emit a
 # JSON snapshot for the bench trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_6.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_7.json)
 #
 # BENCH_0.json (pre-spatial-index), BENCH_1.json (pre-virtual-time),
 # BENCH_2.json (pre-live-migration), BENCH_3.json (pre-shared-
-# execution), BENCH_4.json (pre-incremental-replanning), and
-# BENCH_5.json (pre-failure-repair) are committed baselines; the
-# default output BENCH_6.json — which adds X16, the crash-detection and
-# automatic-repair scenario — sits alongside them so the trajectory
-# stays in the repo. Bump the default for later milestones.
+# execution), BENCH_4.json (pre-incremental-replanning), BENCH_5.json
+# (pre-failure-repair), and BENCH_6.json (pre-observability) are
+# committed baselines; the default output BENCH_7.json — which adds the
+# tracer-overhead numbers (BenchmarkTraceEmit* micro-benchmarks plus
+# the traced X16 variant; compare BenchmarkOptimizeBatch1kNoCache and
+# BenchmarkX16_FailureRepair1024 against BENCH_6.json for the
+# disabled-tracer gate) — sits alongside them so the trajectory stays
+# in the repo. Bump the default for later milestones.
 #
-# Each benchmark runs once (-benchtime 1x): the suites are end-to-end
+# Each end-to-end benchmark runs once (-benchtime 1x): the suites are
 # experiment regenerations, so a single iteration is already seconds of
-# work and the numbers are for trajectory tracking, not microbenchmarking.
+# work and the numbers are for trajectory tracking, not
+# microbenchmarking. The tracer micro-benchmarks run a fixed 1e6
+# iterations in a second pass so their ns/op is meaningful.
 set -eu
 
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp)
@@ -25,6 +30,8 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkFig|BenchmarkX|BenchmarkIntegrated|BenchmarkTwoStep|BenchmarkOptimize|BenchmarkPlan' \
   -benchtime 1x -timeout 30m . | tee "$tmp"
+
+go test -run '^$' -bench 'BenchmarkTraceEmit' -benchtime 1000000x -timeout 10m . | tee -a "$tmp"
 
 awk '
 BEGIN { print "[" ; first = 1 }
