@@ -373,6 +373,66 @@ func BenchmarkOptimizeSequential1k(b *testing.B) {
 	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
+// Sharded batch benchmarks: the cost space is split into Hilbert-prefix
+// regions with a private snapshot, plan cache, cost index, and worker
+// pool each (optimizer.OptimizeBatchSharded). Compare the queries/s
+// metric against BenchmarkOptimizeBatch1k (the single-pool path) —
+// shards share nothing mutable, so the gap widens with core count.
+
+func benchSharded(b *testing.B, shards, n int, noCache bool) {
+	sys := paperScaleSystem(b)
+	qs := batchWorkload(sys, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := sys.OptimizeBatchSharded(qs, sbon.ShardedBatchOptions{Shards: shards, NoCache: noCache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(qs) {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+func BenchmarkOptimizeBatchSharded1k(b *testing.B)        { benchSharded(b, 8, 1000, false) }
+func BenchmarkOptimizeBatchSharded1kNoCache(b *testing.B) { benchSharded(b, 8, 1000, true) }
+
+// BenchmarkOptimizeBatchSharded16x10k is the "path to ~1M queries/s"
+// configuration: 16 shards over a 10k-query cache-friendly batch. The
+// queries/s metric is the number to track.
+func BenchmarkOptimizeBatchSharded16x10k(b *testing.B) { benchSharded(b, 16, 10000, false) }
+
+// Scheduling micro-benchmarks for the virtual-time kernel: schedule and
+// drain pendingEvents timers through the full VirtualClock API on the
+// hierarchical timer wheel vs the reference binary heap. The wheel's
+// O(1) amortized schedule/fire is what keeps ≥100k pending events (16k
+// nodes' heartbeats) cheap; see internal/simtime BenchmarkWheelQueue*
+// for the mutex-free queue-only numbers.
+func benchClockSchedule(b *testing.B, clk *simtime.VirtualClock, pending int) {
+	release := clk.Drive()
+	defer release()
+	rng := rand.New(rand.NewSource(1))
+	fired := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < pending; j++ {
+			clk.AfterFunc(time.Duration(1+rng.Intn(10_000_000))*time.Microsecond, func() { fired++ })
+		}
+		clk.Sleep(11_000_000 * time.Microsecond) // drain: fire everything
+	}
+	b.StopTimer()
+	if fired != b.N*pending {
+		b.Fatalf("fired %d of %d", fired, b.N*pending)
+	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkSchedule100kWheel(b *testing.B) { benchClockSchedule(b, simtime.NewVirtual(), 100_000) }
+func BenchmarkSchedule100kHeap(b *testing.B) {
+	benchClockSchedule(b, simtime.NewVirtualReference(), 100_000)
+}
+
 // BenchmarkX14_SharedExecution1024 runs the shared-execution comparison
 // (200 queries / 40 shared subtrees on 1024 nodes, reuse on vs off) end
 // to end on the virtual clock. The reported metric is the measured
@@ -437,6 +497,33 @@ func BenchmarkX16_FailureRepair1024(b *testing.B) {
 	}
 	b.ReportMetric(repaired, "services-repaired")
 	b.ReportMetric(colMean(b, last, 2), "detections/round")
+}
+
+// BenchmarkX17_Scale16k regenerates the full-scale scenario: 16400
+// nodes under sparse latency, 100k queries through 16 optimizer
+// shards, full-population heartbeats on the timer-wheel kernel, and
+// ticker-fed coordinate sync across three adaptation rounds. Reported
+// metrics are the peak pending timer count (event-kernel load), the
+// mean coordinates synced per round, and the mean coordinate staleness
+// the sync repairs.
+func BenchmarkX17_Scale16k(b *testing.B) {
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.X17(exp.DefaultX17Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	peak := 0.0
+	for i := range last.Rows {
+		if v, err := strconv.ParseFloat(last.Rows[i][8], 64); err == nil && v > peak {
+			peak = v
+		}
+	}
+	b.ReportMetric(peak, "peak-pending-events")
+	b.ReportMetric(colMean(b, last, 1), "synced/round")
+	b.ReportMetric(colMean(b, last, 2), "staleness-ms")
 }
 
 // Tracer micro-benchmarks: the disabled (nil) path is the cost every

@@ -52,9 +52,12 @@
 //
 // Observability: -trace FILE writes the run's structured events as a
 // Chrome trace-event file (load it in Perfetto or chrome://tracing),
-// -trace-jsonl FILE writes the same events as JSON Lines, and
-// -metrics-dump prints one JSON report merging the overlay's metric
-// registry with the trace to stdout. Traces cover optimizer decisions,
+// -trace-jsonl FILE writes the same events as JSON Lines,
+// -trace-stream FILE streams the JSON Lines incrementally in constant
+// memory (byte-identical to -trace-jsonl output; use it for very large
+// runs where buffering every event is infeasible), and -metrics-dump
+// prints one JSON report merging the overlay's metric registry with
+// the trace to stdout. Traces cover optimizer decisions,
 // migration phases, repair rounds, fault injections, and failure
 // verdicts; under -virtual-time the serialized bytes are bit-identical
 // for a fixed seed:
@@ -92,11 +95,17 @@ import (
 type traceSink struct {
 	chrome string
 	jsonl  string
+	stream string
 	dump   bool
 	tr     *trace.Tracer
+	// streamFile is the open -trace-stream destination; events are
+	// written to it incrementally instead of buffered in memory.
+	streamFile *os.File
 }
 
-func (s *traceSink) wanted() bool { return s.chrome != "" || s.jsonl != "" || s.dump }
+func (s *traceSink) wanted() bool {
+	return s.chrome != "" || s.jsonl != "" || s.stream != "" || s.dump
+}
 
 func (s *traceSink) attach(clk simtime.Clock) *trace.Tracer {
 	if !s.wanted() {
@@ -104,6 +113,14 @@ func (s *traceSink) attach(clk simtime.Clock) *trace.Tracer {
 	}
 	if s.tr == nil {
 		s.tr = trace.New(clk)
+		if s.stream != "" {
+			f, err := os.Create(s.stream)
+			if err != nil {
+				fail(err)
+			}
+			s.streamFile = f
+			s.tr.StreamJSONL(f)
+		}
 	}
 	return s.tr
 }
@@ -121,6 +138,16 @@ func (s *traceSink) finish(reg *metrics.Registry) {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
+	}
+	if s.streamFile != nil {
+		if err := s.tr.Flush(); err != nil {
+			s.streamFile.Close()
+			fail(err)
+		}
+		if err := s.streamFile.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: streamed JSONL -> %s (constant-memory; %d events buffered)\n", s.stream, s.tr.Len())
 	}
 	if s.chrome != "" {
 		writeFile(s.chrome, func(f *os.File) error { return s.tr.WriteChromeTrace(f) })
@@ -178,10 +205,16 @@ func main() {
 
 		traceFile   = flag.String("trace", "", "write the run's structured events to this file in Chrome trace-event format (Perfetto-loadable)")
 		traceJSONL  = flag.String("trace-jsonl", "", "write the run's structured events to this file as JSON Lines")
+		traceStream = flag.String("trace-stream", "", "stream the run's structured events to this file as JSON Lines incrementally (constant memory; for very large runs)")
 		metricsDump = flag.Bool("metrics-dump", false, "print a JSON report merging the metric registry with the trace to stdout at exit")
 	)
 	flag.Parse()
-	sink := &traceSink{chrome: *traceFile, jsonl: *traceJSONL, dump: *metricsDump}
+	if *traceStream != "" && (*traceFile != "" || *traceJSONL != "" || *metricsDump) {
+		// Streamed events are not retained in memory, so the buffered
+		// exporters would emit empty output — reject the combination.
+		fail(fmt.Errorf("-trace-stream cannot be combined with -trace, -trace-jsonl, or -metrics-dump"))
+	}
+	sink := &traceSink{chrome: *traceFile, jsonl: *traceJSONL, stream: *traceStream, dump: *metricsDump}
 
 	topoCfg := topology.DefaultConfig()
 	topoCfg.StubNodes = *stubNodes

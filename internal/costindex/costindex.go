@@ -54,6 +54,7 @@ package costindex
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"github.com/hourglass/sbon/internal/costspace"
@@ -123,9 +124,25 @@ func (x *Index) NumPatched() int { return len(x.patched) }
 
 // patchBudget bounds the overlay size: beyond this, per-query linear
 // patch scans erode the tree's advantage and a rebuild is cheaper.
+//
+// The budget comes from the crossover measurements in
+// crossover_bench_test.go (Xeon 2.10GHz, go1.24, 4-dim latency+load
+// space, k=4 queries):
+//
+//	clean KNearest   1.47µs (n=1k)   2.05µs (n=10k)   2.87µs (n=100k)
+//	per-patch cost   ~18–20ns/query, independent of n
+//	Build            127µs  (n=1k)   2.39ms (n=10k)   34.8ms (n=100k)
+//
+// Overlay scans cost the same per patch at every scale while the tree
+// query grows like log n, so the break-even overlay size — where patch
+// scanning doubles the query — is cleanQuery/18ns ≈ 80 at 1k, ~115 at
+// 10k, ~160 at 100k: logarithmic in n, not linear. The previous fixed
+// 8+n/8 budget admitted 12.5k patches at n=100k, a measured ~78x
+// per-query slowdown; 32+8·log2(n) tracks the measured doubling point
+// (112 at 1k, 138 at 10k, 165 at 100k) and keeps patched queries
+// within ~2x of a clean tree at every scale.
 func (x *Index) patchBudget() int {
-	b := 8 + x.n/8
-	return b
+	return 32 + 8*bits.Len(uint(x.n))
 }
 
 // WithPoint derives an index in which id's point is p (p is copied),

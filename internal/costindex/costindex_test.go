@@ -243,7 +243,7 @@ func TestIndexEmptyAndAllExcluded(t *testing.T) {
 func TestIndexVersioningAndPatchBudget(t *testing.T) {
 	space := costspace.NewLatencyLoadSpace(100)
 	rng := rand.New(rand.NewSource(7))
-	pts := randPoints(rng, space, 40, false)
+	pts := randPoints(rng, space, 200, false)
 	x := Build(space, pts, 3)
 	if x.Version() != 3 {
 		t.Fatalf("Version = %d, want 3", x.Version())
@@ -254,13 +254,16 @@ func TestIndexVersioningAndPatchBudget(t *testing.T) {
 
 	// Patch until the budget refuses; the receiver must stay valid.
 	cur := x
-	budget := 8 + 40/8
+	budget := x.patchBudget()
+	if budget >= 200 {
+		t.Fatalf("fixture too small for budget %d", budget)
+	}
 	for i := 0; ; i++ {
 		if i > 1000 {
 			t.Fatal("patch budget never refused")
 		}
 		p := randPoints(rng, space, 1, false)[0]
-		nx, ok := cur.WithPoint(int32(i%40), p, uint64(4+i))
+		nx, ok := cur.WithPoint(int32(i%200), p, uint64(4+i))
 		if !ok {
 			if cur.NumPatched() != budget {
 				t.Fatalf("refused at %d patches, want %d", cur.NumPatched(), budget)

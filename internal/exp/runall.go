@@ -102,6 +102,18 @@ func All() []Experiment {
 			}
 			return X16(p)
 		}},
+		{"x17", func(s Scale) (*Table, error) {
+			p := DefaultX17Params()
+			if s == Small {
+				p.StubsPerTransit = 8
+				p.StubNodes = 8 // 1040 nodes
+				p.Queries = 2000
+				p.EngineCircuits = 64
+				p.TickerWarmRounds = 20
+				p.Rounds = 2
+			}
+			return X17(p)
+		}},
 		{"x9", func(s Scale) (*Table, error) {
 			p := DefaultX9Params()
 			p.Scale = s

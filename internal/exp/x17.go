@@ -1,0 +1,376 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/hourglass/sbon/internal/adapt"
+	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/overlay"
+	"github.com/hourglass/sbon/internal/placement"
+	"github.com/hourglass/sbon/internal/simtime"
+	"github.com/hourglass/sbon/internal/stream"
+	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/vivaldi"
+	"github.com/hourglass/sbon/internal/workload"
+)
+
+// X17Params configures the 16k-node scale scenario.
+type X17Params struct {
+	Seed int64
+	// Topology shape; the defaults give 16 transit + 16·64·16 stub =
+	// 16400 nodes.
+	TransitDomains  int
+	TransitNodes    int
+	StubsPerTransit int
+	StubNodes       int
+
+	// Streams is the published stream population.
+	Streams int
+	// Queries is the batch optimized through the sharded path.
+	Queries int
+	// Shards is the cost-space region count for OptimizeBatchSharded.
+	Shards int
+	// EngineCircuits is how many optimized circuits additionally execute
+	// on the data plane (all of them would be redundant for the
+	// scheduling claim and slow; the engine subset plus full-population
+	// heartbeats is what stresses the event kernel).
+	EngineCircuits int
+
+	// HeartbeatEvery enables full-population liveness traffic (0
+	// disables — but heartbeats-on is the point of the scenario).
+	HeartbeatEvery time.Duration
+
+	// TickerInterval is the Vivaldi gossip-round period; TickerSamples
+	// the peers each node measures per round; TickerWarmRounds the
+	// rounds run before the environment is built from the coordinates.
+	TickerInterval   time.Duration
+	TickerSamples    int
+	TickerWarmRounds int
+
+	// Rounds is the number of drift → coordinate-sync → adapt rounds.
+	Rounds int
+	// DriftFraction of nodes get fresh background loads each round.
+	DriftFraction float64
+	// Budget caps migrations per adaptation round.
+	Budget int
+	// IntervalSimSeconds of dataflow between rounds.
+	IntervalSimSeconds float64
+	WarmupSimSeconds   float64
+	TupleSizeKB        float64
+}
+
+// DefaultX17Params returns the full-scale configuration: 16400 overlay
+// nodes, 100k queries through 16 shards, heartbeats on.
+func DefaultX17Params() X17Params {
+	return X17Params{
+		Seed:               29,
+		TransitDomains:     4,
+		TransitNodes:       4,
+		StubsPerTransit:    64,
+		StubNodes:          16,
+		Streams:            64,
+		Queries:            100_000,
+		Shards:             16,
+		EngineCircuits:     512,
+		HeartbeatEvery:     500 * time.Millisecond,
+		TickerInterval:     200 * time.Millisecond,
+		TickerSamples:      4,
+		TickerWarmRounds:   40,
+		Rounds:             3,
+		DriftFraction:      0.02,
+		Budget:             32,
+		IntervalSimSeconds: 1,
+		WarmupSimSeconds:   2,
+		TupleSizeKB:        4,
+	}
+}
+
+// X17 is the 100k-overlay-scale scenario this PR's two kernels exist
+// for: a ≥16k-node transit-stub overlay whose latencies are answered
+// from the factored sparse decomposition (the dense matrix would be
+// ~2 GB), whose Vivaldi coordinates are maintained by a background
+// gossip Ticker on the virtual clock (never a batch embedding), and
+// whose ≥100k-query population is optimized through the sharded batch
+// path. A subset of circuits then executes on the data plane with
+// full-population heartbeats — hundreds of thousands of pending timer
+// events, the load the hierarchical timer wheel makes O(1) — while
+// load drifts and the adaptation layer migrates services against
+// periodically synced coordinates.
+//
+// Reported per round: coordinates synced, mean coordinate staleness
+// at sync (how far the ticker's embedding had drifted from the
+// optimizer's view, the cost of periodic rather than continuous
+// sync), migrations planned/executed, and migration oscillations
+// (A→B→A returns — the thrash metric periodic sync risks). The same
+// numbers are recorded on the overlay metrics registry as
+// coord.syncs / coord.staleness_ms / adapt.oscillations.
+func X17(p X17Params) (*Table, error) {
+	if p.TransitDomains <= 0 {
+		p.TransitDomains = 4
+	}
+	if p.TransitNodes <= 0 {
+		p.TransitNodes = 4
+	}
+	if p.StubsPerTransit <= 0 {
+		p.StubsPerTransit = 64
+	}
+	if p.StubNodes <= 0 {
+		p.StubNodes = 16
+	}
+	if p.Streams <= 0 {
+		p.Streams = 64
+	}
+	if p.Queries <= 0 {
+		p.Queries = 100_000
+	}
+	if p.Shards <= 0 {
+		p.Shards = 16
+	}
+	if p.EngineCircuits <= 0 {
+		p.EngineCircuits = 512
+	}
+	if p.TickerInterval <= 0 {
+		p.TickerInterval = 200 * time.Millisecond
+	}
+	if p.TickerSamples <= 0 {
+		p.TickerSamples = 4
+	}
+	if p.TickerWarmRounds <= 0 {
+		p.TickerWarmRounds = 40
+	}
+	if p.Rounds <= 0 {
+		p.Rounds = 3
+	}
+	if p.DriftFraction <= 0 {
+		p.DriftFraction = 0.02
+	}
+	if p.Budget <= 0 {
+		p.Budget = 32
+	}
+	if p.IntervalSimSeconds <= 0 {
+		p.IntervalSimSeconds = 1
+	}
+	if p.WarmupSimSeconds <= 0 {
+		p.WarmupSimSeconds = 2
+	}
+	if p.TupleSizeKB <= 0 {
+		p.TupleSizeKB = 4
+	}
+	wallStart := time.Now()
+
+	topoCfg := topology.DefaultConfig()
+	topoCfg.TransitDomains = p.TransitDomains
+	topoCfg.TransitNodes = p.TransitNodes
+	topoCfg.StubsPerTransit = p.StubsPerTransit
+	topoCfg.StubNodes = p.StubNodes
+	topo, err := topology.Generate(topoCfg, rand.New(rand.NewSource(p.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	// Sparse latency is mandatory at this scale: O(1) lookups, no O(n²)
+	// matrix — and overlay.NewNetwork skips the dense force because of it.
+	if err := topo.EnableSparseLatency(); err != nil {
+		return nil, err
+	}
+	n := topo.NumNodes()
+
+	rng := rand.New(rand.NewSource(p.Seed * 3))
+	sCfg := workload.DefaultStreamConfig()
+	sCfg.NumStreams = p.Streams
+	stats, err := workload.GenerateStats(topo, sCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	qCfg := workload.DefaultQueryConfig()
+	qCfg.NumQueries = p.Queries
+	qCfg.StreamsPerQuery = [2]int{1, 2}
+	qCfg.AggregateProb = 0
+	qs, err := workload.GenerateQueries(topo, stats, qCfg, rng, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Everything below runs on one virtual clock: Vivaldi gossip rounds,
+	// tuple deliveries, heartbeats, migration phases.
+	clk := simtime.NewVirtual()
+	defer clk.Drive()()
+
+	// Background coordinate maintenance: a deployed overlay measures a
+	// few peers per round, it never batch-embeds a latency matrix.
+	ticker, err := vivaldi.NewTicker(n, func(i, j int) float64 {
+		return topo.Latency(topology.NodeID(i), topology.NodeID(j))
+	}, vivaldi.DefaultConfig(), p.TickerSamples, p.TickerInterval, clk, rand.New(rand.NewSource(p.Seed*5)))
+	if err != nil {
+		return nil, err
+	}
+	ticker.Start()
+	defer ticker.Stop()
+	clk.Sleep(time.Duration(p.TickerWarmRounds) * p.TickerInterval)
+
+	envCfg := optimizer.DefaultEnvConfig(p.Seed)
+	envCfg.UseDHT = false // oracle mapping: building a 16k-peer ring adds nothing here
+	env, err := optimizer.NewEnvFromCoords(topo, stats, envCfg, ticker.Embedding().Coords)
+	if err != nil {
+		return nil, err
+	}
+
+	// The sharded batch: the scenario's optimization throughput claim.
+	optStart := time.Now()
+	results, shardStats, err := optimizer.OptimizeBatchSharded(env, qs, optimizer.ShardedBatchOptions{Shards: p.Shards})
+	if err != nil {
+		return nil, err
+	}
+	optWall := time.Since(optStart)
+	homeRouted := 0
+	for _, c := range shardStats.Routed {
+		homeRouted += c
+	}
+
+	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: clk})
+	net.Start()
+	defer net.Stop()
+	ecfg := stream.DefaultEngineConfig()
+	ecfg.Seed = p.Seed
+	ecfg.TupleSizeKB = p.TupleSizeKB
+	ecfg.Keyspace = 250
+	engine := stream.NewEngine(net, topo, ecfg)
+	defer engine.Close()
+
+	dep := optimizer.NewDeployment(env, nil)
+	truth := optimizer.TrueLatency{Topo: topo}
+	nRun := p.EngineCircuits
+	if nRun > len(results) {
+		nRun = len(results)
+	}
+	runs := make([]*stream.Running, 0, nRun)
+	for i := 0; i < nRun; i++ {
+		c := results[i].Circuit
+		if err := dep.Deploy(c); err != nil {
+			return nil, err
+		}
+		run, err := engine.Deploy(c)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	var hb *overlay.Heartbeats
+	if p.HeartbeatEvery > 0 {
+		hb = net.StartHeartbeats(p.HeartbeatEvery, 0.05)
+	}
+	clk.Sleep(time.Duration(p.WarmupSimSeconds * float64(time.Second)))
+	pendingPeak := clk.PendingEvents()
+
+	co := &adapt.Coordinator{
+		Dep:       dep,
+		Engine:    engine,
+		Clock:     clk,
+		Mapper:    placement.OracleMapper{Source: env},
+		Model:     truth,
+		Threshold: 0.01,
+	}
+	driftRng := rand.New(rand.NewSource(p.Seed * 11))
+	churn := workload.Churn{LoadFraction: p.DriftFraction, LoadMax: 0.9}
+
+	staleSeries := net.Metrics.Series("coord.staleness_ms")
+	syncCounter := net.Metrics.Counter("coord.syncs")
+	movedCounter := net.Metrics.Counter("coord.synced_nodes")
+	oscCounter := net.Metrics.Counter("adapt.oscillations")
+
+	t := NewTable("X17 — 16k-node overlay: sharded optimization, ticker coordinates, timer-wheel event kernel",
+		"round", "synced", "staleness ms", "planned", "migrated", "oscillations", "usage before", "usage after", "pending events")
+	// lastFrom remembers where each (query, service) sat before its
+	// latest migration; a move back onto that node is an oscillation.
+	lastFrom := make(map[string]topology.NodeID)
+	totalOsc, totalMigrations := 0, 0
+	for round := 1; round <= p.Rounds; round++ {
+		workload.ApplyChurn(topo, env, churn, driftRng)
+
+		// Periodic coordinate sync from the ticker: measure how stale the
+		// optimizer's view had become (mean displacement in coordinate
+		// space, ms by construction) before adopting the fresh embedding.
+		fresh := ticker.Embedding().Coords
+		var displacement float64
+		for i, c := range fresh {
+			displacement += env.Coord(topology.NodeID(i)).Distance(c)
+		}
+		staleness := displacement / float64(n)
+		synced, err := env.SetCoordinates(fresh)
+		if err != nil {
+			return nil, err
+		}
+		syncCounter.Inc()
+		movedCounter.Add(float64(synced))
+		staleSeries.Record(float64(clk.Now().UnixNano())/1e6, staleness)
+
+		before := dep.TotalUsage(truth)
+		plan, err := co.Plan()
+		if err != nil {
+			return nil, err
+		}
+		moves := plan.Moves[:0:0]
+		for _, m := range plan.Moves {
+			if m.UsageGain > 1e-9 {
+				moves = append(moves, m)
+			}
+		}
+		sort.SliceStable(moves, func(i, j int) bool { return moves[i].UsageGain > moves[j].UsageGain })
+		if len(moves) > p.Budget {
+			moves = moves[:p.Budget]
+		}
+		osc := 0
+		for _, m := range moves {
+			key := fmt.Sprintf("%d/%d", m.Query, m.Service)
+			if prev, ok := lastFrom[key]; ok && prev == m.To {
+				osc++
+			}
+			lastFrom[key] = m.From
+		}
+		totalOsc += osc
+		oscCounter.Add(float64(osc))
+
+		st, err := co.Execute(optimizer.MigrationPlan{Moves: moves, ServicesEvaluated: plan.ServicesEvaluated}, nil)
+		if err != nil {
+			return nil, err
+		}
+		totalMigrations += st.Migrated
+		clk.Sleep(time.Duration(p.IntervalSimSeconds * float64(time.Second)))
+		if pe := clk.PendingEvents(); pe > pendingPeak {
+			pendingPeak = pe
+		}
+		after := dep.TotalUsage(truth)
+		t.AddRow(round, synced, staleness, st.Planned, st.Migrated, osc, before, after, clk.PendingEvents())
+	}
+
+	// Quiesce and close the loss accounting.
+	for _, run := range runs {
+		run.HaltProducers()
+	}
+	clk.Sleep(time.Second)
+	if hb != nil {
+		hb.Stop()
+	}
+	var produced, delivered int
+	for _, run := range runs {
+		produced += run.TuplesProduced()
+		delivered += run.Measure().TuplesOut
+	}
+	beats := net.Metrics.Counter("hb.recv").Value()
+	unrouted := int(net.Metrics.Counter("msgs.unrouted").Value())
+	wall := time.Since(wallStart)
+
+	t.AddNote("%d nodes (%d stub domains, sparse latency — no dense matrix), %d streams, %d queries optimized",
+		n, topo.NumStubDomains(), p.Streams, len(results))
+	t.AddNote("sharded batch: %d shards, %d home-routed (%.1f%%), %d fallback; %.0f queries/s on this host (%v; pools are independent — throughput scales with cores up to the shard count)",
+		shardStats.Shards, homeRouted, 100*float64(homeRouted)/float64(len(qs)), shardStats.Fallback,
+		float64(len(qs))/optWall.Seconds(), optWall.Round(time.Millisecond))
+	t.AddNote("ticker coordinates: %d gossip rounds total, embedding median rel err %.3f; %d periodic syncs, %d oscillations out of %d migrations",
+		ticker.Rounds(), env.EmbeddingQuality.MedianRelErr, p.Rounds, totalOsc, totalMigrations)
+	t.AddNote("event kernel: peak %d pending events; %d circuits executing, %.0f heartbeats delivered; produced %d tuples, delivered %d, unrouted %d",
+		pendingPeak, len(runs), beats, produced, delivered, unrouted)
+	t.AddNote("wall %v end to end under virtual time", wall.Round(time.Millisecond))
+	return t, nil
+}

@@ -70,6 +70,29 @@ func DefaultEnvConfig(seed int64) EnvConfig {
 	}
 }
 
+// withDefaults fills zero-valued fields with the documented defaults.
+func (c EnvConfig) withDefaults() EnvConfig {
+	if c.VivaldiRounds <= 0 {
+		c.VivaldiRounds = 40
+	}
+	if c.VivaldiSamples <= 0 {
+		c.VivaldiSamples = 4
+	}
+	if c.LoadScale <= 0 {
+		c.LoadScale = 100
+	}
+	if c.LoadPerRate <= 0 {
+		c.LoadPerRate = 1.0 / 2000
+	}
+	if c.MaxBackgroundLoad < 0 || c.MaxBackgroundLoad >= 1 {
+		c.MaxBackgroundLoad = 0.4
+	}
+	if c.HilbertBits == 0 {
+		c.HilbertBits = 16
+	}
+	return c
+}
+
 // Snapshot is the read-only cost-space and topology state that a single
 // optimization reads: the topology, the statistics catalog, every node's
 // vector coordinate, raw load, and combined cost-space point, and the
@@ -149,24 +172,7 @@ func NewEnv(topo *topology.Topology, stats *query.Catalog, cfg EnvConfig) (*Env,
 	if topo == nil || topo.NumNodes() < 2 {
 		return nil, fmt.Errorf("optimizer: need a topology with >= 2 nodes")
 	}
-	if cfg.VivaldiRounds <= 0 {
-		cfg.VivaldiRounds = 40
-	}
-	if cfg.VivaldiSamples <= 0 {
-		cfg.VivaldiSamples = 4
-	}
-	if cfg.LoadScale <= 0 {
-		cfg.LoadScale = 100
-	}
-	if cfg.LoadPerRate <= 0 {
-		cfg.LoadPerRate = 1.0 / 2000
-	}
-	if cfg.MaxBackgroundLoad < 0 || cfg.MaxBackgroundLoad >= 1 {
-		cfg.MaxBackgroundLoad = 0.4
-	}
-	if cfg.HilbertBits == 0 {
-		cfg.HilbertBits = 16
-	}
+	cfg = cfg.withDefaults()
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	space := costspace.NewLatencyLoadSpace(cfg.LoadScale)
@@ -194,6 +200,63 @@ func NewEnv(topo *topology.Topology, stats *query.Catalog, cfg EnvConfig) (*Env,
 		dirty: make(map[topology.NodeID]dirtyRec),
 	}
 	e.EmbeddingQuality = emb.Evaluate(func(i, j int) float64 { return m[i][j] }, 2000, rng)
+	for i := 0; i < n; i++ {
+		e.base[i] = rng.Float64() * cfg.MaxBackgroundLoad
+		e.load[i] = e.base[i]
+		e.pts[i] = space.NewPoint(e.vec[i], []float64{e.load[i]})
+	}
+
+	if cfg.UseDHT {
+		if err := e.buildDHT(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// NewEnvFromCoords builds an environment from externally maintained
+// Vivaldi coordinates (a vivaldi.Ticker's Embedding, the way a deployed
+// overlay continuously refreshes coordinates) instead of batch-embedding
+// the dense latency matrix. Nothing on this path touches
+// Topology.LatencyMatrix: with the topology's sparse latency mode
+// enabled, the O(n²) matrix is never materialized, which is what makes
+// 16k+-node environments feasible. Embedding quality is evaluated
+// against 2000 sampled true-latency pairs, as in NewEnv.
+func NewEnvFromCoords(topo *topology.Topology, stats *query.Catalog, cfg EnvConfig, coords []vivaldi.Coord) (*Env, error) {
+	if topo == nil || topo.NumNodes() < 2 {
+		return nil, fmt.Errorf("optimizer: need a topology with >= 2 nodes")
+	}
+	if len(coords) != topo.NumNodes() {
+		return nil, fmt.Errorf("optimizer: %d coords for %d nodes", len(coords), topo.NumNodes())
+	}
+	cfg = cfg.withDefaults()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	space := costspace.NewLatencyLoadSpace(cfg.LoadScale)
+
+	n := topo.NumNodes()
+	e := &Env{
+		Snapshot: &Snapshot{
+			Topo:  topo,
+			Stats: stats,
+			space: space,
+			// The outer slice is copied so later SetCoordinates syncs
+			// never alias the caller's snapshot; the Coord vectors are
+			// fresh per Embedding() call and safe to share.
+			vec:     append([]vivaldi.Coord(nil), coords...),
+			load:    make([]float64, n),
+			pts:     make([]costspace.Point, n),
+			nodeIDs: makeNodeIDs(n),
+			cfg:     cfg,
+		},
+		base:  make([]float64, n),
+		rng:   rng,
+		dirty: make(map[topology.NodeID]dirtyRec),
+	}
+	emb := &vivaldi.Embedding{Coords: e.vec}
+	e.EmbeddingQuality = emb.Evaluate(func(i, j int) float64 {
+		return topo.Latency(topology.NodeID(i), topology.NodeID(j))
+	}, 2000, rng)
 	for i := 0; i < n; i++ {
 		e.base[i] = rng.Float64() * cfg.MaxBackgroundLoad
 		e.load[i] = e.base[i]
@@ -369,6 +432,10 @@ func (s *Snapshot) patchIndex(n topology.NodeID) {
 
 // Point implements placement.NodeSource.
 func (s *Snapshot) Point(n topology.NodeID) costspace.Point { return s.pts[n] }
+
+// Coord returns the node's current Vivaldi coordinate. The caller must
+// not mutate it.
+func (s *Snapshot) Coord(n topology.NodeID) vivaldi.Coord { return s.vec[n] }
 
 // VecCoord returns the node's vector (latency) coordinate.
 func (s *Snapshot) VecCoord(n topology.NodeID) vivaldi.Coord { return s.vec[n] }
@@ -563,6 +630,53 @@ func (e *Env) ReembedCoordinates() error {
 		e.refreshPoint(topology.NodeID(i), false)
 	}
 	return nil
+}
+
+// SetCoordinates refreshes node coordinates in bulk from an external
+// embedding maintainer (vivaldi.Ticker), the periodic coordinate sync of
+// a continuously running overlay. Only nodes whose coordinate actually
+// moved are refreshed and delta-logged, so a near-converged ticker sync
+// costs O(moved); when most of the overlay moved the cached k-NN index
+// is dropped up front instead of churning its patch budget. Returns the
+// number of nodes whose coordinate changed.
+func (e *Env) SetCoordinates(coords []vivaldi.Coord) (int, error) {
+	e.mutable("SetCoordinates")
+	if len(coords) != len(e.vec) {
+		return 0, fmt.Errorf("optimizer: %d coords for %d nodes", len(coords), len(e.vec))
+	}
+	changed := make([]topology.NodeID, 0, 16)
+	for i := range coords {
+		if !coordEqual(e.vec[i], coords[i]) {
+			changed = append(changed, topology.NodeID(i))
+		}
+	}
+	if len(changed) == 0 {
+		return 0, nil
+	}
+	e.epoch++
+	if len(changed)*4 >= len(e.vec) {
+		e.idx.Store(nil)
+		if e.catalog != nil {
+			e.catalog.InvalidateExactIndex()
+		}
+	}
+	for _, n := range changed {
+		e.vec[n] = coords[n]
+		e.refreshPoint(n, false)
+	}
+	return len(changed), nil
+}
+
+func coordEqual(a, b vivaldi.Coord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // LatencyModel estimates pairwise latency between overlay nodes. The

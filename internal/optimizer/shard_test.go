@@ -1,0 +1,130 @@
+package optimizer
+
+import (
+	"testing"
+
+	"github.com/hourglass/sbon/internal/query"
+)
+
+// TestOptimizeBatchShardedMatchesGlobal is the shard-vs-global
+// equivalence guarantee: every query — region-local or fallback — must
+// produce the bit-identical placement and estimated usage it gets from
+// the single-pool OptimizeBatch, because every shard's snapshot is a
+// full freeze of the same environment. Runs with and without a DHT
+// catalog, with and without caches.
+func TestOptimizeBatchShardedMatchesGlobal(t *testing.T) {
+	for _, useDHT := range []bool{true, false} {
+		for _, noCache := range []bool{false, true} {
+			env, _ := testSetup(t, 7, useDHT)
+			qs := batchQueries(env, 60)
+
+			want, err := OptimizeBatch(env, qs, BatchOptions{NoCache: true})
+			if err != nil {
+				t.Fatalf("OptimizeBatch: %v", err)
+			}
+			got, stats, err := OptimizeBatchSharded(env, qs, ShardedBatchOptions{
+				Shards: 4, NoCache: noCache,
+			})
+			if err != nil {
+				t.Fatalf("OptimizeBatchSharded: %v", err)
+			}
+			if stats.Shards != 4 {
+				t.Fatalf("stats.Shards = %d, want 4", stats.Shards)
+			}
+			routed := stats.Fallback
+			for _, n := range stats.Routed {
+				routed += n
+			}
+			if routed != len(qs) {
+				t.Fatalf("routing accounted for %d of %d queries (stats %+v)", routed, len(qs), stats)
+			}
+			for i := range qs {
+				circuitsEqual(t, i, &got[i], &want[i])
+			}
+		}
+	}
+}
+
+// TestOptimizeBatchShardedDeterministic re-runs the same sharded batch
+// (fresh caches each time) and demands identical results and routing —
+// the shard-merge determinism property, exercised under -race in CI
+// since the pools run concurrently.
+func TestOptimizeBatchShardedDeterministic(t *testing.T) {
+	env, _ := testSetup(t, 11, true)
+	qs := batchQueries(env, 80)
+
+	r1, s1, err := OptimizeBatchSharded(env, qs, ShardedBatchOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := OptimizeBatchSharded(env, qs, ShardedBatchOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Fallback != s2.Fallback {
+		t.Fatalf("fallback count differs: %d vs %d", s1.Fallback, s2.Fallback)
+	}
+	for r := range s1.Routed {
+		if s1.Routed[r] != s2.Routed[r] {
+			t.Fatalf("shard %d routed %d vs %d", r, s1.Routed[r], s2.Routed[r])
+		}
+	}
+	for i := range qs {
+		circuitsEqual(t, i, &r2[i], &r1[i])
+	}
+}
+
+// TestShardedPlanCachePersists checks that a carried ShardedPlanCache
+// turns the second identical batch into cache hits, per shard.
+func TestShardedPlanCachePersists(t *testing.T) {
+	env, _ := testSetup(t, 7, true)
+	qs := batchQueries(env, 40)
+	caches := NewShardedPlanCache(4)
+
+	first, _, err := OptimizeBatchSharded(env, qs, ShardedBatchOptions{Shards: 4, Caches: caches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := OptimizeBatchSharded(env, qs, ShardedBatchOptions{Shards: 4, Caches: caches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := range qs {
+		circuitsEqual(t, i, &second[i], &first[i])
+		if second[i].FromCache {
+			hits++
+		}
+	}
+	if hits != len(qs) {
+		t.Fatalf("second batch hit cache on %d/%d queries", hits, len(qs))
+	}
+}
+
+// TestShardRoundingAndRouting pins the power-of-two rounding and the
+// fallback path for queries whose footprint spans regions.
+func TestShardRoundingAndRouting(t *testing.T) {
+	if got := RoundShards(0); got != 8 {
+		t.Fatalf("RoundShards(0) = %d, want 8", got)
+	}
+	if got := RoundShards(13); got != 8 {
+		t.Fatalf("RoundShards(13) = %d, want 8", got)
+	}
+	if got := RoundShards(16); got != 16 {
+		t.Fatalf("RoundShards(16) = %d, want 16", got)
+	}
+
+	env, _ := testSetup(t, 7, false)
+	// A query over every stream almost certainly spans regions with many
+	// shards; assert routing still answers it correctly via fallback.
+	qs := []query.Query{{ID: 1, Consumer: env.Topo.StubNodeIDs()[0], Streams: env.Stats.Streams()}}
+	want, err := OptimizeBatch(env, qs, BatchOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := OptimizeBatchSharded(env, qs, ShardedBatchOptions{Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuitsEqual(t, 0, &got[0], &want[0])
+}

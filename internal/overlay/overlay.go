@@ -127,8 +127,11 @@ func NewNetwork(topo *topology.Topology, cfg Config) *Network {
 		cfg.Clock = simtime.Real()
 	}
 	// Force the all-pairs latency cache now: Topology computes it lazily
-	// and concurrent Sends must only read it.
-	topo.LatencyMatrix()
+	// and concurrent Sends must only read it. In sparse mode lookups are
+	// already O(1) pure reads and the dense matrix would be O(n²) memory.
+	if !topo.SparseEnabled() {
+		topo.LatencyMatrix()
+	}
 	n := &Network{
 		topo:    topo,
 		cfg:     cfg,

@@ -1,0 +1,109 @@
+package simtime
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback on the virtual timeline.
+type event struct {
+	at  time.Duration // virtual offset from the epoch
+	seq uint64        // schedule order; breaks ties at equal timestamps
+	fn  func()
+
+	// idx is the event's position inside its current container (the
+	// reference heap, the wheel's ready heap, or a wheel bucket slice);
+	// -1 once fired or stopped. The queue implementations keep it
+	// current so removal is O(log n) / O(1) instead of a scan.
+	idx int
+
+	// level/slot locate a wheel-resident event: level == readyLevel
+	// means the event sits in the wheel's exact ready heap, otherwise
+	// buckets[level][slot]. The reference heapQueue ignores both.
+	level int8
+	slot  uint8
+}
+
+// eventQueue is the scheduler's priority-queue contract: push pending
+// events, pop the exact global (at, seq) minimum, remove a pending
+// event by handle. Two implementations exist — heapQueue, the original
+// binary heap kept as the semantics reference, and wheelQueue, the
+// hierarchical timer wheel used by default. The VirtualClock holds its
+// mutex around every call, so implementations need no locking of their
+// own.
+type eventQueue interface {
+	// push enqueues a pending event (at and seq already assigned).
+	push(ev *event)
+	// popMin removes and returns the event with the smallest (at, seq).
+	// Callers guarantee len() > 0.
+	popMin() *event
+	// remove cancels a pending event, reporting whether it was still
+	// queued (false if already fired or removed).
+	remove(ev *event) bool
+	// len returns the number of pending events.
+	len() int
+}
+
+// eventHeap orders events by (at, seq): earliest first, FIFO within one
+// virtual instant. It backs both the reference queue and the wheel's
+// ready set.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// heapQueue is the original binary-heap scheduler queue. It survives as
+// the reference implementation: the wheel's differential test replays
+// identical schedules against both and demands identical fire orders,
+// and NewVirtualReference exposes it for benchmarks.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) push(ev *event) { heap.Push(&q.h, ev) }
+
+func (q *heapQueue) popMin() *event { return heap.Pop(&q.h).(*event) }
+
+func (q *heapQueue) remove(ev *event) bool {
+	if ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&q.h, ev.idx)
+	ev.idx = -1
+	return true
+}
+
+func (q *heapQueue) len() int { return len(q.h) }
+
+// Thin container/heap wrappers used by the wheel's ready set.
+func readyPush(h *eventHeap, ev *event) { heap.Push(h, ev) }
+func readyPop(h *eventHeap) *event      { return heap.Pop(h).(*event) }
+func readyRemove(h *eventHeap, i int)   { heap.Remove(h, i) }

@@ -1,7 +1,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -12,58 +11,20 @@ import (
 // on when the process started.
 var virtualEpoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
 
-// event is one scheduled callback on the virtual timeline.
-type event struct {
-	at  time.Duration // virtual offset from the epoch
-	seq uint64        // schedule order; breaks ties at equal timestamps
-	fn  func()
-	idx int // position in the heap; -1 once fired or stopped
-}
-
-// eventHeap orders events by (at, seq): earliest first, FIFO within one
-// virtual instant.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
-}
-
 // VirtualClock is the deterministic discrete-event implementation of
 // Clock. See the package documentation for the actor contract.
 type VirtualClock struct {
 	mu   sync.Mutex
 	cond *sync.Cond // wakes the scheduler on any state change
 
-	now    time.Duration // virtual offset from virtualEpoch
-	seq    uint64
-	events eventHeap
+	now time.Duration // virtual offset from virtualEpoch
+	seq uint64
+
+	// q holds the pending events. The default is the hierarchical
+	// timer wheel (wheelQueue); NewVirtualReference selects the
+	// original binary heap, kept as the differential-test and
+	// benchmark reference.
+	q eventQueue
 
 	actors   int // registered goroutines
 	runnable int // registered goroutines not blocked in a clock wait
@@ -77,9 +38,23 @@ type VirtualClock struct {
 
 // NewVirtual creates a virtual clock at the epoch and starts its
 // scheduler goroutine. Call Stop when done with the clock to release
-// the scheduler.
+// the scheduler. The event queue is the hierarchical timer wheel
+// (wheel.go): O(1) amortized schedule/fire, exact (at, seq) order.
 func NewVirtual() *VirtualClock {
-	c := &VirtualClock{}
+	return newVirtualClock(newWheelQueue())
+}
+
+// NewVirtualReference creates a virtual clock backed by the original
+// binary-heap event queue. Fire order is defined to be identical to
+// NewVirtual's — the wheel is validated against this implementation by
+// a differential test — so it exists only as that reference and as the
+// baseline for scheduling benchmarks.
+func NewVirtualReference() *VirtualClock {
+	return newVirtualClock(&heapQueue{})
+}
+
+func newVirtualClock(q eventQueue) *VirtualClock {
+	c := &VirtualClock{q: q}
 	c.cond = sync.NewCond(&c.mu)
 	go c.run()
 	return c
@@ -91,14 +66,14 @@ func NewVirtual() *VirtualClock {
 func (c *VirtualClock) run() {
 	c.mu.Lock()
 	for {
-		for !c.stopped && !(c.actors > 0 && c.runnable == 0 && len(c.events) > 0) {
+		for !c.stopped && !(c.actors > 0 && c.runnable == 0 && c.q.len() > 0) {
 			c.cond.Wait()
 		}
 		if c.stopped {
 			c.mu.Unlock()
 			return
 		}
-		ev := heap.Pop(&c.events).(*event)
+		ev := c.q.popMin()
 		if ev.at > c.now {
 			c.now = ev.at
 		}
@@ -187,7 +162,7 @@ func (c *VirtualClock) scheduleLocked(d time.Duration, fn func()) *event {
 	}
 	ev := &event{at: c.now + d, seq: c.seq, fn: fn}
 	c.seq++
-	heap.Push(&c.events, ev)
+	c.q.push(ev)
 	c.cond.Broadcast()
 	return ev
 }
@@ -302,10 +277,7 @@ func (c *VirtualClock) SleepOrDone(d time.Duration, done <-chan struct{}) bool {
 			return !w.fired
 		}
 		w.woken = true
-		if w.ev.idx >= 0 {
-			heap.Remove(&c.events, w.ev.idx)
-			w.ev.idx = -1
-		}
+		c.q.remove(w.ev)
 		c.dropWaiterLocked(done, w)
 		c.runnable++
 		c.cond.Broadcast()
@@ -349,10 +321,7 @@ func (c *VirtualClock) Signal(ch chan struct{}) {
 			continue
 		}
 		w.woken = true
-		if w.ev.idx >= 0 {
-			heap.Remove(&c.events, w.ev.idx)
-			w.ev.idx = -1
-		}
+		c.q.remove(w.ev)
 		c.runnable++
 		claimed = append(claimed, w)
 	}
@@ -390,12 +359,7 @@ type virtualTimer struct {
 func (t *virtualTimer) Stop() bool {
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
-	if t.ev.idx < 0 {
-		return false
-	}
-	heap.Remove(&t.c.events, t.ev.idx)
-	t.ev.idx = -1
-	return true
+	return t.c.q.remove(t.ev)
 }
 
 // PendingEvents returns the number of scheduled, unfired events —
@@ -403,5 +367,5 @@ func (t *virtualTimer) Stop() bool {
 func (c *VirtualClock) PendingEvents() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.events)
+	return c.q.len()
 }

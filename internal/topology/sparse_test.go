@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSparseMatchesDense checks the factored transit-stub decomposition
+// against the dense all-pairs matrix over every node pair. The two compute
+// identical path sums in different float orders, so compare to 1e-9
+// relative.
+func TestSparseMatchesDense(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		top := MustGenerate(DefaultConfig(), rand.New(rand.NewSource(seed)))
+		dense := top.LatencyMatrix()
+		if err := top.EnableSparseLatency(); err != nil {
+			t.Fatalf("seed %d: EnableSparseLatency: %v", seed, err)
+		}
+		n := top.NumNodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				got := top.Latency(NodeID(a), NodeID(b))
+				want := dense[a][b]
+				if diff := math.Abs(got - want); diff > 1e-9*(1+want) {
+					t.Fatalf("seed %d: sparse Latency(%d,%d) = %v, dense = %v", seed, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseSurvivesPerturbation: PerturbLatencies rebuilds the
+// decomposition, and it must stay exact against a fresh dense solve.
+func TestSparseSurvivesPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	top := MustGenerate(DefaultConfig(), rng)
+	if err := top.EnableSparseLatency(); err != nil {
+		t.Fatalf("EnableSparseLatency: %v", err)
+	}
+	top.PerturbLatencies(rng, 0.3)
+	if !top.SparseEnabled() {
+		t.Fatal("sparse mode lost after PerturbLatencies")
+	}
+
+	// Reference dense solve over an identical topology (same seeds).
+	rng2 := rand.New(rand.NewSource(5))
+	ref := MustGenerate(DefaultConfig(), rng2)
+	ref.PerturbLatencies(rng2, 0.3)
+	dense := ref.LatencyMatrix()
+
+	n := top.NumNodes()
+	for i := 0; i < 4000; i++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		got, want := top.Latency(a, b), dense[a][b]
+		if diff := math.Abs(got - want); diff > 1e-9*(1+want) {
+			t.Fatalf("after perturb: sparse Latency(%d,%d) = %v, dense = %v", a, b, got, want)
+		}
+	}
+}
+
+// TestSparseAvoidsDenseMatrix: enabling sparse mode and querying must not
+// materialize the O(n²) matrix — that is the whole point.
+func TestSparseAvoidsDenseMatrix(t *testing.T) {
+	top := MustGenerate(DefaultConfig(), rand.New(rand.NewSource(9)))
+	if err := top.EnableSparseLatency(); err != nil {
+		t.Fatalf("EnableSparseLatency: %v", err)
+	}
+	_ = top.Latency(0, NodeID(top.NumNodes()-1))
+	if top.latency != nil {
+		t.Fatal("sparse Latency populated the dense matrix")
+	}
+}
+
+// TestSparseLargeTopology exercises the X17-scale configuration (16k+
+// nodes) where the dense matrix (~2 GB) is intentionally never built.
+func TestSparseLargeTopology(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TransitDomains = 4
+	cfg.TransitNodes = 4
+	cfg.StubsPerTransit = 64
+	cfg.StubNodes = 16
+	top := MustGenerate(cfg, rand.New(rand.NewSource(3)))
+	if got := top.NumNodes(); got < 16000 {
+		t.Fatalf("expected >= 16000 nodes, got %d", got)
+	}
+	if err := top.EnableSparseLatency(); err != nil {
+		t.Fatalf("EnableSparseLatency: %v", err)
+	}
+	// Spot-check metric properties: symmetry, identity, triangle inequality.
+	rng := rand.New(rand.NewSource(4))
+	n := top.NumNodes()
+	for i := 0; i < 2000; i++ {
+		a, b, c := NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		ab, ba := top.Latency(a, b), top.Latency(b, a)
+		if ab != ba {
+			t.Fatalf("asymmetric: Latency(%d,%d)=%v, Latency(%d,%d)=%v", a, b, ab, b, a, ba)
+		}
+		if a == b && ab != 0 {
+			t.Fatalf("Latency(%d,%d) = %v, want 0", a, b, ab)
+		}
+		if ac := top.Latency(a, c); ac > ab+top.Latency(b, c)+1e-9 {
+			t.Fatalf("triangle violation: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)", a, c, ac, a, b, b, c)
+		}
+	}
+}

@@ -144,6 +144,10 @@ type Topology struct {
 	edges []Edge
 
 	latency [][]float64 // all-pairs shortest-path latency; nil until computed
+
+	// sparse, when non-nil, answers Latency from the factored transit-stub
+	// decomposition (see sparse.go) without materializing the dense matrix.
+	sparse *sparseLatency
 }
 
 type neighbor struct {
@@ -274,6 +278,7 @@ func (t *Topology) addEdge(a, b NodeID, lat float64) {
 	t.adj[b] = append(t.adj[b], neighbor{to: a, lat: lat})
 	t.edges = append(t.edges, Edge{A: a, B: b, Latency: lat})
 	t.latency = nil
+	t.sparse = nil
 }
 
 // NumNodes returns the number of nodes.
@@ -346,11 +351,16 @@ func (t *Topology) NumStubDomains() int {
 }
 
 // Latency returns the shortest-path latency in milliseconds between a and
-// b, computing and caching the all-pairs matrix on first use. The lazy
-// computation is not goroutine-safe: callers that share a Topology across
-// goroutines must force the cache once via LatencyMatrix before
-// concurrent reads.
+// b. In sparse mode (EnableSparseLatency) it answers from the factored
+// decomposition in O(1) without a dense matrix; otherwise it computes and
+// caches the all-pairs matrix on first use. The lazy dense computation is
+// not goroutine-safe: callers that share a Topology across goroutines must
+// either enable sparse mode or force the cache once via LatencyMatrix
+// before concurrent reads.
 func (t *Topology) Latency(a, b NodeID) float64 {
+	if t.sparse != nil {
+		return t.sparse.dist(a, b)
+	}
 	if t.latency == nil {
 		t.computeAPSP()
 	}
@@ -454,6 +464,15 @@ func (t *Topology) PerturbLatencies(rng *rand.Rand, amount float64) {
 		t.adj[e.B] = append(t.adj[e.B], neighbor{to: e.A, lat: e.Latency})
 	}
 	t.latency = nil
+	if t.sparse != nil {
+		// Perturbation changes edge weights, never the graph shape, so the
+		// decomposition stays valid and rebuilds cheaply in place.
+		s, err := t.buildSparse()
+		if err != nil {
+			panic(err) // unreachable: shape was validated at enable time
+		}
+		t.sparse = s
+	}
 }
 
 // distHeap is a binary min-heap over tentative distances. A hand-rolled

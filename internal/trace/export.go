@@ -58,6 +58,32 @@ func appendArgs(b []byte, args []Arg) []byte {
 	return b
 }
 
+// appendJSONLEvent appends one event in the JSONL object form shared by
+// WriteJSONL and the streaming sink (no trailing newline), so the two
+// paths produce byte-identical lines.
+func appendJSONLEvent(b []byte, ev Event) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, ev.Seq, 10)
+	b = append(b, `,"t_us":`...)
+	b = appendFloat(b, float64(ev.T.Nanoseconds())/1e3)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, ev.Cat)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, ev.Name)
+	b = append(b, `,"ph":`...)
+	b = appendJSONString(b, ev.Ph.String())
+	if ev.Span != 0 {
+		b = append(b, `,"span":`...)
+		b = strconv.AppendUint(b, ev.Span, 10)
+	}
+	if len(ev.Args) > 0 {
+		b = append(b, `,"args":{`...)
+		b = appendArgs(b, ev.Args)
+		b = append(b, '}')
+	}
+	return append(b, '}')
+}
+
 // WriteJSONL writes one JSON object per event, one per line:
 //
 //	{"seq":3,"t_us":1500,"cat":"adapt","name":"sweep","ph":"B","span":1,"args":{...}}
@@ -71,27 +97,8 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var b []byte
 	for _, ev := range t.Events() {
-		b = b[:0]
-		b = append(b, `{"seq":`...)
-		b = strconv.AppendUint(b, ev.Seq, 10)
-		b = append(b, `,"t_us":`...)
-		b = appendFloat(b, float64(ev.T.Nanoseconds())/1e3)
-		b = append(b, `,"cat":`...)
-		b = appendJSONString(b, ev.Cat)
-		b = append(b, `,"name":`...)
-		b = appendJSONString(b, ev.Name)
-		b = append(b, `,"ph":`...)
-		b = appendJSONString(b, ev.Ph.String())
-		if ev.Span != 0 {
-			b = append(b, `,"span":`...)
-			b = strconv.AppendUint(b, ev.Span, 10)
-		}
-		if len(ev.Args) > 0 {
-			b = append(b, `,"args":{`...)
-			b = appendArgs(b, ev.Args)
-			b = append(b, '}')
-		}
-		b = append(b, '}', '\n')
+		b = appendJSONLEvent(b[:0], ev)
+		b = append(b, '\n')
 		if _, err := bw.Write(b); err != nil {
 			return err
 		}

@@ -16,6 +16,8 @@
 package trace
 
 import (
+	"bufio"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -114,6 +116,13 @@ type Tracer struct {
 	seq    uint64
 	spanID uint64
 	events []Event
+
+	// sink, when set, receives each event as a JSONL line at emission
+	// time instead of the event being retained in events — constant
+	// memory regardless of run length (see StreamJSONL).
+	sink    *bufio.Writer
+	sinkBuf []byte
+	sinkErr error
 }
 
 // DefaultSampleEvery is the default tuple-hop sampling period.
@@ -237,6 +246,20 @@ func (t *Tracer) record(ev Event) {
 }
 
 func (t *Tracer) recordLocked(ev Event) {
+	if t.sink != nil {
+		// Streaming mode: serialize and write immediately, retain
+		// nothing. The buffer cap does not apply — bounded memory is
+		// exactly what the sink provides, so no event is ever dropped.
+		t.seq++
+		ev.Seq = t.seq
+		ev.T = t.clock.Since(t.start)
+		t.sinkBuf = appendJSONLEvent(t.sinkBuf[:0], ev)
+		t.sinkBuf = append(t.sinkBuf, '\n')
+		if _, err := t.sink.Write(t.sinkBuf); err != nil && t.sinkErr == nil {
+			t.sinkErr = err
+		}
+		return
+	}
 	if len(t.events) >= t.limit && ev.Ph != End {
 		// Span ends still record past the limit so open spans close in
 		// the export; everything else is counted and dropped.
@@ -247,6 +270,57 @@ func (t *Tracer) recordLocked(ev Event) {
 	ev.Seq = t.seq
 	ev.T = t.clock.Since(t.start)
 	t.events = append(t.events, ev)
+}
+
+// StreamJSONL switches the tracer into streaming mode: from this call
+// on, every recorded event is serialized as one JSONL line (the exact
+// bytes WriteJSONL would produce for it) and written to w at emission
+// time, and is NOT retained in the in-memory buffer — memory use stays
+// constant no matter how long the run is, which is what 100k-node
+// scenarios need. Writes are buffered; call Flush (or Reset) to push
+// the tail through. The event-buffer limit does not apply to streamed
+// events: nothing is ever dropped.
+//
+// Call before tracing starts. Events already buffered when the sink is
+// installed stay in the buffer (drain them with WriteJSONL first if a
+// single contiguous file is wanted); seq numbering continues across the
+// switch. No-op on a nil tracer.
+func (t *Tracer) StreamJSONL(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = bufio.NewWriter(w)
+	t.sinkErr = nil
+}
+
+// Flush pushes any buffered streamed bytes to the underlying writer and
+// returns the first error the sink has seen (write or flush). No-op
+// (nil) when not streaming or on a nil tracer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink == nil {
+		return nil
+	}
+	if err := t.sink.Flush(); err != nil && t.sinkErr == nil {
+		t.sinkErr = err
+	}
+	return t.sinkErr
+}
+
+// Streaming reports whether a StreamJSONL sink is installed.
+func (t *Tracer) Streaming() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sink != nil
 }
 
 // Len returns the number of recorded events.
@@ -309,4 +383,11 @@ func (t *Tracer) Reset() {
 	t.start = t.clock.Now()
 	t.sampleCtr.Store(0)
 	t.dropped.Store(0)
+	if t.sink != nil {
+		// Streaming continues across a reset; push what's pending so
+		// the pre-reset lines are on disk before the numbering restarts.
+		if err := t.sink.Flush(); err != nil && t.sinkErr == nil {
+			t.sinkErr = err
+		}
+	}
 }

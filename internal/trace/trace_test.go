@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/hourglass/sbon/internal/simtime"
 )
@@ -249,5 +250,133 @@ func TestResetClearsBuffer(t *testing.T) {
 	tr.Emit("c", "c")
 	if tr.Events()[0].Seq != 1 {
 		t.Fatal("seq did not restart after Reset")
+	}
+}
+
+// emitFixture drives an identical deterministic event sequence into tr:
+// the streaming-vs-buffered byte-equality test runs it twice.
+func emitFixture(tr *Tracer, clk *simtime.VirtualClock) {
+	stop := clk.Drive()
+	defer stop()
+	for i := 0; i < 200; i++ {
+		tr.Emit("engine", "tuple", Int("hop", i), Str("q", "π-\"quoted\"\n"))
+		sp := tr.Begin("adapt", "sweep", Num("thr", 1.05))
+		clk.Sleep(time.Millisecond)
+		sp.Emit("accept", Num("gain", float64(i)*0.125))
+		sp.End(Int("moves", i%3))
+	}
+}
+
+// A streamed trace must be byte-identical to a buffered WriteJSONL
+// export of the same run — that is the contract that lets callers flip
+// to constant-memory streaming without losing the same-seed
+// bit-identity guarantees.
+func TestStreamJSONLMatchesBuffered(t *testing.T) {
+	var streamed bytes.Buffer
+	{
+		clk := simtime.NewVirtual()
+		tr := New(clk)
+		tr.StreamJSONL(&streamed)
+		if !tr.Streaming() {
+			t.Fatal("Streaming() false after StreamJSONL")
+		}
+		emitFixture(tr, clk)
+		if tr.Len() != 0 {
+			t.Fatalf("streaming tracer retained %d events in memory", tr.Len())
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buffered bytes.Buffer
+	{
+		clk := simtime.NewVirtual()
+		tr := New(clk)
+		emitFixture(tr, clk)
+		if err := tr.WriteJSONL(&buffered); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buffered.Len() == 0 {
+		t.Fatal("fixture produced no events")
+	}
+	if !bytes.Equal(streamed.Bytes(), buffered.Bytes()) {
+		sl := strings.Split(streamed.String(), "\n")
+		bl := strings.Split(buffered.String(), "\n")
+		for i := 0; i < len(sl) && i < len(bl); i++ {
+			if sl[i] != bl[i] {
+				t.Fatalf("streamed and buffered JSONL diverge at line %d:\n stream: %s\n buffer: %s", i+1, sl[i], bl[i])
+			}
+		}
+		t.Fatalf("streamed and buffered JSONL differ in length: %d vs %d lines", len(sl), len(bl))
+	}
+}
+
+// Streaming must never drop events: the buffer cap exists to bound
+// memory, and a sink bounds memory by construction.
+func TestStreamJSONLIgnoresLimit(t *testing.T) {
+	var out bytes.Buffer
+	tr := New(simtime.NewVirtual())
+	tr.SetLimit(4)
+	tr.StreamJSONL(&out)
+	for i := 0; i < 100; i++ {
+		tr.Emit("cat", "ev", Int("i", i))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("streaming tracer dropped %d events", tr.Dropped())
+	}
+	if n := bytes.Count(out.Bytes(), []byte{'\n'}); n != 100 {
+		t.Fatalf("streamed %d lines, want 100", n)
+	}
+	// Every line must be valid JSON with monotonically increasing seq.
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	last := uint64(0)
+	for dec.More() {
+		var ev struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != last+1 {
+			t.Fatalf("seq %d follows %d", ev.Seq, last)
+		}
+		last = ev.Seq
+	}
+}
+
+// errWriter fails after n bytes to exercise sink error capture.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSinkFull
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errSinkFull
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errSinkFull = &sinkFullError{}
+
+type sinkFullError struct{}
+
+func (*sinkFullError) Error() string { return "sink full" }
+
+func TestStreamJSONLSurfacesWriteError(t *testing.T) {
+	tr := New(simtime.NewVirtual())
+	tr.StreamJSONL(&errWriter{n: 64})
+	for i := 0; i < 5000; i++ {
+		tr.Emit("cat", "ev", Int("i", i))
+	}
+	if err := tr.Flush(); err == nil {
+		t.Fatal("Flush returned nil after sink write failure")
 	}
 }

@@ -91,6 +91,10 @@ type (
 	Measurement = stream.Measurement
 	// BatchOptions configures OptimizeBatch.
 	BatchOptions = optimizer.BatchOptions
+	// ShardedBatchOptions configures OptimizeBatchSharded.
+	ShardedBatchOptions = optimizer.ShardedBatchOptions
+	// ShardStats reports how a sharded batch was routed.
+	ShardStats = optimizer.ShardStats
 	// PlanCache memoizes winning logical plans across optimizations.
 	PlanCache = optimizer.PlanCache
 	// MigrationPlan is a typed re-optimization sweep output: the service
@@ -168,9 +172,13 @@ type System struct {
 	engine    *stream.Engine
 	vclk      *simtime.VirtualClock
 	planCache *optimizer.PlanCache
-	hb        *overlay.Heartbeats
-	det       *failure.Detector
-	tracer    *trace.Tracer
+	// shardCaches is the persistent per-region cache set behind
+	// OptimizeBatchSharded, allocated on first use and re-allocated when
+	// the requested shard count changes.
+	shardCaches *optimizer.ShardedPlanCache
+	hb          *overlay.Heartbeats
+	det         *failure.Detector
+	tracer      *trace.Tracer
 
 	// adaptCo is the persistent adaptation coordinator: incremental
 	// sweeps carry a delta-log watermark across Adapt/AdaptContinuously
@@ -270,6 +278,24 @@ func (s *System) OptimizeBatch(queries []Query, opts BatchOptions) ([]Result, er
 		opts.Cache = s.planCache
 	}
 	return optimizer.OptimizeBatch(s.Env, queries, opts)
+}
+
+// OptimizeBatchSharded optimizes many queries over per-region shards:
+// the cost space is split into Hilbert-prefix regions, each with its own
+// frozen snapshot, plan cache, cost index, and worker pool; queries
+// whose footprint spans regions run on a global fallback pool. Results
+// are bit-identical to OptimizeBatch. Unless opts.Caches (or NoCache)
+// is set, the System keeps one persistent sharded cache set per shard
+// count, so repeated batches hit warm caches like OptimizeBatch does.
+func (s *System) OptimizeBatchSharded(queries []Query, opts ShardedBatchOptions) ([]Result, *ShardStats, error) {
+	if opts.Caches == nil && !opts.NoCache {
+		k := optimizer.RoundShards(opts.Shards)
+		if s.shardCaches == nil || s.shardCaches.Shards() != k {
+			s.shardCaches = optimizer.NewShardedPlanCache(k)
+		}
+		opts.Caches = s.shardCaches
+	}
+	return optimizer.OptimizeBatchSharded(s.Env, queries, opts)
 }
 
 // PlanCacheStats returns the cumulative hit/miss counts and current size

@@ -2,27 +2,28 @@
 # bench.sh — run the paper-artifact and batch benchmark suites and emit a
 # JSON snapshot for the bench trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_7.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_8.json)
 #
 # BENCH_0.json (pre-spatial-index), BENCH_1.json (pre-virtual-time),
 # BENCH_2.json (pre-live-migration), BENCH_3.json (pre-shared-
 # execution), BENCH_4.json (pre-incremental-replanning), BENCH_5.json
-# (pre-failure-repair), and BENCH_6.json (pre-observability) are
-# committed baselines; the default output BENCH_7.json — which adds the
-# tracer-overhead numbers (BenchmarkTraceEmit* micro-benchmarks plus
-# the traced X16 variant; compare BenchmarkOptimizeBatch1kNoCache and
-# BenchmarkX16_FailureRepair1024 against BENCH_6.json for the
-# disabled-tracer gate) — sits alongside them so the trajectory stays
-# in the repo. Bump the default for later milestones.
+# (pre-failure-repair), BENCH_6.json (pre-observability), and
+# BENCH_7.json (pre-sharding) are committed baselines; the default
+# output BENCH_8.json — which adds the sharded-batch numbers
+# (BenchmarkOptimizeBatchSharded*), the timer-wheel scheduling
+# micro-benchmarks (BenchmarkSchedule100kWheel vs ...Heap; the wheel
+# must stay ahead at 100k pending events), and the 16k-node X17
+# scenario — sits alongside them so the trajectory stays in the repo.
+# Bump the default for later milestones.
 #
 # Each end-to-end benchmark runs once (-benchtime 1x): the suites are
 # experiment regenerations, so a single iteration is already seconds of
 # work and the numbers are for trajectory tracking, not
-# microbenchmarking. The tracer micro-benchmarks run a fixed 1e6
-# iterations in a second pass so their ns/op is meaningful.
+# microbenchmarking. The tracer and scheduler micro-benchmarks run a
+# fixed iteration count in a second pass so their ns/op is meaningful.
 set -eu
 
-out=${1:-BENCH_7.json}
+out=${1:-BENCH_8.json}
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp)
@@ -32,6 +33,12 @@ go test -run '^$' -bench 'BenchmarkFig|BenchmarkX|BenchmarkIntegrated|BenchmarkT
   -benchtime 1x -timeout 30m . | tee "$tmp"
 
 go test -run '^$' -bench 'BenchmarkTraceEmit' -benchtime 1000000x -timeout 10m . | tee -a "$tmp"
+
+# Scheduler micro-benchmarks: each op schedules and drains 100k timers;
+# 20 iterations (2M events each side) keeps the wheel-vs-heap ordering
+# out of single-run noise. The pure queue-operation comparison lives in
+# internal/simtime (BenchmarkWheelQueue100kPending vs Heap...).
+go test -run '^$' -bench 'BenchmarkSchedule100k' -benchtime 20x -timeout 10m . | tee -a "$tmp"
 
 awk '
 BEGIN { print "[" ; first = 1 }
