@@ -9,6 +9,7 @@ import (
 	sbon "github.com/hourglass/sbon"
 	"github.com/hourglass/sbon/internal/exp"
 	"github.com/hourglass/sbon/internal/optimizer"
+	"github.com/hourglass/sbon/internal/overlay"
 	"github.com/hourglass/sbon/internal/placement"
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/topology"
@@ -525,6 +526,60 @@ func BenchmarkX17_Scale16k(b *testing.B) {
 	b.ReportMetric(colMean(b, last, 1), "synced/round")
 	b.ReportMetric(colMean(b, last, 2), "staleness-ms")
 }
+
+// benchShardedNetwork drives a ~100k-node overlay's full-population
+// heartbeat traffic (the X18 data-plane load, minus the optimizer) for
+// two simulated seconds per iteration on the given shard count. The
+// events/s metric is raw event-kernel throughput; comparing the 64-shard
+// variant against the single-queue twin on a multi-core host shows the
+// parallel windows' speedup — on one core they should be within noise.
+func benchShardedNetwork(b *testing.B, shards int) {
+	topoCfg := topology.DefaultConfig()
+	topoCfg.TransitDomains = 8
+	topoCfg.TransitNodes = 8
+	topoCfg.StubsPerTransit = 125
+	topoCfg.StubNodes = 100 // 64 + 8·125·100 = 100064 nodes
+	topo, err := topology.Generate(topoCfg, rand.New(rand.NewSource(18)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := topo.EnableSparseLatency(); err != nil {
+		b.Fatal(err)
+	}
+	n := topo.NumNodes()
+	beats := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clk := simtime.NewVirtual()
+		if shards > 1 {
+			// Modulo lanes: no locality, so this is the worst case for
+			// cross-shard traffic — the kernel number is conservative.
+			laneOf := make([]int32, n)
+			for j := range laneOf {
+				laneOf[j] = int32(j % shards)
+			}
+			clk.ShardLanes(laneOf, shards, time.Duration(topo.MinEdgeLatency()*float64(time.Millisecond)))
+		}
+		release := clk.Drive()
+		net := overlay.NewNetwork(topo, overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: clk})
+		net.Start()
+		hb := net.StartHeartbeats(500*time.Millisecond, 0.05)
+		b.StartTimer()
+		clk.Sleep(2 * time.Second)
+		b.StopTimer()
+		beats = net.Metrics.Counter("hb.recv").Value()
+		hb.Stop()
+		net.Stop()
+		release()
+		b.StartTimer()
+	}
+	b.ReportMetric(beats*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(beats, "beats/iter")
+}
+
+func BenchmarkShardedNetwork100k(b *testing.B)            { benchShardedNetwork(b, 64) }
+func BenchmarkShardedNetwork100kSingleQueue(b *testing.B) { benchShardedNetwork(b, 1) }
 
 // Tracer micro-benchmarks: the disabled (nil) path is the cost every
 // instrumented call site pays in production, so it must stay within

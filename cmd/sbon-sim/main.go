@@ -191,6 +191,7 @@ func main() {
 
 		execute     = flag.Bool("execute", false, "deploy the optimized circuits on the stream engine and measure the dataflow")
 		virtualTime = flag.Bool("virtual-time", false, "run the engine on the deterministic virtual clock (instant, reproducible)")
+		dataShards  = flag.Int("data-shards", 1, "execute the data plane on this many parallel event-queue shards, keyed to the optimizer's cost-space regions (requires -execute -virtual-time; results are bit-identical to 1)")
 		simSeconds  = flag.Float64("sim-seconds", 10, "simulated measurement window for -execute")
 		heartbeatMs = flag.Float64("heartbeat-ms", 500, "per-node heartbeat period in simulated ms for -execute (0 = off)")
 
@@ -315,9 +316,13 @@ func main() {
 		return
 	}
 
+	if *dataShards > 1 && (!*execute || !*virtualTime) {
+		fail(fmt.Errorf("-data-shards requires -execute -virtual-time: only the discrete-event data plane shards"))
+	}
+
 	var runReg *metrics.Registry
 	if *execute {
-		runReg = runDataPlane(topo, circuits, truth, *virtualTime, *simSeconds, *heartbeatMs, *seed, sink)
+		runReg = runDataPlane(topo, env, circuits, truth, *virtualTime, *simSeconds, *heartbeatMs, *seed, *dataShards, sink)
 	}
 
 	if *churnSteps > 0 {
@@ -343,8 +348,8 @@ func main() {
 // the executing dataflow against the analytic model. With virtual time
 // the whole window is a deterministic discrete-event run that finishes
 // in milliseconds regardless of the simulated duration.
-func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth optimizer.TrueLatency,
-	virtual bool, simSeconds, heartbeatMs float64, seed int64, sink *traceSink) *metrics.Registry {
+func runDataPlane(topo *topology.Topology, env *optimizer.Env, circuits []*optimizer.Circuit, truth optimizer.TrueLatency,
+	virtual bool, simSeconds, heartbeatMs float64, seed int64, dataShards int, sink *traceSink) *metrics.Registry {
 	netCfg := overlay.Config{TimeScale: 50 * time.Microsecond, InboxSize: 8192}
 	var clk simtime.Clock = simtime.Real()
 	if virtual {
@@ -352,6 +357,21 @@ func runDataPlane(topo *topology.Topology, circuits []*optimizer.Circuit, truth 
 		defer vclk.Drive()()
 		clk = vclk
 		netCfg = overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: vclk}
+		if dataShards > 1 {
+			k := optimizer.RoundShards(dataShards)
+			laneOf, err := optimizer.NodeRegions(env, k)
+			if err != nil {
+				fail(err)
+			}
+			lookahead := time.Duration(topo.MinEdgeLatency() * float64(netCfg.TimeScale))
+			if lookahead <= 0 {
+				fail(fmt.Errorf("topology has no positive edge latency — data-plane sharding needs a conservative lookahead"))
+			}
+			vclk.ShardLanes(laneOf, k, lookahead)
+			netCfg.DataShards = k
+			netCfg.ShardOf = laneOf
+			fmt.Printf("\ndata plane sharded across %d parallel event queues (lookahead %v)\n", k, lookahead)
+		}
 	}
 	tr := sink.attach(clk)
 	net := overlay.NewNetwork(topo, netCfg)

@@ -108,6 +108,21 @@ type Coordinator struct {
 	// the node. retryRepair marks that the last round left strands.
 	dead        map[topology.NodeID]bool
 	retryRepair bool
+
+	// roundSpan is the open "round" span while Run/RunWithRepair drives
+	// a sweep, so the migrate/settle/repair spans it triggers nest under
+	// it in the trace. Single-actor access only (the loop's own
+	// goroutine), no synchronization.
+	roundSpan trace.Span
+}
+
+// beginSpan opens a span nested under the current round (when one is
+// open) or at the root otherwise.
+func (co *Coordinator) beginSpan(cat, name string, args ...trace.Arg) trace.Span {
+	if co.roundSpan.Active() {
+		return co.roundSpan.Child(cat, name, args...)
+	}
+	return co.Tracer.Begin(cat, name, args...)
 }
 
 // SweepStats reports one adaptation round.
@@ -245,7 +260,9 @@ func (co *Coordinator) Run(interval time.Duration, stop <-chan struct{}) (RunSta
 			return rs, nil
 		}
 		sp := co.Tracer.Begin("adapt", "round", trace.Int("n", rs.Sweeps+1))
+		co.roundSpan = sp
 		st, err := co.SweepIncremental(stop)
+		co.roundSpan = trace.Span{}
 		if err != nil {
 			sp.End(trace.Str("error", err.Error()))
 			return rs, err
@@ -319,7 +336,7 @@ func (co *Coordinator) execute(plan optimizer.MigrationPlan, cancel <-chan struc
 		return stats, nil
 	}
 
-	sp := co.Tracer.Begin("adapt", "migrate", trace.Int("planned", len(moves)))
+	sp := co.beginSpan("adapt", "migrate", trace.Int("planned", len(moves)))
 	clk := co.clock()
 	start := clk.Now()
 	type inflight struct {
@@ -343,7 +360,7 @@ func (co *Coordinator) execute(plan optimizer.MigrationPlan, cancel <-chan struc
 		}
 		fl := inflight{ticket: ticket, gain: m.PredictedGain, usage: m.UsageGain}
 		if co.Engine != nil {
-			mig, err := co.Engine.Migrate(m.Query, m.Service, m.To)
+			mig, err := co.Engine.MigrateUnder(sp, m.Query, m.Service, m.To)
 			switch {
 			case err == nil:
 				fl.mig = mig
@@ -371,7 +388,7 @@ func (co *Coordinator) execute(plan optimizer.MigrationPlan, cancel <-chan struc
 	if !settleUntil.IsZero() {
 		wait := settleUntil.Sub(clk.Now()) + co.SettleMargin + time.Nanosecond
 		if wait > 0 {
-			ssp := co.Tracer.Begin("adapt", "settle", trace.Dur("wait_ms", wait))
+			ssp := sp.Child("adapt", "settle", trace.Dur("wait_ms", wait))
 			stats.Cancelled = clk.SleepOrDone(wait, cancel)
 			if stats.Cancelled {
 				ssp.End(trace.Str("outcome", "cancelled"))

@@ -116,7 +116,7 @@ func (co *Coordinator) Repair(dead []topology.NodeID, cancel <-chan struct{}) (R
 		return stats, nil
 	}
 	co.retryRepair = false
-	sp := co.Tracer.Begin("adapt", "repair", trace.Int("dead_now", stats.DeadNodes),
+	sp := co.beginSpan("adapt", "repair", trace.Int("dead_now", stats.DeadNodes),
 		trace.Int("dead_total", len(co.dead)))
 	defer func() {
 		sp.End(trace.Int("cancelled", stats.CancelledCircuits), trace.Int("repaired", stats.Repaired),

@@ -1,8 +1,13 @@
 package exp
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"sort"
+	"time"
 
+	"github.com/hourglass/sbon/internal/optimizer"
 	"github.com/hourglass/sbon/internal/topology"
 )
 
@@ -32,6 +37,53 @@ func topoConfig(s Scale) topology.Config {
 // genTopo builds the scaled topology deterministically from the seed.
 func genTopo(s Scale, seed int64) *topology.Topology {
 	return topology.MustGenerate(topoConfig(s), rand.New(rand.NewSource(seed)))
+}
+
+// dataPlaneShards derives the sharded-clock inputs for a scenario: the
+// optimizer's Hilbert-prefix regions as the lane map (so the traffic a
+// region-local placement generates stays shard-local) and the minimum
+// edge latency, scaled to the overlay TimeScale, as the conservative
+// lookahead. Returns the rounded shard count alongside.
+func dataPlaneShards(topo *topology.Topology, env *optimizer.Env, shards int, timeScale time.Duration) ([]int32, int, time.Duration, error) {
+	k := optimizer.RoundShards(shards)
+	laneOf, err := optimizer.NodeRegions(env, k)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	lookahead := time.Duration(topo.MinEdgeLatency() * float64(timeScale))
+	if lookahead <= 0 {
+		return nil, 0, 0, fmt.Errorf("exp: topology has no positive edge latency — no conservative lookahead exists")
+	}
+	return laneOf, k, lookahead, nil
+}
+
+// placementFingerprint hashes a deployment's final circuit table — every
+// (query, service index, host) triple in sorted order — so two runs can
+// be compared for placement-level bit-identity without dumping the
+// table.
+func placementFingerprint(dep *optimizer.Deployment) uint64 {
+	type row struct {
+		q    int
+		s    int
+		node int
+	}
+	var rows []row
+	for id, c := range dep.Circuits() {
+		for i, svc := range c.Services {
+			rows = append(rows, row{int(id), i, int(svc.Node)})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].q != rows[j].q {
+			return rows[i].q < rows[j].q
+		}
+		return rows[i].s < rows[j].s
+	})
+	h := fnv.New64a()
+	for _, r := range rows {
+		fmt.Fprintf(h, "%d/%d@%d;", r.q, r.s, r.node)
+	}
+	return h.Sum64()
 }
 
 // meanOf returns the arithmetic mean of xs (0 for empty).

@@ -419,8 +419,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("x15"); !ok {
 		t.Fatal("x15 missing")
 	}
-	if len(All()) != 21 {
-		t.Fatalf("All() = %d experiments, want 21", len(All()))
+	if len(All()) != 22 {
+		t.Fatalf("All() = %d experiments, want 22", len(All()))
 	}
 }
 

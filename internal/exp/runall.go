@@ -114,6 +114,18 @@ func All() []Experiment {
 			}
 			return X17(p)
 		}},
+		{"x18", func(s Scale) (*Table, error) {
+			p := DefaultX18Params()
+			if s == Small {
+				p.StubsPerTransit = 8
+				p.StubNodes = 8 // 4160 nodes
+				p.Streams = 32
+				p.Queries = 2000
+				p.EngineCircuits = 64
+				p.TickerWarmRounds = 10
+			}
+			return X18(p)
+		}},
 		{"x9", func(s Scale) (*Table, error) {
 			p := DefaultX9Params()
 			p.Scale = s

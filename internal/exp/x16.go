@@ -53,6 +53,11 @@ type X16Params struct {
 	// injections, detector verdicts, repair rounds, migrations, sampled
 	// tuple hops. Nil (the default) traces nothing.
 	Trace *trace.Tracer
+	// DataShards executes the data plane on that many parallel
+	// per-shard event queues (<= 1: the single-queue scheduler). Every
+	// artifact — table rows, trace bytes, final placements — is defined
+	// to be bit-identical across shard counts; only wall time changes.
+	DataShards int
 }
 
 // DefaultX16Params returns the full-scale 1024-node configuration.
@@ -159,7 +164,17 @@ func X16(p X16Params) (*Table, error) {
 	clk := simtime.NewVirtual()
 	defer clk.Drive()()
 	p.Trace.Rebase(clk)
-	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: clk})
+	netCfg := overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: clk}
+	if p.DataShards > 1 {
+		laneOf, k, lookahead, err := dataPlaneShards(topo, env, p.DataShards, netCfg.TimeScale)
+		if err != nil {
+			return nil, err
+		}
+		clk.ShardLanes(laneOf, k, lookahead)
+		netCfg.DataShards = k
+		netCfg.ShardOf = laneOf
+	}
+	net := overlay.NewNetwork(topo, netCfg)
 	net.SetTracer(p.Trace)
 	net.Start()
 	defer net.Stop()
@@ -406,6 +421,8 @@ func X16(p X16Params) (*Table, error) {
 		lost, lossPct, produced, faultDropped, downDropped, unrouted, bufferedLost, hbDropped, totalRep.StateLostKB)
 	t.AddNote("network usage %.0f KB·ms/s pre-crash vs %.0f post-repair (%.2fx); delivered %d tuples",
 		usageBefore, usageAfter, usageAfter/usageBefore, delivered)
+	t.AddNote("placement fingerprint %016x; data plane on %d event queue(s)",
+		placementFingerprint(dep), net.DataShards())
 	t.AddNote("wall %v for %.0f simulated seconds (warmup %.0f + repair loop %.0f + drain 3)",
 		time.Since(wallStart).Round(time.Millisecond), p.WarmupSimSeconds+p.RunSimSeconds+3,
 		p.WarmupSimSeconds, p.RunSimSeconds)

@@ -13,6 +13,7 @@ import (
 	"github.com/hourglass/sbon/internal/simtime"
 	"github.com/hourglass/sbon/internal/stream"
 	"github.com/hourglass/sbon/internal/topology"
+	"github.com/hourglass/sbon/internal/trace"
 	"github.com/hourglass/sbon/internal/vivaldi"
 	"github.com/hourglass/sbon/internal/workload"
 )
@@ -33,6 +34,11 @@ type X17Params struct {
 	Queries int
 	// Shards is the cost-space region count for OptimizeBatchSharded.
 	Shards int
+	// DataShards executes the data plane on that many parallel
+	// per-shard event queues keyed to the same Hilbert-prefix regions
+	// (<= 1: the single-queue scheduler). Bit-identical artifacts by
+	// construction; only wall time changes.
+	DataShards int
 	// EngineCircuits is how many optimized circuits additionally execute
 	// on the data plane (all of them would be redundant for the
 	// scheduling claim and slow; the engine subset plus full-population
@@ -60,6 +66,10 @@ type X17Params struct {
 	IntervalSimSeconds float64
 	WarmupSimSeconds   float64
 	TupleSizeKB        float64
+
+	// Trace, when set, records the run's structured events (sampled
+	// tuple hops, migration spans, heartbeat drops). Nil traces nothing.
+	Trace *trace.Tracer
 }
 
 // DefaultX17Params returns the full-scale configuration: 16400 overlay
@@ -74,6 +84,7 @@ func DefaultX17Params() X17Params {
 		Streams:            64,
 		Queries:            100_000,
 		Shards:             16,
+		DataShards:         16,
 		EngineCircuits:     512,
 		HeartbeatEvery:     500 * time.Millisecond,
 		TickerInterval:     200 * time.Millisecond,
@@ -229,13 +240,30 @@ func X17(p X17Params) (*Table, error) {
 		homeRouted += c
 	}
 
-	net := overlay.NewNetwork(topo, overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: clk})
+	// The data plane shards only now that the environment exists: the
+	// lane map is the same region assignment the batch above routed by,
+	// and the only events scheduled so far are the ticker's
+	// control-domain rounds, which ShardLanes leaves untouched.
+	netCfg := overlay.Config{TimeScale: time.Millisecond, InboxSize: 8192, Clock: clk}
+	if p.DataShards > 1 {
+		laneOf, k, lookahead, err := dataPlaneShards(topo, env, p.DataShards, netCfg.TimeScale)
+		if err != nil {
+			return nil, err
+		}
+		clk.ShardLanes(laneOf, k, lookahead)
+		netCfg.DataShards = k
+		netCfg.ShardOf = laneOf
+	}
+	p.Trace.Rebase(clk)
+	net := overlay.NewNetwork(topo, netCfg)
+	net.SetTracer(p.Trace)
 	net.Start()
 	defer net.Stop()
 	ecfg := stream.DefaultEngineConfig()
 	ecfg.Seed = p.Seed
 	ecfg.TupleSizeKB = p.TupleSizeKB
 	ecfg.Keyspace = 250
+	ecfg.Tracer = p.Trace
 	engine := stream.NewEngine(net, topo, ecfg)
 	defer engine.Close()
 
@@ -271,6 +299,7 @@ func X17(p X17Params) (*Table, error) {
 		Mapper:    placement.OracleMapper{Source: env},
 		Model:     truth,
 		Threshold: 0.01,
+		Tracer:    p.Trace,
 	}
 	driftRng := rand.New(rand.NewSource(p.Seed * 11))
 	churn := workload.Churn{LoadFraction: p.DriftFraction, LoadMax: 0.9}
@@ -371,6 +400,8 @@ func X17(p X17Params) (*Table, error) {
 		ticker.Rounds(), env.EmbeddingQuality.MedianRelErr, p.Rounds, totalOsc, totalMigrations)
 	t.AddNote("event kernel: peak %d pending events; %d circuits executing, %.0f heartbeats delivered; produced %d tuples, delivered %d, unrouted %d",
 		pendingPeak, len(runs), beats, produced, delivered, unrouted)
+	t.AddNote("placement fingerprint %016x; data plane on %d event queue(s)",
+		placementFingerprint(dep), net.DataShards())
 	t.AddNote("wall %v end to end under virtual time", wall.Round(time.Millisecond))
 	return t, nil
 }

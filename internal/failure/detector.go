@@ -153,10 +153,14 @@ func New(net *overlay.Network, cfg Config) *Detector {
 	for i := range d.lastHeard {
 		d.lastHeard[i] = now
 	}
-	net.ObserveHeartbeats(func(m overlay.Message) {
+	// The observer receives the delivery's virtual time from the
+	// network (under sharded execution it runs at window barriers, in
+	// deterministic order) — never read the global clock here, which
+	// would be stale relative to the delivering shard.
+	net.ObserveHeartbeats(func(m overlay.Message, at time.Time) {
 		d.mu.Lock()
 		if int(m.From) < len(d.lastHeard) {
-			d.lastHeard[m.From] = clk.Now()
+			d.lastHeard[m.From] = at
 		}
 		d.mu.Unlock()
 	})

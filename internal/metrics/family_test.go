@@ -196,6 +196,18 @@ func TestReportWriteJSON(t *testing.T) {
 	if len(fams) != 1 {
 		t.Fatalf("families = %v", fams)
 	}
+	// Series entries carry their full point data, not just a summary.
+	series := m["series"].([]any)
+	if len(series) != 1 {
+		t.Fatalf("series = %v", series)
+	}
+	data := series[0].(map[string]any)["data"].([]any)
+	if len(data) != 1 {
+		t.Fatalf("series data = %v", data)
+	}
+	if pt := data[0].([]any); pt[0].(float64) != 1 || pt[1].(float64) != 7 {
+		t.Fatalf("series point = %v", pt)
+	}
 	tr := doc["trace"].([]any)
 	if len(tr) != 1 {
 		t.Fatalf("trace = %v", tr)

@@ -38,7 +38,7 @@ func appendNum(b []byte, v float64) []byte {
 //	 "metrics":{"counters":[{"name":...,"value":...},...],
 //	            "gauges":[...],
 //	            "histograms":[{"name":...,"count":...,"mean":...,"p50":...,"p95":...,"max":...},...],
-//	            "series":[{"name":...,"points":...,"last":...},...],
+//	            "series":[{"name":...,"points":...,"last":...,"data":[[t,v],...]},...],
 //	            "families":[{"name":...,"labels":...,"value":...},...]},
 //	 "trace":[...]}
 func (r Report) WriteJSON(w io.Writer) error {
@@ -117,7 +117,18 @@ func (r Report) WriteJSON(w io.Writer) error {
 		b = strconv.AppendInt(b, int64(ts.Len()), 10)
 		b = append(b, `,"last":`...)
 		b = appendNum(b, last.V)
-		b = append(b, '}')
+		b = append(b, `,"data":[`...)
+		for j, p := range ts.Points() {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, '[')
+			b = appendNum(b, p.T)
+			b = append(b, ',')
+			b = appendNum(b, p.V)
+			b = append(b, ']')
+		}
+		b = append(b, `]}`...)
 	}
 	b = append(b, `],"families":[`...)
 	first := true

@@ -76,6 +76,16 @@ func RoundShards(k int) int {
 	return k
 }
 
+// NodeRegions returns the Hilbert-prefix region of every node for a
+// k-way split (k rounded down to a power of two, as RoundShards). This
+// is the same assignment OptimizeBatchSharded routes queries by;
+// exporting it lets the overlay key its data-plane shards to the
+// optimizer's regions, so the traffic a region-local placement
+// generates stays shard-local in the simulation too.
+func NodeRegions(env *Env, k int) ([]int32, error) {
+	return nodeRegions(env, RoundShards(k))
+}
+
 // nodeRegions assigns every node its home region: the top log2(k) bits
 // of the Hilbert key of its cost-space point. Nearby points share long
 // key prefixes, so regions are contiguous blobs in cost space — the

@@ -83,21 +83,52 @@ type partitionWindow struct {
 // path and exposes the crash schedule (for detection-latency
 // measurement) and a side-channel RPC drop oracle for the in-process
 // DHT, which has no overlay messages of its own.
+//
+// The send path is lock-free: the link/partition tables are built at
+// install time and only read afterwards (published by the atomic
+// injector swap), and the probabilistic draws come from sendRng — one
+// splitmix64 stream per *source node*, advanced only from that node's
+// serial execution context. Per-source streams are what keep fault
+// decisions identical between single-queue and sharded execution:
+// each node's draw sequence depends only on its own send history, not
+// on how sends from different nodes interleave globally.
 type FaultInjector struct {
 	net  *Network
 	plan FaultPlan
 
-	mu     sync.Mutex
-	rng    *rand.Rand // send-path draws (drops, jitter)
-	rpcRng *rand.Rand // DHT oracle draws — a separate stream so DHT
-	// lookups during planning don't perturb the data-plane sequence
+	// sendRng[id+1] is node id's private draw state (index 0 is
+	// reserved, mirroring Network.sampleCtr's origin indexing).
+	sendRng []uint64
+
 	links      map[linkKey][]linkWindow
 	partitions []partitionWindow
 	installed  time.Time
-	timers     []simtime.Timer
-	stopped    bool
-	crashAt    map[topology.NodeID]time.Time
-	recoverAt  map[topology.NodeID]time.Time
+
+	mu     sync.Mutex
+	rpcRng *rand.Rand // DHT oracle draws — a separate stream so DHT
+	// lookups during planning don't perturb the data-plane sequence
+	timers    []simtime.Timer
+	stopped   bool
+	crashAt   map[topology.NodeID]time.Time
+	recoverAt map[topology.NodeID]time.Time
+}
+
+// splitmix64 advances *s and returns the next value of the stream —
+// the standard SplitMix64 finalizer, chosen because one multiply-xor
+// chain per draw is cheap enough for the per-message hot path.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// splitmixFloat draws a uniform float64 in [0, 1).
+func splitmixFloat(s *uint64) float64 {
+	return float64(splitmix64(s)>>11) / (1 << 53)
 }
 
 // InstallFaults arms the plan on the runtime. Only one injector is
@@ -109,12 +140,18 @@ func (n *Network) InstallFaults(plan FaultPlan) *FaultInjector {
 	fi := &FaultInjector{
 		net:       n,
 		plan:      plan,
-		rng:       rand.New(rand.NewSource(plan.Seed)),
 		rpcRng:    rand.New(rand.NewSource(plan.Seed*7919 + 1)),
 		links:     make(map[linkKey][]linkWindow),
 		crashAt:   make(map[topology.NodeID]time.Time),
 		recoverAt: make(map[topology.NodeID]time.Time),
 		installed: n.clock.Now(),
+	}
+	fi.sendRng = make([]uint64, n.NumNodes()+1)
+	for i := range fi.sendRng {
+		// Decorrelate the per-source streams: hash (seed, source) once
+		// so stream i and stream i+1 share no prefix.
+		s := uint64(plan.Seed)*0x9e3779b97f4a7c15 ^ (uint64(i)+1)*0xbf58476d1ce4e5b9
+		fi.sendRng[i] = splitmix64(&s)
 	}
 	abs := func(d time.Duration, open bool) time.Time {
 		if open && d == 0 {
@@ -243,7 +280,7 @@ func (fi *FaultInjector) RPCOracle() func(from, to topology.NodeID) bool {
 	return func(from, to topology.NodeID) bool {
 		fi.mu.Lock()
 		defer fi.mu.Unlock()
-		p := fi.effectiveDropLocked(from, to)
+		p := fi.effectiveDrop(from, to, fi.net.clock.Now())
 		if p <= 0 {
 			return false
 		}
@@ -254,30 +291,30 @@ func (fi *FaultInjector) RPCOracle() func(from, to topology.NodeID) bool {
 	}
 }
 
-// onSend decides the fate of one message: drop (true) or deliver with
-// extraMs of injected latency. Called on the send path; under a
-// virtual clock sends are serialized on the scheduler/actor
-// goroutines, so the draw sequence — and therefore the run — is
-// deterministic for a fixed seed.
-func (fi *FaultInjector) onSend(from, to topology.NodeID) (drop bool, extraMs float64) {
-	fi.mu.Lock()
-	defer fi.mu.Unlock()
-	p := fi.effectiveDropLocked(from, to)
+// onSend decides the fate of one message sent at `now`: drop (true) or
+// deliver with extraMs of injected latency. Called on the send path in
+// the sender's execution context (its shard lane, under sharded
+// execution) — lock-free, drawing only from the sender's private
+// stream, so the decision sequence is a pure function of each node's
+// own send history and replays identically however lanes interleave.
+func (fi *FaultInjector) onSend(from, to topology.NodeID, now time.Time) (drop bool, extraMs float64) {
+	rng := &fi.sendRng[int(from)+1]
+	p := fi.effectiveDrop(from, to, now)
 	if p >= 1 {
 		return true, 0
 	}
-	if p > 0 && fi.rng.Float64() < p {
+	if p > 0 && splitmixFloat(rng) < p {
 		return true, 0
 	}
 	if fi.plan.JitterMs > 0 {
-		extraMs = fi.rng.Float64() * fi.plan.JitterMs
+		extraMs = splitmixFloat(rng) * fi.plan.JitterMs
 	}
 	return false, extraMs
 }
 
-func (fi *FaultInjector) effectiveDropLocked(from, to topology.NodeID) float64 {
+// effectiveDrop reads only install-time tables; safe from any context.
+func (fi *FaultInjector) effectiveDrop(from, to topology.NodeID, now time.Time) float64 {
 	p := fi.plan.DropProb
-	now := fi.net.clock.Now()
 	active := func(lo, hi time.Time) bool {
 		return !now.Before(lo) && (hi.IsZero() || now.Before(hi))
 	}

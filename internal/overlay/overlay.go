@@ -64,8 +64,22 @@ type Config struct {
 	InboxSize int
 	// Clock drives message delivery and timestamps. Nil means the real
 	// (wall) clock. Passing a *simtime.VirtualClock switches the
-	// runtime to deterministic discrete-event dispatch.
+	// runtime to deterministic discrete-event dispatch; one built with
+	// simtime.NewVirtualSharded executes the data plane on parallel
+	// per-shard event queues (see DataShards/ShardOf).
 	Clock simtime.Clock
+
+	// DataShards is the number of parallel data-plane shards the
+	// runtime is keyed for (<= 1 means the single event queue). It must
+	// match the shard count of the sharded clock when one is installed;
+	// it also sizes the per-shard traffic counters.
+	DataShards int
+	// ShardOf maps each node to its data-plane shard, nil meaning all
+	// shard 0. Callers derive it from the same Hilbert-prefix regions
+	// the sharded optimizer uses (optimizer.NodeRegions), so
+	// intra-region traffic — the bulk, by the cost-space locality the
+	// paper's placement optimizes for — stays shard-local.
+	ShardOf []int32
 }
 
 // DefaultConfig returns the runtime defaults (real clock).
@@ -85,6 +99,7 @@ type Network struct {
 	topo    *topology.Topology
 	cfg     Config
 	clock   simtime.Clock
+	dclock  simtime.DomainClock // clock's domain extension (never nil)
 	virtual bool
 
 	nodes []*Node
@@ -92,6 +107,27 @@ type Network struct {
 	wg    sync.WaitGroup // node loops + in-flight deliveries (real clock)
 
 	stopOnce sync.Once
+
+	// shardOf maps nodes to data-plane shards (all zero without
+	// sharding); shardStats are the per-shard traffic counters that
+	// aggregate to the registry totals.
+	shardOf    []int32
+	shardStats []ShardStats
+
+	// sampleCtr holds one trace-sampling counter per origin domain
+	// (index origin+1), so sampling decisions on the data path are a
+	// pure function of each node's own history — identical under
+	// single-queue and sharded execution. Counters are unsynchronized:
+	// a domain's events execute serially.
+	sampleCtr []uint64
+
+	// Cached registry counters for the send/dispatch hot path (a
+	// registry lookup per message is measurable at 100k nodes).
+	cMsgsSent, cKBSent, cUsageKBms      *metrics.Counter
+	cMsgsDropped, cMsgsDownRefused      *metrics.Counter
+	cMsgsDownDropped, cHBDownDropped    *metrics.Counter
+	cHBPostmortemDropped, cMsgsUnrouted *metrics.Counter
+	cFaultsDropped, cFaultsHBDropped    *metrics.Counter
 
 	// faults is the armed fault injector, nil when no FaultPlan is
 	// installed (see faults.go).
@@ -101,8 +137,10 @@ type Network struct {
 	// default) costs one atomic load on the fault path only.
 	tracer atomic.Pointer[trace.Tracer]
 	// hbObserver, when set, sees every delivered heartbeat — the hook
-	// failure detectors consume liveness traffic through.
-	hbObserver atomic.Pointer[func(Message)]
+	// failure detectors consume liveness traffic through. Calls are
+	// deferred through the clock's observation barrier, so under sharded
+	// execution the observer runs serialized in deterministic order.
+	hbObserver atomic.Pointer[func(Message, time.Time)]
 
 	// Metrics is the runtime's registry: counters msgs.sent, msgs.dropped,
 	// kb.sent, usage.kbms (Σ sizeKB × latencyMs, the integral of
@@ -132,14 +170,38 @@ func NewNetwork(topo *topology.Topology, cfg Config) *Network {
 	if !topo.SparseEnabled() {
 		topo.LatencyMatrix()
 	}
+	if cfg.DataShards <= 0 {
+		cfg.DataShards = 1
+	}
 	n := &Network{
 		topo:    topo,
 		cfg:     cfg,
 		clock:   cfg.Clock,
+		dclock:  simtime.AsDomainClock(cfg.Clock),
 		virtual: simtime.IsVirtual(cfg.Clock),
 		quit:    make(chan struct{}),
 		Metrics: metrics.NewRegistry(),
 	}
+	n.shardOf = make([]int32, topo.NumNodes())
+	if cfg.ShardOf != nil {
+		if len(cfg.ShardOf) != topo.NumNodes() {
+			panic(fmt.Sprintf("overlay: ShardOf has %d entries for %d nodes", len(cfg.ShardOf), topo.NumNodes()))
+		}
+		copy(n.shardOf, cfg.ShardOf)
+	}
+	n.shardStats = make([]ShardStats, cfg.DataShards)
+	n.sampleCtr = make([]uint64, topo.NumNodes()+1)
+	n.cMsgsSent = n.Metrics.Counter("msgs.sent")
+	n.cKBSent = n.Metrics.Counter("kb.sent")
+	n.cUsageKBms = n.Metrics.Counter("usage.kbms")
+	n.cMsgsDropped = n.Metrics.Counter("msgs.dropped")
+	n.cMsgsDownRefused = n.Metrics.Counter("msgs.down_refused")
+	n.cMsgsDownDropped = n.Metrics.Counter("msgs.down_dropped")
+	n.cHBDownDropped = n.Metrics.Counter("hb.down_dropped")
+	n.cHBPostmortemDropped = n.Metrics.Counter("hb.postmortem_dropped")
+	n.cMsgsUnrouted = n.Metrics.Counter("msgs.unrouted")
+	n.cFaultsDropped = n.Metrics.Counter("faults.dropped")
+	n.cFaultsHBDropped = n.Metrics.Counter("faults.hb_dropped")
 	n.nodes = make([]*Node, topo.NumNodes())
 	for i := range n.nodes {
 		n.nodes[i] = &Node{
@@ -192,6 +254,71 @@ func (n *Network) Clock() simtime.Clock { return n.clock }
 
 // Virtual reports whether the runtime dispatches on a virtual clock.
 func (n *Network) Virtual() bool { return n.virtual }
+
+// DomainClock returns the clock's domain extension (never nil) — the
+// interface shard-context code schedules and observes through.
+func (n *Network) DomainClock() simtime.DomainClock { return n.dclock }
+
+// NowAt returns the current time as seen from the node's execution
+// context: inside a parallel window, the node's shard-local event time;
+// otherwise the global clock time. Node-context code must use this (or
+// Message.SentAt) instead of Clock().Now(), which is only coherent at
+// barriers.
+func (n *Network) NowAt(id topology.NodeID) time.Time {
+	return n.dclock.DomainNow(simtime.Domain(id))
+}
+
+// ObserveAt defers fn to the clock's next synchronization point, where
+// deferred observations run serially in deterministic order; fn
+// receives the virtual time of the observing event. Outside a parallel
+// window fn runs inline.
+func (n *Network) ObserveAt(id topology.NodeID, fn func(at time.Time)) {
+	n.dclock.Observe(simtime.Domain(id), fn)
+}
+
+// TraceSampleCtr returns the node's private trace-sampling counter, for
+// trace.Tracer.SampleAt on node-context hot paths: the decision becomes
+// a pure function of the node's own emission history, identical under
+// single-queue and sharded execution.
+func (n *Network) TraceSampleCtr(id topology.NodeID) *uint64 {
+	return &n.sampleCtr[int(id)+1]
+}
+
+// DataShards returns the configured shard count (1 when unsharded).
+func (n *Network) DataShards() int { return len(n.shardStats) }
+
+// ShardOf returns the data-plane shard of a node.
+func (n *Network) ShardOf(id topology.NodeID) int { return int(n.shardOf[id]) }
+
+// ShardStats holds one data-plane shard's traffic counters. Fields are
+// atomics because sends from different lanes (and control context) may
+// account concurrently; increments are commutative so totals are
+// deterministic even though interleavings are not.
+type ShardStats struct {
+	msgsSent, hbSent, hbRecv, faultsDropped atomic.Int64
+}
+
+// ShardCounters is a point-in-time snapshot of one shard's counters.
+type ShardCounters struct {
+	MsgsSent, HBSent, HBRecv, FaultsDropped int64
+}
+
+// ShardCounters snapshots the per-shard traffic counters. Summed over
+// shards, MsgsSent equals the registry's msgs.sent, HBSent hb.sent,
+// HBRecv hb.recv, and FaultsDropped faults.dropped + faults.hb_dropped.
+func (n *Network) ShardCounters() []ShardCounters {
+	out := make([]ShardCounters, len(n.shardStats))
+	for i := range n.shardStats {
+		s := &n.shardStats[i]
+		out[i] = ShardCounters{
+			MsgsSent:      s.msgsSent.Load(),
+			HBSent:        s.hbSent.Load(),
+			HBRecv:        s.hbRecv.Load(),
+			FaultsDropped: s.faultsDropped.Load(),
+		}
+	}
+	return out
+}
 
 // SimMillis converts an elapsed clock duration into simulated
 // milliseconds under the runtime's time scale.
@@ -258,13 +385,21 @@ func (n *Network) Tracer() *trace.Tracer { return n.tracer.Load() }
 // Send schedules delivery of a message to the port on the destination
 // node, after the topology latency (scaled). It never blocks; messages
 // sent after Stop — or from a node marked down — are dropped.
+//
+// Sharded execution: Send always acts as the *sender's* domain — the
+// delivery event is keyed (arrival time, sender, sender's sequence) and
+// executed in the destination's shard. Within a shard it is a plain
+// queue insert; across shards it rides the clock's outbox/barrier
+// mailbox. Either way the key — and so the global delivery order — is
+// independent of which shard executes what when.
 func (nd *Node) Send(to topology.NodeID, port string, sizeKB float64, payload any) error {
 	if int(to) < 0 || int(to) >= len(nd.net.nodes) {
 		return fmt.Errorf("overlay: destination %d out of range", to)
 	}
 	n := nd.net
+	origin := simtime.Domain(nd.id)
 	if nd.down.Load() {
-		n.Metrics.Counter("msgs.down_refused").Inc()
+		n.cMsgsDownRefused.Inc()
 		return fmt.Errorf("overlay: node %d is down", nd.id)
 	}
 	msg := Message{
@@ -273,26 +408,30 @@ func (nd *Node) Send(to topology.NodeID, port string, sizeKB float64, payload an
 		Port:    port,
 		SizeKB:  sizeKB,
 		Payload: payload,
-		SentAt:  n.clock.Now(),
+		SentAt:  n.dclock.DomainNow(origin),
 	}
 	latMs := n.topo.Latency(nd.id, to)
 
-	n.Metrics.Counter("msgs.sent").Inc()
-	n.Metrics.Counter("kb.sent").Add(sizeKB)
-	n.Metrics.Counter("usage.kbms").Add(sizeKB * latMs)
+	n.cMsgsSent.Inc()
+	n.cKBSent.Add(sizeKB)
+	n.cUsageKBms.Add(sizeKB * latMs)
+	n.shardStats[n.shardOf[nd.id]].msgsSent.Add(1)
 
 	if fi := n.faults.Load(); fi != nil {
-		drop, extraMs := fi.onSend(nd.id, to)
+		drop, extraMs := fi.onSend(nd.id, to, msg.SentAt)
 		if drop {
 			if port == HeartbeatPort {
-				n.Metrics.Counter("faults.hb_dropped").Inc()
+				n.cFaultsHBDropped.Inc()
 			} else {
-				n.Metrics.Counter("faults.dropped").Inc()
+				n.cFaultsDropped.Inc()
 			}
-			if tr := n.tracer.Load(); tr.Enabled() && tr.Sample() {
-				tr.Emit("overlay", "fault_drop",
-					trace.Int("from", int(nd.id)), trace.Int("to", int(to)),
-					trace.Str("port", port))
+			n.shardStats[n.shardOf[nd.id]].faultsDropped.Add(1)
+			if tr := n.tracer.Load(); tr.Enabled() && tr.SampleAt(&n.sampleCtr[int(nd.id)+1]) {
+				n.dclock.Observe(origin, func(at time.Time) {
+					tr.EmitAtTime(at, "overlay", "fault_drop",
+						trace.Int("from", int(nd.id)), trace.Int("to", int(to)),
+						trace.Str("port", port))
+				})
 			}
 			return nil // silent loss: the sender never learns
 		}
@@ -302,11 +441,12 @@ func (nd *Node) Send(to topology.NodeID, port string, sizeKB float64, payload an
 
 	if n.virtual {
 		// Discrete-event path: the delivery is a clock event that
-		// dispatches the handler directly at the arrival instant.
-		n.clock.AfterFunc(delay, func() {
+		// dispatches the handler directly at the arrival instant, in
+		// the destination's shard.
+		n.dclock.ScheduleDomain(origin, simtime.Domain(to), delay, func() {
 			select {
 			case <-n.quit:
-				n.Metrics.Counter("msgs.dropped").Inc()
+				n.cMsgsDropped.Inc()
 			default:
 				n.nodes[msg.To].dispatch(msg)
 			}
@@ -330,7 +470,7 @@ func (n *Network) deliver(msg Message) {
 	dst := n.nodes[msg.To]
 	select {
 	case <-n.quit:
-		n.Metrics.Counter("msgs.dropped").Inc()
+		n.cMsgsDropped.Inc()
 	case dst.inbox <- msg:
 	}
 }
@@ -352,9 +492,9 @@ func (nd *Node) loop() {
 func (nd *Node) dispatch(msg Message) {
 	if nd.down.Load() {
 		if msg.Port == HeartbeatPort {
-			nd.net.Metrics.Counter("hb.down_dropped").Inc()
+			nd.net.cHBDownDropped.Inc()
 		} else {
-			nd.net.Metrics.Counter("msgs.down_dropped").Inc()
+			nd.net.cMsgsDownDropped.Inc()
 		}
 		return
 	}
@@ -364,14 +504,14 @@ func (nd *Node) dispatch(msg Message) {
 	// interval. Data messages from a dead source still deliver — they
 	// left the wire while the node lived.
 	if msg.Port == HeartbeatPort && nd.net.nodes[msg.From].down.Load() {
-		nd.net.Metrics.Counter("hb.postmortem_dropped").Inc()
+		nd.net.cHBPostmortemDropped.Inc()
 		return
 	}
 	nd.mu.RLock()
 	h := nd.handlers[msg.Port]
 	nd.mu.RUnlock()
 	if h == nil {
-		nd.net.Metrics.Counter("msgs.unrouted").Inc()
+		nd.net.cMsgsUnrouted.Inc()
 		return
 	}
 	h(msg)
@@ -381,11 +521,14 @@ func (nd *Node) dispatch(msg Message) {
 const HeartbeatPort = "overlay.hb"
 
 // ObserveHeartbeats installs fn as the heartbeat observer: it is
-// called for every heartbeat delivered to any node (on the delivering
-// goroutine — the scheduler under a virtual clock). Pass nil to
-// remove. Failure detectors (package failure) consume liveness
+// called for every delivered heartbeat with the virtual time of the
+// delivery. Calls are routed through the clock's observation barrier —
+// under sharded execution they run serialized at window ends in
+// deterministic order, under single-queue execution inline on the
+// scheduler — so the observer may touch shared state freely. Pass nil
+// to remove. Failure detectors (package failure) consume liveness
 // traffic through this hook.
-func (n *Network) ObserveHeartbeats(fn func(Message)) {
+func (n *Network) ObserveHeartbeats(fn func(Message, time.Time)) {
 	if fn == nil {
 		n.hbObserver.Store(nil)
 		return
@@ -436,8 +579,9 @@ func (n *Network) StartHeartbeatsOpts(every time.Duration, sizeKB float64, opts 
 	for _, nd := range n.nodes {
 		nd.Register(HeartbeatPort, func(m Message) {
 			recv.Inc()
+			n.shardStats[n.shardOf[m.To]].hbRecv.Add(1)
 			if ob := n.hbObserver.Load(); ob != nil {
-				(*ob)(m)
+				n.dclock.Observe(simtime.Domain(m.To), func(at time.Time) { (*ob)(m, at) })
 			}
 		})
 	}
@@ -475,15 +619,18 @@ func (n *Network) StartHeartbeatsOpts(every time.Duration, sizeKB float64, opts 
 			// re-joined node resumes beating on the next round.
 			if nd.Send(to, HeartbeatPort, sizeKB, nil) == nil {
 				sent.Inc()
+				n.shardStats[n.shardOf[i]].hbSent.Add(1)
 			}
 			hb.inflight.Done()
 			hb.mu.Lock()
 			if !hb.stopped {
-				hb.timers[i] = n.clock.AfterFunc(every, beat)
+				// Each node's schedule is its own domain, so beats execute
+				// shard-locally and reschedule without a barrier crossing.
+				hb.timers[i] = n.dclock.ScheduleDomain(simtime.Domain(i), simtime.Domain(i), every, beat)
 			}
 			hb.mu.Unlock()
 		}
-		hb.timers[i] = n.clock.AfterFunc(every, beat)
+		hb.timers[i] = n.dclock.ScheduleDomain(simtime.Domain(i), simtime.Domain(i), every, beat)
 	}
 	return hb
 }

@@ -1,0 +1,88 @@
+package simtime
+
+import "time"
+
+// Domain identifies a deterministic event source. The sharded data
+// plane partitions the simulation into per-node domains (Domain(nodeID))
+// plus one Control domain for everything driven by harness goroutines
+// and scheduler-context callbacks (sweeps, detectors, migration phases,
+// fault plans). Each domain's event stream is executed serially, so a
+// per-domain schedule counter is enough to make the global event order
+// a pure function of the event history — independent of how many shards
+// execute it and of goroutine scheduling.
+type Domain int32
+
+// Control is the domain of harness- and scheduler-context work. Control
+// events at an instant order before any node-domain event at the same
+// instant, which matches the barrier semantics of the sharded clock:
+// control work runs between parallel windows, never inside them.
+const Control Domain = -1
+
+// domainSeqBits splits the packed event key: the high bits carry
+// origin+1 (Control packs to 0, so control events sort first within an
+// instant), the low 44 bits carry the per-domain schedule counter. The
+// split supports ~1M domains and 2^44 events per domain — far past any
+// scenario here — while keeping the key a single uint64 so the event
+// queues compare exactly as before.
+const domainSeqBits = 44
+
+// DomainClock is the optional Clock extension the sharded data plane
+// requires: scheduling stamped with an explicit origin domain, reading
+// the origin's local time, and deterministic deferred observation.
+// Both the virtual clock and the real clock implement it.
+type DomainClock interface {
+	Clock
+
+	// ScheduleDomain schedules fn to run after d, keyed as the next
+	// event of origin and executed in exec's shard. During a parallel
+	// window the caller must be running in origin's shard (every
+	// converted call site acts as the origin node); outside windows any
+	// context may call it. Control exec means the scheduler/coordinator
+	// context.
+	ScheduleDomain(origin, exec Domain, d time.Duration, fn func()) Timer
+
+	// DomainNow returns the current time as seen from origin's
+	// execution context: inside a parallel window, the shard-local
+	// event time; otherwise the global clock time.
+	DomainNow(origin Domain) time.Time
+
+	// Observe defers fn to the next synchronization point, where all
+	// deferred observations run serially in deterministic
+	// (time, event-key, emission-index) order; fn receives the virtual
+	// time of the observing event. Outside a parallel window fn runs
+	// inline. This is how shard-context code feeds order-sensitive
+	// shared state (the tracer, detector timestamps) without races and
+	// without perturbing the bit-identical contract.
+	Observe(origin Domain, fn func(at time.Time))
+}
+
+// realClock's DomainClock implementation: wall time has no shards, so
+// everything degenerates to the plain calls.
+
+func (realClock) ScheduleDomain(origin, exec Domain, d time.Duration, fn func()) Timer {
+	return realClock{}.AfterFunc(d, fn)
+}
+
+func (realClock) DomainNow(Domain) time.Time { return time.Now() }
+
+func (realClock) Observe(_ Domain, fn func(at time.Time)) { fn(time.Now()) }
+
+// AsDomainClock returns c as a DomainClock. Every Clock in this package
+// implements the extension; external Clock implementations fall back to
+// a wrapper that ignores domains (origin-blind, always inline).
+func AsDomainClock(c Clock) DomainClock {
+	if dc, ok := c.(DomainClock); ok {
+		return dc
+	}
+	return blindDomainClock{c}
+}
+
+type blindDomainClock struct{ Clock }
+
+func (b blindDomainClock) ScheduleDomain(_, _ Domain, d time.Duration, fn func()) Timer {
+	return b.AfterFunc(d, fn)
+}
+
+func (b blindDomainClock) DomainNow(Domain) time.Time { return b.Now() }
+
+func (b blindDomainClock) Observe(_ Domain, fn func(at time.Time)) { fn(b.Now()) }

@@ -7,9 +7,18 @@ import (
 
 // event is one scheduled callback on the virtual timeline.
 type event struct {
-	at  time.Duration // virtual offset from the epoch
-	seq uint64        // schedule order; breaks ties at equal timestamps
+	at time.Duration // virtual offset from the epoch
+	// seq is the packed event key: (origin domain + 1) in the high
+	// bits, the origin's schedule counter in the low domainSeqBits.
+	// It breaks ties at equal timestamps — control events first, then
+	// node domains in id order, FIFO within a domain — identically in
+	// single-queue and sharded execution.
+	seq uint64
 	fn  func()
+
+	// lane is the shard queue the event lives in, or -1 for the
+	// control queue (and for every event in single-queue mode).
+	lane int32
 
 	// idx is the event's position inside its current container (the
 	// reference heap, the wheel's ready heap, or a wheel bucket slice);
@@ -37,6 +46,9 @@ type eventQueue interface {
 	// popMin removes and returns the event with the smallest (at, seq).
 	// Callers guarantee len() > 0.
 	popMin() *event
+	// peekMin returns the event popMin would return without removing
+	// it. Callers guarantee len() > 0.
+	peekMin() *event
 	// remove cancels a pending event, reporting whether it was still
 	// queued (false if already fired or removed).
 	remove(ev *event) bool
@@ -91,6 +103,8 @@ type heapQueue struct {
 func (q *heapQueue) push(ev *event) { heap.Push(&q.h, ev) }
 
 func (q *heapQueue) popMin() *event { return heap.Pop(&q.h).(*event) }
+
+func (q *heapQueue) peekMin() *event { return q.h[0] }
 
 func (q *heapQueue) remove(ev *event) bool {
 	if ev.idx < 0 {

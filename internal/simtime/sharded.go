@@ -1,0 +1,299 @@
+package simtime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sharded data-plane execution.
+//
+// NewVirtualSharded splits the node domains across K lanes, each backed
+// by its own timer wheel and executed by its own worker goroutine. The
+// scheduler alternates between two phases:
+//
+//   - Barrier: control-domain events fire one at a time on the
+//     scheduler goroutine, exactly as in single-queue mode, whenever
+//     the earliest pending control event is no later than the earliest
+//     pending lane event. Harness actors also only ever run here.
+//   - Window: otherwise the clock opens the conservative lookahead
+//     window [tLane, min(tCtl, tLane+L)) — L is the minimum cross-lane
+//     message latency — and every lane with work below the window end
+//     drains it in parallel, each lane strictly in event-key order.
+//
+// Cross-lane events created inside a window cannot land before the
+// window end (their delay is at least L by construction of L), so they
+// are staged in per-lane outboxes and merged into the destination
+// queues at the barrier; a violation panics rather than silently
+// breaking causality. Because event keys — (timestamp, origin,
+// per-origin sequence) — are minted per domain and each domain executes
+// serially in key order in both modes, the key set and all
+// key-ordered artifacts are identical to a single-queue run regardless
+// of how goroutines interleave: that is the bit-identity contract the
+// differential tests pin down.
+type clockLane struct {
+	c   *VirtualClock
+	idx int32
+	q   eventQueue
+
+	// now/curKey describe the event the lane worker is currently
+	// executing; read by ScheduleDomain/DomainNow/Observe from that
+	// same worker, so no synchronization is needed.
+	now    time.Duration
+	curKey uint64
+	curEnd time.Duration // current window end, for the causality check
+
+	outbox []*event   // cross-lane events staged until the barrier
+	obs    []obsEntry // deferred observations staged until the barrier
+	obsIdx uint64
+
+	work chan time.Duration // window-end signals from the coordinator
+}
+
+// obsEntry is one deferred observation, ordered at the barrier by
+// (event time, event key, emission index within the event).
+type obsEntry struct {
+	at  time.Duration
+	key uint64
+	idx uint64
+	fn  func(at time.Time)
+}
+
+// NewVirtualSharded creates a virtual clock whose node domains execute
+// on `shards` parallel lanes. laneOf maps each node domain (index =
+// Domain) to its lane; lookahead is the conservative bound — no event
+// executed in one lane may cause an event in another lane fewer than
+// `lookahead` later (in the overlay this is the minimum cross-node
+// message latency). With shards <= 1 or a non-positive lookahead the
+// clock degenerates to the single-queue scheduler, which fires the
+// identical event sequence.
+func NewVirtualSharded(laneOf []int32, shards int, lookahead time.Duration) *VirtualClock {
+	c := NewVirtual()
+	c.ShardLanes(laneOf, shards, lookahead)
+	return c
+}
+
+// ShardLanes converts a single-queue clock to sharded execution. It
+// exists for harnesses whose lane map is only known after the clock has
+// started (the overlay's shard regions derive from an optimizer
+// environment that is itself built under the clock): create the clock,
+// run the setup phase, then install the lanes. It must be called before
+// any node-domain event is scheduled — pending control events are
+// unaffected, but a node event already sitting in the control queue
+// would escape its lane's ordering. Shards <= 1 or a non-positive
+// lookahead leave the clock in single-queue mode.
+func (c *VirtualClock) ShardLanes(laneOf []int32, shards int, lookahead time.Duration) {
+	if shards <= 1 || lookahead <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.lanes) > 0 {
+		panic("simtime: ShardLanes on an already-sharded clock")
+	}
+	c.laneOf = make([]int32, len(laneOf))
+	for i, l := range laneOf {
+		if l < 0 || int(l) >= shards {
+			panic(fmt.Sprintf("simtime: laneOf[%d] = %d out of range [0,%d)", i, l, shards))
+		}
+		c.laneOf[i] = l
+	}
+	// The window path indexes domSeq lock-free, so it must span every
+	// node domain up front; counters already minted stay intact.
+	for len(c.domSeq) < len(laneOf)+1 {
+		c.domSeq = append(c.domSeq, 0)
+	}
+	c.lookahead = lookahead
+	c.laneDone = make(chan struct{}, shards)
+	for i := 0; i < shards; i++ {
+		ln := &clockLane{c: c, idx: int32(i), q: newWheelQueue(), work: make(chan time.Duration)}
+		c.lanes = append(c.lanes, ln)
+		go ln.loop()
+	}
+}
+
+// Shards reports the number of parallel lanes (1 in single-queue mode).
+func (c *VirtualClock) Shards() int {
+	if len(c.lanes) == 0 {
+		return 1
+	}
+	return len(c.lanes)
+}
+
+// Lookahead reports the conservative window bound (0 in single-queue
+// mode).
+func (c *VirtualClock) Lookahead() time.Duration { return c.lookahead }
+
+// stepShardedLocked advances the sharded clock by one step: either one
+// control event (barrier semantics identical to single-queue mode) or
+// one parallel window. Called from run with mu held; returns with mu
+// held.
+func (c *VirtualClock) stepShardedLocked() {
+	const inf = time.Duration(1<<63 - 1)
+	tCtl, tLane := inf, inf
+	if c.q.len() > 0 {
+		tCtl = c.q.peekMin().at
+	}
+	for _, ln := range c.lanes {
+		if ln.q.len() > 0 {
+			if a := ln.q.peekMin().at; a < tLane {
+				tLane = a
+			}
+		}
+	}
+	if tCtl <= tLane {
+		ev := c.q.popMin()
+		if ev.at > c.now {
+			c.now = ev.at
+		}
+		c.mu.Unlock()
+		ev.fn()
+		c.mu.Lock()
+		return
+	}
+
+	end := tLane + c.lookahead
+	if tCtl < end {
+		end = tCtl
+	}
+	c.winLanes = c.winLanes[:0]
+	for _, ln := range c.lanes {
+		if ln.q.len() > 0 && ln.q.peekMin().at < end {
+			ln.curEnd = end
+			c.winLanes = append(c.winLanes, ln)
+		}
+	}
+	c.inWindow.Store(true)
+	c.mu.Unlock()
+	for _, ln := range c.winLanes {
+		ln.work <- end
+	}
+	for range c.winLanes {
+		<-c.laneDone
+	}
+	c.mu.Lock()
+	c.inWindow.Store(false)
+
+	// Barrier: commit the window. Advance the clock to the latest
+	// executed instant, deliver staged cross-lane events, then run the
+	// deferred observations in deterministic key order (with mu
+	// released — observation callbacks may use the clock).
+	maxAt := c.now
+	c.obsBuf = c.obsBuf[:0]
+	for _, ln := range c.winLanes {
+		if ln.now > maxAt {
+			maxAt = ln.now
+		}
+		for _, ev := range ln.outbox {
+			c.pushLocked(ev)
+		}
+		ln.outbox = ln.outbox[:0]
+		c.obsBuf = append(c.obsBuf, ln.obs...)
+		ln.obs = ln.obs[:0]
+	}
+	c.now = maxAt
+	if len(c.obsBuf) > 0 {
+		obs := c.obsBuf
+		sort.Slice(obs, func(i, j int) bool {
+			if obs[i].at != obs[j].at {
+				return obs[i].at < obs[j].at
+			}
+			if obs[i].key != obs[j].key {
+				return obs[i].key < obs[j].key
+			}
+			return obs[i].idx < obs[j].idx
+		})
+		c.mu.Unlock()
+		for _, o := range obs {
+			o.fn(virtualEpoch.Add(o.at))
+		}
+		c.mu.Lock()
+	}
+}
+
+// loop is a lane worker: drain one window per coordinator signal.
+func (ln *clockLane) loop() {
+	for end := range ln.work {
+		ln.runWindow(end)
+		ln.c.laneDone <- struct{}{}
+	}
+}
+
+// runWindow executes every lane event strictly before end, in exact key
+// order. Events scheduled into the same lane during the window join it
+// (the loop re-peeks each iteration), so a lane never leaves work
+// behind that the single-queue scheduler would have run.
+func (ln *clockLane) runWindow(end time.Duration) {
+	for ln.q.len() > 0 {
+		ev := ln.q.peekMin()
+		if ev.at >= end {
+			break
+		}
+		ln.q.popMin()
+		ln.now = ev.at
+		ln.curKey = ev.seq
+		ev.fn()
+	}
+}
+
+// ScheduleDomain schedules fn at now+d, keyed as origin's next event
+// and executed in exec's shard. Inside a parallel window the caller
+// must be origin's lane worker (every converted call site acts as the
+// origin node), and the insert is lock-free: same-lane events go
+// straight into the lane's queue, cross-lane events are staged in the
+// outbox for barrier delivery. Outside windows (single-queue mode,
+// control callbacks, harness actors) the insert takes the clock mutex.
+func (c *VirtualClock) ScheduleDomain(origin, exec Domain, d time.Duration, fn func()) Timer {
+	if c.inWindow.Load() {
+		if origin < 0 || int(origin) >= len(c.laneOf) {
+			panic(fmt.Sprintf("simtime: ScheduleDomain(origin=%d) inside a window: origin must be an owned node domain", origin))
+		}
+		ln := c.lanes[c.laneOf[origin]]
+		if d < 0 {
+			d = 0
+		}
+		i := int(origin) + 1
+		key := uint64(i)<<domainSeqBits | c.domSeq[i]
+		c.domSeq[i]++
+		ev := &event{at: ln.now + d, seq: key, fn: fn, lane: -1}
+		if exec >= 0 {
+			ev.lane = c.laneOf[exec]
+		}
+		if ev.lane == ln.idx {
+			ln.q.push(ev)
+		} else {
+			if ev.at < ln.curEnd {
+				panic(fmt.Sprintf("simtime: cross-shard event at %v violates the lookahead window ending %v", ev.at, ln.curEnd))
+			}
+			ln.outbox = append(ln.outbox, ev)
+		}
+		return &virtualTimer{c: c, ev: ev}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &virtualTimer{c: c, ev: c.scheduleDomainLocked(origin, exec, d, fn)}
+}
+
+// DomainNow returns the current time as seen from origin's execution
+// context: the lane-local event time inside a window, the global clock
+// otherwise.
+func (c *VirtualClock) DomainNow(origin Domain) time.Time {
+	if c.inWindow.Load() && origin >= 0 && int(origin) < len(c.laneOf) {
+		return virtualEpoch.Add(c.lanes[c.laneOf[origin]].now)
+	}
+	return c.Now()
+}
+
+// Observe defers fn to the end of the current window, where all
+// observations run serially sorted by (event time, event key, emission
+// index) — the exact order a single-queue run would have produced them
+// in. Outside a window fn runs inline at the current clock time.
+func (c *VirtualClock) Observe(origin Domain, fn func(at time.Time)) {
+	if c.inWindow.Load() && origin >= 0 && int(origin) < len(c.laneOf) {
+		ln := c.lanes[c.laneOf[origin]]
+		ln.obs = append(ln.obs, obsEntry{at: ln.now, key: ln.curKey, idx: ln.obsIdx, fn: fn})
+		ln.obsIdx++
+		return
+	}
+	fn(c.Now())
+}

@@ -3,6 +3,7 @@ package simtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,18 +14,41 @@ var virtualEpoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
 
 // VirtualClock is the deterministic discrete-event implementation of
 // Clock. See the package documentation for the actor contract.
+//
+// Events are keyed by (timestamp, origin domain, per-domain sequence):
+// the key is a pure function of the event history of the scheduling
+// domain, not of global scheduling order, so the same key set — and
+// therefore the same fire order — emerges whether the clock executes
+// events one at a time (single queue) or in parallel shard windows
+// (NewVirtualSharded). Control-domain events order before node-domain
+// events at the same instant, matching the sharded clock's barriers.
 type VirtualClock struct {
 	mu   sync.Mutex
 	cond *sync.Cond // wakes the scheduler on any state change
 
 	now time.Duration // virtual offset from virtualEpoch
-	seq uint64
 
-	// q holds the pending events. The default is the hierarchical
-	// timer wheel (wheelQueue); NewVirtualReference selects the
-	// original binary heap, kept as the differential-test and
-	// benchmark reference.
+	// domSeq holds the per-domain schedule counters, indexed by
+	// origin+1 (index 0 is the Control domain). During a parallel
+	// window each shard touches only the counters of the domains it
+	// owns; at barriers and in single-queue mode access is under mu.
+	domSeq []uint64
+
+	// q holds the pending control-domain events (and, in single-queue
+	// mode, every event). The default is the hierarchical timer wheel
+	// (wheelQueue); NewVirtualReference selects the original binary
+	// heap, kept as the differential-test and benchmark reference.
 	q eventQueue
+
+	// Sharded-mode state (empty lanes == single-queue mode); see
+	// sharded.go.
+	lanes     []*clockLane
+	laneOf    []int32 // node domain -> lane index
+	lookahead time.Duration
+	inWindow  atomic.Bool
+	laneDone  chan struct{}
+	winLanes  []*clockLane // scratch: lanes active in the current window
+	obsBuf    []obsEntry   // scratch: merged deferred observations
 
 	actors   int // registered goroutines
 	runnable int // registered goroutines not blocked in a clock wait
@@ -39,7 +63,7 @@ type VirtualClock struct {
 // NewVirtual creates a virtual clock at the epoch and starts its
 // scheduler goroutine. Call Stop when done with the clock to release
 // the scheduler. The event queue is the hierarchical timer wheel
-// (wheel.go): O(1) amortized schedule/fire, exact (at, seq) order.
+// (wheel.go): O(1) amortized schedule/fire, exact key order.
 func NewVirtual() *VirtualClock {
 	return newVirtualClock(newWheelQueue())
 }
@@ -61,26 +85,42 @@ func newVirtualClock(q eventQueue) *VirtualClock {
 }
 
 // run is the scheduler loop: whenever at least one actor is registered,
-// all actors are blocked, and an event is pending, pop the earliest
-// event, jump the clock to its timestamp, and fire it.
+// all actors are blocked, and an event is pending, advance. In
+// single-queue mode that means popping the earliest event, jumping the
+// clock to its timestamp, and firing it; in sharded mode control events
+// still fire one at a time but node-domain events execute in parallel
+// lookahead windows (runWindowLocked, sharded.go).
 func (c *VirtualClock) run() {
 	c.mu.Lock()
 	for {
-		for !c.stopped && !(c.actors > 0 && c.runnable == 0 && c.q.len() > 0) {
+		for !c.stopped && !(c.actors > 0 && c.runnable == 0 && c.pendingLocked() > 0) {
 			c.cond.Wait()
 		}
 		if c.stopped {
 			c.mu.Unlock()
 			return
 		}
-		ev := c.q.popMin()
-		if ev.at > c.now {
-			c.now = ev.at
+		if len(c.lanes) == 0 {
+			ev := c.q.popMin()
+			if ev.at > c.now {
+				c.now = ev.at
+			}
+			c.mu.Unlock()
+			ev.fn()
+			c.mu.Lock()
+			continue
 		}
-		c.mu.Unlock()
-		ev.fn()
-		c.mu.Lock()
+		c.stepShardedLocked()
 	}
+}
+
+// pendingLocked counts scheduled, unfired events across every queue.
+func (c *VirtualClock) pendingLocked() int {
+	n := c.q.len()
+	for _, ln := range c.lanes {
+		n += ln.q.len()
+	}
+	return n
 }
 
 // Stop shuts the scheduler down. Pending events never fire and blocked
@@ -88,7 +128,12 @@ func (c *VirtualClock) run() {
 // has unregistered (tests typically defer Stop alongside Unregister).
 func (c *VirtualClock) Stop() {
 	c.mu.Lock()
-	c.stopped = true
+	if !c.stopped {
+		c.stopped = true
+		for _, ln := range c.lanes {
+			close(ln.work)
+		}
+	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
 }
@@ -155,21 +200,63 @@ func (c *VirtualClock) Since(t time.Time) time.Duration {
 	return c.Now().Sub(t)
 }
 
-// scheduleLocked enqueues fn at now+d. Callers must hold mu.
+// nextKeyLocked mints the next event key for origin: origin+1 in the
+// high bits, the domain's schedule counter in the low domainSeqBits.
+// Callers hold mu (the shard window path mints keys lock-free in
+// ScheduleDomain, where counter ownership is per-lane).
+func (c *VirtualClock) nextKeyLocked(origin Domain) uint64 {
+	i := int(origin) + 1
+	for i >= len(c.domSeq) {
+		c.domSeq = append(c.domSeq, 0)
+	}
+	k := uint64(i)<<domainSeqBits | c.domSeq[i]
+	c.domSeq[i]++
+	return k
+}
+
+// scheduleLocked enqueues fn at now+d as a control-domain event.
+// Callers must hold mu.
 func (c *VirtualClock) scheduleLocked(d time.Duration, fn func()) *event {
+	return c.scheduleDomainLocked(Control, Control, d, fn)
+}
+
+// scheduleDomainLocked enqueues fn at now+d keyed as origin's next
+// event, routed to exec's queue. Callers must hold mu and must not be
+// inside a parallel window (window-context scheduling goes through the
+// lock-free path in ScheduleDomain).
+func (c *VirtualClock) scheduleDomainLocked(origin, exec Domain, d time.Duration, fn func()) *event {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: c.now + d, seq: c.seq, fn: fn}
-	c.seq++
-	c.q.push(ev)
-	c.cond.Broadcast()
+	ev := &event{at: c.now + d, seq: c.nextKeyLocked(origin), fn: fn, lane: -1}
+	if exec >= 0 && len(c.lanes) > 0 {
+		ev.lane = c.laneOf[exec]
+	}
+	c.pushLocked(ev)
 	return ev
 }
 
+// pushLocked routes ev to its queue and wakes the scheduler.
+func (c *VirtualClock) pushLocked(ev *event) {
+	if ev.lane >= 0 {
+		c.lanes[ev.lane].q.push(ev)
+	} else {
+		c.q.push(ev)
+	}
+	c.cond.Broadcast()
+}
+
+// removeLocked cancels ev wherever it lives.
+func (c *VirtualClock) removeLocked(ev *event) bool {
+	if ev.lane >= 0 {
+		return c.lanes[ev.lane].q.remove(ev)
+	}
+	return c.q.remove(ev)
+}
+
 // Sleep blocks the calling actor for d of virtual time. The wake-up is
-// an ordinary event: sleeps expiring at the same instant as other work
-// interleave in FIFO schedule order.
+// an ordinary control event: sleeps expiring at the same instant as
+// other work interleave in deterministic key order.
 //
 // The caller must be a registered actor. The panic below is a
 // best-effort guard: it fires only when every registered actor is
@@ -277,7 +364,7 @@ func (c *VirtualClock) SleepOrDone(d time.Duration, done <-chan struct{}) bool {
 			return !w.fired
 		}
 		w.woken = true
-		c.q.remove(w.ev)
+		c.removeLocked(w.ev)
 		c.dropWaiterLocked(done, w)
 		c.runnable++
 		c.cond.Broadcast()
@@ -321,7 +408,7 @@ func (c *VirtualClock) Signal(ch chan struct{}) {
 			continue
 		}
 		w.woken = true
-		c.q.remove(w.ev)
+		c.removeLocked(w.ev)
 		c.runnable++
 		claimed = append(claimed, w)
 	}
@@ -342,8 +429,14 @@ func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
 }
 
 // AfterFunc schedules fn to run on the scheduler goroutine after d of
-// virtual time.
+// virtual time, keyed to the Control domain. Shard-context code (event
+// handlers acting as a node) must use ScheduleDomain instead; calling
+// AfterFunc from inside a parallel window panics, because the control
+// queue is coordinator-owned during windows.
 func (c *VirtualClock) AfterFunc(d time.Duration, fn func()) Timer {
+	if c.inWindow.Load() {
+		panic("simtime: AfterFunc inside a parallel window; use ScheduleDomain with the acting node's domain")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return &virtualTimer{c: c, ev: c.scheduleLocked(d, fn)}
@@ -355,11 +448,15 @@ type virtualTimer struct {
 }
 
 // Stop cancels the pending event, reporting whether it had not yet
-// fired.
+// fired. Stop is a control-context operation: calling it from inside a
+// parallel window panics (shard workers own their queues then).
 func (t *virtualTimer) Stop() bool {
+	if t.c.inWindow.Load() {
+		panic("simtime: Timer.Stop inside a parallel window")
+	}
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
-	return t.c.q.remove(t.ev)
+	return t.c.removeLocked(t.ev)
 }
 
 // PendingEvents returns the number of scheduled, unfired events —
@@ -367,5 +464,5 @@ func (t *virtualTimer) Stop() bool {
 func (c *VirtualClock) PendingEvents() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.q.len()
+	return c.pendingLocked()
 }

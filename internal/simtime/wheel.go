@@ -46,7 +46,31 @@ type wheelQueue struct {
 	occ     [wheelLevels]uint64 // occ[l] bit s set iff buckets[l][s] is non-empty
 
 	n int // total pending events (ready + buckets)
+
+	// tick is the level-0 bucketing granularity. It starts at
+	// wheelTick and adapts upward (never down) from the observed
+	// minimum inter-event gap: workloads whose events are
+	// milliseconds apart (heartbeat horizons) would otherwise cascade
+	// the cursor through thousands of empty microsecond slots per
+	// advance. Because exactness comes from the ready-heap partition,
+	// not the tick, retuning never changes fire order.
+	tick    time.Duration
+	lastPop time.Duration
+	minGap  time.Duration
+	pops    int
 }
+
+const (
+	// adaptEvery is how many pops elapse between tick reviews.
+	adaptEvery = 4096
+	// adaptSlack keeps the tick at most 1/4 of the observed minimum
+	// gap, so events that were distinct ticks apart stay distinct.
+	adaptSlack = 4
+	// adaptMaxTick caps growth; one second of virtual time per level-0
+	// slot is already far beyond any scheduling density here.
+	adaptMaxTick = time.Second
+	noGap        = time.Duration(1<<63 - 1)
+)
 
 const (
 	wheelSlotBits = 6
@@ -64,9 +88,9 @@ const (
 	readyLevel int8 = -1
 )
 
-func newWheelQueue() *wheelQueue { return &wheelQueue{} }
+func newWheelQueue() *wheelQueue { return &wheelQueue{tick: wheelTick, minGap: noGap} }
 
-func wheelTickOf(at time.Duration) int64 { return int64(at / wheelTick) }
+func (q *wheelQueue) tickOf(at time.Duration) int64 { return int64(at / q.tick) }
 
 // wheelLevelFor returns the bucket level for an event at tick `t` given
 // the current wheel position `pos`: the level of the highest bit in
@@ -86,7 +110,7 @@ func wheelLevelFor(pos, t int64) int {
 
 func (q *wheelQueue) push(ev *event) {
 	q.n++
-	t := wheelTickOf(ev.at)
+	t := q.tickOf(ev.at)
 	if t < q.horizon {
 		// Already inside the ready window (a zero-delay schedule, or a
 		// schedule from an actor whose `now` trails the horizon): the
@@ -115,7 +139,70 @@ func (q *wheelQueue) popMin() *event {
 	}
 	ev := readyPop(&q.ready)
 	q.n--
+	q.observePop(ev.at)
 	return ev
+}
+
+func (q *wheelQueue) peekMin() *event {
+	for len(q.ready) == 0 {
+		q.advance()
+	}
+	return q.ready[0]
+}
+
+// observePop feeds the adaptive-tick statistics and retunes the wheel
+// when the workload's minimum inter-event gap shows the current tick is
+// needlessly fine.
+func (q *wheelQueue) observePop(at time.Duration) {
+	if gap := at - q.lastPop; gap > 0 && gap < q.minGap {
+		q.minGap = gap
+	}
+	q.lastPop = at
+	if q.pops++; q.pops < adaptEvery {
+		return
+	}
+	q.pops = 0
+	g := q.minGap
+	q.minGap = noGap
+	if g == noGap {
+		return
+	}
+	newTick := q.tick
+	for newTick < adaptMaxTick && newTick<<wheelSlotBits <= g/adaptSlack {
+		newTick <<= wheelSlotBits
+	}
+	if newTick != q.tick {
+		q.retick(newTick)
+	}
+}
+
+// retick re-buckets every pending event under a coarser tick. The
+// horizon moves to the same point in time expressed in new ticks
+// (rounded down, so no bucketed event crosses below it), and the ready
+// heap — the exactness tier — is untouched, so fire order is exactly
+// preserved.
+func (q *wheelQueue) retick(newTick time.Duration) {
+	var pend []*event
+	for l := 0; l < wheelLevels; l++ {
+		for q.occ[l] != 0 {
+			s := bits.TrailingZeros64(q.occ[l])
+			pend = append(pend, q.buckets[l][s]...)
+			q.buckets[l][s] = nil
+			q.occ[l] &^= 1 << s
+		}
+	}
+	horizonTime := time.Duration(q.horizon) * q.tick
+	q.tick = newTick
+	q.horizon = int64(horizonTime / newTick)
+	for _, ev := range pend {
+		t := q.tickOf(ev.at)
+		if t < q.horizon {
+			ev.level = readyLevel
+			readyPush(&q.ready, ev)
+			continue
+		}
+		q.place(ev, t)
+	}
 }
 
 // advance moves the horizon to the next occupied slot. The scan runs
@@ -150,7 +237,7 @@ func (q *wheelQueue) advance() {
 		q.buckets[l][c] = nil
 		q.occ[l] &^= 1 << c
 		for _, ev := range evs {
-			q.place(ev, wheelTickOf(ev.at))
+			q.place(ev, q.tickOf(ev.at))
 		}
 	}
 	for l := 0; l < wheelLevels; l++ {
@@ -177,7 +264,7 @@ func (q *wheelQueue) advance() {
 		// Cascade: enter the slot and redistribute.
 		q.horizon = slotStart
 		for _, ev := range evs {
-			q.place(ev, wheelTickOf(ev.at))
+			q.place(ev, q.tickOf(ev.at))
 		}
 		return
 	}

@@ -320,7 +320,10 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 				dm := m.Payload.(dataMsg)
 				r.tuplesOut.Inc()
 				r.kbOut.Add(dm.T.SizeKB)
-				r.latencyMs.Observe(e.net.SimMillis(e.clock.Since(dm.T.Created)))
+				// NowAt, not clock.Since: under sharded execution the
+				// handler runs at the delivery instant of the consumer's
+				// shard, where the global clock is only barrier-fresh.
+				r.latencyMs.Observe(e.net.SimMillis(e.net.NowAt(m.To).Sub(dm.T.Created)))
 			})
 		case s.Plan.Kind == query.KindSource:
 			// Producers are started below.
@@ -378,7 +381,7 @@ func (e *Engine) Deploy(c *optimizer.Circuit) (*Running, error) {
 		stream := s.Plan.Stream
 		seed := e.cfg.Seed + int64(stream)*7919 + int64(c.Query.ID)*104729
 		if e.net.Virtual() {
-			p := e.startVirtualProducer(r, stream, rate, seed, counted)
+			p := e.startVirtualProducer(r, s.Node, stream, rate, seed, counted)
 			r.prods = append(r.prods, producerHandle{svc: i, halt: p.halt})
 			continue
 		}
@@ -463,14 +466,22 @@ func (r *Running) emitFor(idx int) Emit {
 	return func(t Tuple) {
 		from := topology.NodeID(r.host[idx].Load())
 		node := e.net.Node(from)
+		// Hop tracing samples against the emitting node's private counter
+		// and defers the emission through the clock's observation barrier:
+		// both the sampling decision and the recorded event order become
+		// pure functions of the node's own emission history, identical
+		// under single-queue and sharded execution.
 		if outs := rt.outs.Load(); outs != nil {
 			for _, tgt := range *outs {
 				to := topology.NodeID(r.route[tgt.svc].Load())
 				r.usageKBms.Add(t.SizeKB * e.topo.Latency(from, to))
-				if tr.Sample() {
-					tr.Emit("engine", "hop", trace.Int("q", q), trace.Int("svc", idx),
-						trace.Int("from", int(from)), trace.Int("to", int(to)),
-						trace.Num("size_kb", t.SizeKB))
+				if tr.SampleAt(e.net.TraceSampleCtr(from)) {
+					hopTo, sizeKB := to, t.SizeKB
+					e.net.ObserveAt(from, func(at time.Time) {
+						tr.EmitAtTime(at, "engine", "hop", trace.Int("q", q), trace.Int("svc", idx),
+							trace.Int("from", int(from)), trace.Int("to", int(hopTo)),
+							trace.Num("size_kb", sizeKB))
+					})
 				}
 				// Send never blocks; post-shutdown sends are dropped.
 				_ = node.Send(to, tgt.port, t.SizeKB, dataMsg{Side: tgt.side, T: t})
@@ -481,11 +492,14 @@ func (r *Running) emitFor(idx int) Emit {
 				to := topology.NodeID(sb.run.route[sb.svc].Load())
 				sb.run.sharedIn.Inc()
 				sb.run.usageKBms.Add(t.SizeKB * e.topo.Latency(from, to))
-				if tr.Sample() {
-					tr.Emit("engine", "hop_shared", trace.Int("q", q), trace.Int("svc", idx),
-						trace.Int("sub_q", int(sb.run.Circuit.Query.ID)),
-						trace.Int("from", int(from)), trace.Int("to", int(to)),
-						trace.Num("size_kb", t.SizeKB))
+				if tr.SampleAt(e.net.TraceSampleCtr(from)) {
+					hopTo, sizeKB, subQ := to, t.SizeKB, int(sb.run.Circuit.Query.ID)
+					e.net.ObserveAt(from, func(at time.Time) {
+						tr.EmitAtTime(at, "engine", "hop_shared", trace.Int("q", q), trace.Int("svc", idx),
+							trace.Int("sub_q", subQ),
+							trace.Int("from", int(from)), trace.Int("to", int(hopTo)),
+							trace.Num("size_kb", sizeKB))
+					})
 				}
 				_ = node.Send(to, sb.port, t.SizeKB, dataMsg{Side: sb.side, T: t})
 			}
@@ -568,13 +582,18 @@ func (p *vProducer) halt() {
 }
 
 // startVirtualProducer schedules tuple emission as recurring clock
-// events: exactly one tuple per interval, no catch-up needed because
-// virtual time never stalls. Emission order across producers at one
-// instant follows deploy order (FIFO event tie-breaking), which is what
-// makes same-seed runs bit-identical.
-func (e *Engine) startVirtualProducer(r *Running, stream query.StreamID, rateKBs float64, seed int64, emit Emit) *vProducer {
+// events in the host node's domain: exactly one tuple per interval, no
+// catch-up needed because virtual time never stalls. Producers are
+// pinned (only operators migrate), so the host's shard executes every
+// step — shard-locally, with no barrier crossings. Event keys are
+// (instant, host, per-host sequence) in both execution modes: at one
+// instant, producers fire in host-id order, ties within a host in
+// deploy order, which is what makes same-seed runs bit-identical.
+func (e *Engine) startVirtualProducer(r *Running, host topology.NodeID, stream query.StreamID, rateKBs float64, seed int64, emit Emit) *vProducer {
 	rng := rand.New(rand.NewSource(seed))
 	interval := e.produceInterval(rateKBs)
+	dc := e.net.DomainClock()
+	dom := simtime.Domain(host)
 	p := &vProducer{}
 	var step func()
 	step = func() {
@@ -589,16 +608,16 @@ func (e *Engine) startVirtualProducer(r *Running, stream query.StreamID, rateKBs
 			Key:     rng.Int63n(e.cfg.Keyspace),
 			Value:   rng.NormFloat64(),
 			SizeKB:  e.cfg.TupleSizeKB,
-			Created: e.clock.Now(),
+			Created: dc.DomainNow(dom),
 		})
 		p.mu.Lock()
 		if !p.stopped {
-			p.timer = e.clock.AfterFunc(interval, step)
+			p.timer = dc.ScheduleDomain(dom, dom, interval, step)
 		}
 		p.mu.Unlock()
 	}
 	p.mu.Lock()
-	p.timer = e.clock.AfterFunc(interval, step)
+	p.timer = dc.ScheduleDomain(dom, dom, interval, step)
 	p.mu.Unlock()
 	return p
 }

@@ -115,6 +115,14 @@ const statePortSuffix = ".state"
 // therefore has to happen before the node is marked down, which is
 // exactly the order the adaptation layer enforces.
 func (e *Engine) Migrate(id query.QueryID, svc int, to topology.NodeID) (*Migration, error) {
+	return e.MigrateUnder(trace.Span{}, id, svc, to)
+}
+
+// MigrateUnder is Migrate with the handoff's trace span nested under
+// parent (the adaptation layer passes its sweep span, so Perfetto
+// renders each migration inside the round that planned it). An inert
+// parent yields a root span, exactly as Migrate.
+func (e *Engine) MigrateUnder(parent trace.Span, id query.QueryID, svc int, to topology.NodeID) (*Migration, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	r, ok := e.running[id]
@@ -188,10 +196,17 @@ func (e *Engine) Migrate(id query.QueryID, svc int, to topology.NodeID) (*Migrat
 	rt.migrating = true
 	// The span opens at T0 and closes at T2 (or cancel), with the T1
 	// cutover marked by an instant event inside it.
-	m.sp = e.cfg.Tracer.Begin("engine", "migration",
-		trace.Int("q", int(id)), trace.Int("svc", svc),
-		trace.Int("from", int(from)), trace.Int("to", int(to)),
-		trace.Num("state_kb", m.StateKB))
+	if parent.Active() {
+		m.sp = parent.Child("engine", "migration",
+			trace.Int("q", int(id)), trace.Int("svc", svc),
+			trace.Int("from", int(from)), trace.Int("to", int(to)),
+			trace.Num("state_kb", m.StateKB))
+	} else {
+		m.sp = e.cfg.Tracer.Begin("engine", "migration",
+			trace.Int("q", int(id)), trace.Int("svc", svc),
+			trace.Int("from", int(from)), trace.Int("to", int(to)),
+			trace.Num("state_kb", m.StateKB))
+	}
 
 	// T0: open the buffer on the target, flip the route, ship state.
 	buf := m.buf

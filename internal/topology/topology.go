@@ -306,6 +306,21 @@ func (t *Topology) Neighbors(id NodeID) []NodeID {
 // Degree returns the number of edges incident to id.
 func (t *Topology) Degree(id NodeID) int { return len(t.adj[id]) }
 
+// MinEdgeLatency returns the smallest single-edge latency in the graph,
+// in milliseconds (0 for an edgeless topology). Any path between two
+// distinct nodes crosses at least one edge, so this bounds every
+// pairwise latency from below — the conservative lookahead the sharded
+// simulation data plane windows by.
+func (t *Topology) MinEdgeLatency() float64 {
+	min := 0.0
+	for i, e := range t.edges {
+		if i == 0 || e.Latency < min {
+			min = e.Latency
+		}
+	}
+	return min
+}
+
 // StubNodeIDs returns the IDs of all stub nodes in ascending order.
 func (t *Topology) StubNodeIDs() []NodeID {
 	var out []NodeID

@@ -76,6 +76,10 @@ func appendJSONLEvent(b []byte, ev Event) []byte {
 		b = append(b, `,"span":`...)
 		b = strconv.AppendUint(b, ev.Span, 10)
 	}
+	if ev.Parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, ev.Parent, 10)
+	}
 	if len(ev.Args) > 0 {
 		b = append(b, `,"args":{`...)
 		b = appendArgs(b, ev.Args)
@@ -122,13 +126,45 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
 		return err
 	}
-	// Category → tid in first-appearance order (deterministic).
+	// Category → tid in first-appearance order (deterministic). Nested
+	// spans are re-homed onto their root ancestor's track — B/E events
+	// on one tid nest by time containment in Perfetto, which is what
+	// renders migration/repair sub-spans inside their sweep span — so
+	// the category scan resolves each span event to its root category
+	// first.
+	spanParent := map[uint64]uint64{}
+	spanCat := map[uint64]string{}
+	for _, ev := range events {
+		if ev.Ph == Begin {
+			spanParent[ev.Span] = ev.Parent
+			spanCat[ev.Span] = ev.Cat
+		}
+	}
+	rootCat := func(ev Event) string {
+		if ev.Span == 0 {
+			return ev.Cat
+		}
+		id := ev.Span
+		for depth := 0; depth < 64; depth++ { // cycle guard
+			p, ok := spanParent[id]
+			if !ok || p == 0 {
+				break
+			}
+			id = p
+		}
+		if cat, ok := spanCat[id]; ok {
+			return cat
+		}
+		return ev.Cat
+	}
 	tids := map[string]int{}
 	order := []string{}
 	for _, ev := range events {
-		if _, ok := tids[ev.Cat]; !ok {
-			tids[ev.Cat] = len(order)
-			order = append(order, ev.Cat)
+		if cat := rootCat(ev); true {
+			if _, ok := tids[cat]; !ok {
+				tids[cat] = len(order)
+				order = append(order, cat)
+			}
 		}
 	}
 	var b []byte
@@ -158,7 +194,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		b = append(b, `{"ph":`...)
 		b = appendJSONString(b, ev.Ph.String())
 		b = append(b, `,"pid":0,"tid":`...)
-		b = strconv.AppendInt(b, int64(tids[ev.Cat]), 10)
+		b = strconv.AppendInt(b, int64(tids[rootCat(ev)]), 10)
 		b = append(b, `,"ts":`...)
 		b = appendFloat(b, float64(ev.T.Nanoseconds())/1e3)
 		b = append(b, `,"cat":`...)
@@ -172,6 +208,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if ev.Span != 0 {
 			b = append(b, `"span":`...)
 			b = strconv.AppendUint(b, ev.Span, 10)
+			if ev.Parent != 0 {
+				b = append(b, `,"parent":`...)
+				b = strconv.AppendUint(b, ev.Parent, 10)
+			}
 			if len(ev.Args) > 0 {
 				b = append(b, ',')
 			}
@@ -218,6 +258,10 @@ func (t *Tracer) WriteEventsJSON(w io.Writer) error {
 		if ev.Span != 0 {
 			b = append(b, `,"span":`...)
 			b = strconv.AppendUint(b, ev.Span, 10)
+		}
+		if ev.Parent != 0 {
+			b = append(b, `,"parent":`...)
+			b = strconv.AppendUint(b, ev.Parent, 10)
 		}
 		if len(ev.Args) > 0 {
 			b = append(b, `,"args":{`...)

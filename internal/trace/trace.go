@@ -90,6 +90,10 @@ type Event struct {
 	Ph Phase
 	// Span links Begin/End pairs; 0 on instants outside any span.
 	Span uint64
+	// Parent is the enclosing span's id for nested spans (migration
+	// spans under an adaptation sweep, repair rounds under a failure
+	// sweep); 0 for root spans and plain instants.
+	Parent uint64
 	// Args are the event's ordered payload fields.
 	Args []Arg
 }
@@ -181,12 +185,42 @@ func (t *Tracer) Enabled() bool { return t != nil }
 // drop) should be emitted this time: true once per SampleEvery calls.
 // Always false on a nil tracer. The counter is shared across all
 // sampled event classes and advances deterministically under a virtual
-// clock.
+// clock — but only in control context. Shard-context code (the sharded
+// data plane's per-node event handlers) must use SampleAt with a
+// per-origin counter instead, or the sampling decision would depend on
+// cross-shard interleaving.
 func (t *Tracer) Sample() bool {
 	if t == nil {
 		return false
 	}
 	return t.sampleCtr.Add(1)%t.sampleEvery == 1 || t.sampleEvery == 1
+}
+
+// SampleAt is Sample against a caller-owned counter: the caller keeps
+// one counter per deterministic execution domain (per node), so the
+// decision sequence is a pure function of that domain's history and is
+// identical under single-queue and sharded execution. The counter is
+// not synchronized — each domain's events execute serially.
+func (t *Tracer) SampleAt(ctr *uint64) bool {
+	if t == nil {
+		return false
+	}
+	*ctr++
+	return *ctr%t.sampleEvery == 1 || t.sampleEvery == 1
+}
+
+// EmitAtTime records an instant event stamped with the given clock
+// time instead of the tracer clock's current reading. The sharded data
+// plane uses it to flush shard-buffered emissions at barriers with
+// their original event timestamps, so the exported bytes match a
+// single-queue run's. No-op on a nil tracer.
+func (t *Tracer) EmitAtTime(at time.Time, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.recordLockedAt(Event{Cat: cat, Name: name, Ph: Instant, Args: args}, at.Sub(t.start))
+	t.mu.Unlock()
 }
 
 // Emit records an instant event. No-op on a nil tracer.
@@ -215,6 +249,7 @@ func (t *Tracer) Begin(cat, name string, args ...Arg) Span {
 type Span struct {
 	t         *Tracer
 	id        uint64
+	parent    uint64
 	cat, name string
 }
 
@@ -222,12 +257,35 @@ type Span struct {
 // from a nil tracer and for the zero Span).
 func (s Span) Active() bool { return s.t != nil }
 
+// ID returns the span id (0 for inert spans).
+func (s Span) ID() uint64 { return s.id }
+
+// ParentID returns the enclosing span's id, 0 for root spans.
+func (s Span) ParentID() uint64 { return s.parent }
+
+// Child opens a span nested under s: the child's events carry s's id
+// as Parent, and the Chrome exporter places the child on its root
+// ancestor's track so Perfetto renders the nesting. A child of an
+// inert span is inert.
+func (s Span) Child(cat, name string, args ...Arg) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	t := s.t
+	t.mu.Lock()
+	t.spanID++
+	id := t.spanID
+	t.recordLocked(Event{Cat: cat, Name: name, Ph: Begin, Span: id, Parent: s.id, Args: args})
+	t.mu.Unlock()
+	return Span{t: t, id: id, parent: s.id, cat: cat, name: name}
+}
+
 // End closes the span, attaching any final args to the end event.
 func (s Span) End(args ...Arg) {
 	if s.t == nil {
 		return
 	}
-	s.t.record(Event{Cat: s.cat, Name: s.name, Ph: End, Span: s.id, Args: args})
+	s.t.record(Event{Cat: s.cat, Name: s.name, Ph: End, Span: s.id, Parent: s.parent, Args: args})
 }
 
 // Emit records an instant event inside the span (same category, linked
@@ -236,7 +294,7 @@ func (s Span) Emit(name string, args ...Arg) {
 	if s.t == nil {
 		return
 	}
-	s.t.record(Event{Cat: s.cat, Name: name, Ph: Instant, Span: s.id, Args: args})
+	s.t.record(Event{Cat: s.cat, Name: name, Ph: Instant, Span: s.id, Parent: s.parent, Args: args})
 }
 
 func (t *Tracer) record(ev Event) {
@@ -246,13 +304,17 @@ func (t *Tracer) record(ev Event) {
 }
 
 func (t *Tracer) recordLocked(ev Event) {
+	t.recordLockedAt(ev, t.clock.Since(t.start))
+}
+
+func (t *Tracer) recordLockedAt(ev Event, at time.Duration) {
 	if t.sink != nil {
 		// Streaming mode: serialize and write immediately, retain
 		// nothing. The buffer cap does not apply — bounded memory is
 		// exactly what the sink provides, so no event is ever dropped.
 		t.seq++
 		ev.Seq = t.seq
-		ev.T = t.clock.Since(t.start)
+		ev.T = at
 		t.sinkBuf = appendJSONLEvent(t.sinkBuf[:0], ev)
 		t.sinkBuf = append(t.sinkBuf, '\n')
 		if _, err := t.sink.Write(t.sinkBuf); err != nil && t.sinkErr == nil {
@@ -268,7 +330,7 @@ func (t *Tracer) recordLocked(ev Event) {
 	}
 	t.seq++
 	ev.Seq = t.seq
-	ev.T = t.clock.Since(t.start)
+	ev.T = at
 	t.events = append(t.events, ev)
 }
 

@@ -157,6 +157,14 @@ type Options struct {
 	// (StartEngine); access it with Tracer, export with WriteReport or
 	// the tracer's own writers.
 	Trace bool
+	// DataShards executes the data plane on that many parallel
+	// per-shard event queues (rounded down to a power of two), with
+	// nodes assigned to shards by the same Hilbert-prefix cost-space
+	// regions OptimizeBatchSharded routes by. Requires VirtualTime.
+	// Every artifact — measurements, traces, placements — is defined to
+	// be bit-identical to the single-queue run; only wall time changes.
+	// <= 1 (the default) keeps the single event queue.
+	DataShards int
 }
 
 // System is a fully assembled SBON.
@@ -575,6 +583,22 @@ func (s *System) StartEngine() error {
 		if s.opts.TimeScale <= 0 {
 			cfg.TimeScale = time.Millisecond
 		}
+		if s.opts.DataShards > 1 {
+			k := optimizer.RoundShards(s.opts.DataShards)
+			laneOf, err := optimizer.NodeRegions(s.Env, k)
+			if err != nil {
+				return err
+			}
+			lookahead := time.Duration(s.Topo.MinEdgeLatency() * float64(cfg.TimeScale))
+			if lookahead <= 0 {
+				return fmt.Errorf("sbon: topology has no positive edge latency — data-plane sharding needs a conservative lookahead")
+			}
+			s.vclk.ShardLanes(laneOf, k, lookahead)
+			cfg.DataShards = k
+			cfg.ShardOf = laneOf
+		}
+	} else if s.opts.DataShards > 1 {
+		return fmt.Errorf("sbon: DataShards requires VirtualTime")
 	}
 	s.net = overlay.NewNetwork(s.Topo, cfg)
 	if s.opts.Trace {

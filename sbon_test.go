@@ -434,6 +434,64 @@ func TestEngineVirtualTimeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeDataShardsBitIdentical pins the facade contract of
+// Options.DataShards: the parallel data plane is an execution strategy
+// only — measurements are bit-identical to the single-queue run for any
+// shard count.
+func TestFacadeDataShardsBitIdentical(t *testing.T) {
+	measure := func(shards int) Measurement {
+		opts := smallOpts(9)
+		opts.VirtualTime = true
+		opts.DataShards = shards
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		if err := sys.AddStream(0, sys.StubNodes()[2], 50); err != nil {
+			t.Fatal(err)
+		}
+		q := Query{ID: 1, Consumer: sys.StubNodes()[15], Streams: []StreamID{0}}
+		res, err := sys.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.StartEngine(); err != nil {
+			t.Fatal(err)
+		}
+		run, err := sys.Run(res.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RunFor(30); err != nil {
+			t.Fatal(err)
+		}
+		return run.Measure()
+	}
+	base := measure(1)
+	if base.TuplesOut == 0 {
+		t.Fatal("no tuples delivered")
+	}
+	for _, shards := range []int{2, 4} {
+		if m := measure(shards); m != base {
+			t.Fatalf("DataShards=%d diverged from single queue:\n%+v\n%+v", shards, m, base)
+		}
+	}
+}
+
+func TestFacadeDataShardsRequiresVirtualTime(t *testing.T) {
+	opts := smallOpts(9)
+	opts.DataShards = 4
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.StartEngine(); err == nil {
+		t.Fatal("StartEngine accepted DataShards without VirtualTime")
+	}
+}
+
 // adaptSystem deploys a few circuits on the virtual-time engine and
 // overloads a host so adaptation has work.
 func adaptSystem(t *testing.T, seed int64) (*System, []QueryID) {

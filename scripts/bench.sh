@@ -2,19 +2,20 @@
 # bench.sh — run the paper-artifact and batch benchmark suites and emit a
 # JSON snapshot for the bench trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_8.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_9.json)
 #
 # BENCH_0.json (pre-spatial-index), BENCH_1.json (pre-virtual-time),
 # BENCH_2.json (pre-live-migration), BENCH_3.json (pre-shared-
 # execution), BENCH_4.json (pre-incremental-replanning), BENCH_5.json
-# (pre-failure-repair), BENCH_6.json (pre-observability), and
-# BENCH_7.json (pre-sharding) are committed baselines; the default
-# output BENCH_8.json — which adds the sharded-batch numbers
-# (BenchmarkOptimizeBatchSharded*), the timer-wheel scheduling
-# micro-benchmarks (BenchmarkSchedule100kWheel vs ...Heap; the wheel
-# must stay ahead at 100k pending events), and the 16k-node X17
-# scenario — sits alongside them so the trajectory stays in the repo.
-# Bump the default for later milestones.
+# (pre-failure-repair), BENCH_6.json (pre-observability), BENCH_7.json
+# (pre-sharding), and BENCH_8.json (pre-data-plane-sharding) are
+# committed baselines; the default output BENCH_9.json — which runs
+# BenchmarkX17_Scale16k on the sharded data plane (DefaultX17Params now
+# carries DataShards: 16) and adds the 100k-node event-kernel numbers
+# (BenchmarkShardedNetwork100k vs ...SingleQueue; on one core they are
+# within noise, on >= 8 cores the sharded plane must pull ahead) — sits
+# alongside them so the trajectory stays in the repo. Bump the default
+# for later milestones.
 #
 # Each end-to-end benchmark runs once (-benchtime 1x): the suites are
 # experiment regenerations, so a single iteration is already seconds of
@@ -23,13 +24,13 @@
 # fixed iteration count in a second pass so their ns/op is meaningful.
 set -eu
 
-out=${1:-BENCH_8.json}
+out=${1:-BENCH_9.json}
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFig|BenchmarkX|BenchmarkIntegrated|BenchmarkTwoStep|BenchmarkOptimize|BenchmarkPlan' \
+go test -run '^$' -bench 'BenchmarkFig|BenchmarkX|BenchmarkIntegrated|BenchmarkTwoStep|BenchmarkOptimize|BenchmarkPlan|BenchmarkShardedNetwork' \
   -benchtime 1x -timeout 30m . | tee "$tmp"
 
 go test -run '^$' -bench 'BenchmarkTraceEmit' -benchtime 1000000x -timeout 10m . | tee -a "$tmp"
